@@ -1,0 +1,6 @@
+(* Shared small federation for the micro-benchmarks, built once. *)
+
+let small =
+  Qt_sim.Generator.telecom ~nodes:6
+    ~placement:{ Qt_sim.Generator.partitions = 3; replicas = 1 }
+    ()

@@ -1,0 +1,823 @@
+(* Benchmark harness: regenerates every table/figure of the (reconstructed)
+   evaluation.  See DESIGN.md for the experiment inventory and
+   EXPERIMENTS.md for expected shapes and recorded results.
+
+     dune exec bench/main.exe            # all experiments
+     dune exec bench/main.exe -- f4 f7   # a subset
+     dune exec bench/main.exe -- micro   # bechamel micro-benchmarks *)
+
+module Params = Qt_cost.Params
+module Cost = Qt_cost.Cost
+module Generator = Qt_sim.Generator
+module Workload = Qt_sim.Workload
+module Experiment = Qt_sim.Experiment
+module Trader = Qt_core.Trader
+module Seller = Qt_core.Seller
+module Strategy = Qt_trading.Strategy
+module Protocol = Qt_trading.Protocol
+module Texttable = Qt_util.Texttable
+
+let params = Params.default
+
+let heading id title =
+  Printf.printf "\n=== %s: %s ===\n\n" id title
+
+let fmt_cost c = if Float.is_finite c then Printf.sprintf "%.4f" c else "fail"
+
+let metrics_row (m : Experiment.metrics) extras =
+  extras
+  @ [
+      m.optimizer;
+      fmt_cost m.plan_cost;
+      fmt_cost m.sim_time;
+      string_of_int m.messages;
+      Printf.sprintf "%.1f" m.kbytes;
+      Printf.sprintf "%.1f" m.wall_ms;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* R-T1: simulation parameters                                          *)
+(* ------------------------------------------------------------------ *)
+
+let r_t1 () =
+  heading "R-T1" "simulation parameters (defaults)";
+  let t = Texttable.create [ "parameter"; "value" ] in
+  Texttable.add_row t [ "cpu per tuple"; Printf.sprintf "%g s" params.Params.cpu_tuple ];
+  Texttable.add_row t [ "io per page"; Printf.sprintf "%g s" params.Params.io_page ];
+  Texttable.add_row t [ "page size"; Printf.sprintf "%d B" params.Params.page_bytes ];
+  Texttable.add_row t
+    [ "network latency"; Printf.sprintf "%g s/msg" params.Params.net_latency ];
+  Texttable.add_row t
+    [ "network bandwidth"; Printf.sprintf "%g B/s" params.Params.net_bandwidth ];
+  Texttable.add_row t
+    [ "message envelope"; Printf.sprintf "%d B" params.Params.msg_overhead_bytes ];
+  Texttable.add_row t [ "chain relation rows"; "5000" ];
+  Texttable.add_row t [ "chain key domain"; "5000" ];
+  Texttable.add_row t [ "telecom customers / invoice lines"; "4000 / 20000" ];
+  Texttable.add_row t [ "QT protocol / strategy"; "bidding / cooperative" ];
+  Texttable.add_row t [ "QT max iterations"; "6" ];
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* R-F1/F2/F3: scalability with federation size                         *)
+(* ------------------------------------------------------------------ *)
+
+let node_sweep = [ 10; 20; 50; 100; 200; 500 ]
+
+let federation_of_nodes nodes =
+  let partitions = min 16 nodes in
+  Generator.chain ~nodes ~relations:3
+    ~placement:{ Generator.partitions; replicas = max 1 (nodes / partitions) }
+    ()
+
+let sweep_results =
+  lazy
+    (List.map
+       (fun nodes ->
+         let federation = federation_of_nodes nodes in
+         let q = Workload.chain_query ~joins:2 ~aggregate:true ~relations:3 () in
+         (nodes, Experiment.compare_all ~params federation q))
+       node_sweep)
+
+let r_f1 () =
+  heading "R-F1" "simulated optimization time (s) vs federation size";
+  let t = Texttable.create [ "nodes"; "QT"; "Global-DP"; "IDP-M(2,5)"; "Two-step" ] in
+  List.iter
+    (fun (nodes, ms) ->
+      Texttable.add_row t
+        (string_of_int nodes
+        :: List.map (fun (m : Experiment.metrics) -> fmt_cost m.sim_time) ms))
+    (Lazy.force sweep_results);
+  Texttable.print t
+
+let r_f2 () =
+  heading "R-F2" "plan cost (s, lower is better) vs federation size";
+  let t =
+    Texttable.create [ "nodes"; "QT"; "Global-DP"; "IDP-M(2,5)"; "Two-step"; "QT/opt" ]
+  in
+  List.iter
+    (fun (nodes, ms) ->
+      let cost name =
+        (List.find (fun (m : Experiment.metrics) -> m.optimizer = name) ms).plan_cost
+      in
+      Texttable.add_row t
+        [
+          string_of_int nodes;
+          fmt_cost (cost "QT");
+          fmt_cost (cost "Global-DP");
+          fmt_cost (cost "IDP-M(2,5)");
+          fmt_cost (cost "Two-step");
+          Printf.sprintf "%.3f" (cost "QT" /. cost "Global-DP");
+        ])
+    (Lazy.force sweep_results);
+  Texttable.print t
+
+let r_f3 () =
+  heading "R-F3" "optimization messages / KiB vs federation size";
+  let t =
+    Texttable.create
+      [ "nodes"; "QT msgs"; "QT KiB"; "centralized msgs"; "centralized KiB" ]
+  in
+  List.iter
+    (fun (nodes, ms) ->
+      let get name = List.find (fun (m : Experiment.metrics) -> m.optimizer = name) ms in
+      let qt = get "QT" and dp = get "Global-DP" in
+      Texttable.add_row t
+        [
+          string_of_int nodes;
+          string_of_int qt.messages;
+          Printf.sprintf "%.1f" qt.kbytes;
+          string_of_int dp.messages;
+          Printf.sprintf "%.1f" dp.kbytes;
+        ])
+    (Lazy.force sweep_results);
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* R-F4: query size                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let r_f4 () =
+  heading "R-F4" "plan cost and optimization time vs number of joins";
+  let relations = 6 in
+  let federation =
+    Generator.chain ~nodes:12 ~relations
+      ~placement:{ Generator.partitions = 4; replicas = 2 }
+      ()
+  in
+  let t =
+    Texttable.create
+      [ "joins"; "optimizer"; "plan cost"; "opt time"; "msgs"; "KiB"; "wall ms" ]
+  in
+  List.iter
+    (fun joins ->
+      let q = Workload.chain_query ~joins ~aggregate:true ~relations () in
+      List.iter
+        (fun m -> Texttable.add_row t (metrics_row m [ string_of_int joins ] |> List.tl |> fun rest -> string_of_int joins :: rest))
+        (Experiment.compare_all ~params federation q))
+    [ 1; 2; 3; 4; 5 ];
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* R-F5: partitions per relation                                        *)
+(* ------------------------------------------------------------------ *)
+
+let r_f5 () =
+  heading "R-F5" "effect of horizontal partitioning (32 nodes, 2-relation join)";
+  let t =
+    Texttable.create
+      [ "partitions"; "QT plan cost"; "iterations"; "offers"; "QT msgs"; "opt time" ]
+  in
+  List.iter
+    (fun partitions ->
+      let federation =
+        Generator.chain ~nodes:32 ~relations:2
+          ~placement:{ Generator.partitions; replicas = 1 }
+          ()
+      in
+      let q = Workload.chain_query ~joins:1 ~aggregate:true ~relations:2 () in
+      match Trader.optimize (Trader.default_config params) federation q with
+      | Error e -> Texttable.add_row t [ string_of_int partitions; "fail: " ^ e ]
+      | Ok o ->
+        Texttable.add_row t
+          [
+            string_of_int partitions;
+            fmt_cost (Cost.response o.Trader.cost);
+            string_of_int o.Trader.stats.iterations;
+            string_of_int o.Trader.stats.offers_received;
+            string_of_int o.Trader.stats.messages;
+            fmt_cost o.Trader.stats.sim_time;
+          ])
+    [ 1; 2; 4; 8; 16; 32 ];
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* R-F6: replication                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let r_f6 () =
+  heading "R-F6" "effect of replication (16 nodes, competitive sellers, auction)";
+  let t =
+    Texttable.create
+      [ "replicas"; "coop plan"; "competitive plan"; "surplus"; "nego msgs" ]
+  in
+  List.iter
+    (fun replicas ->
+      let federation =
+        Generator.chain ~nodes:16 ~relations:2
+          ~placement:{ Generator.partitions = 4; replicas }
+          ()
+      in
+      let q = Workload.chain_query ~joins:1 ~aggregate:true ~relations:2 () in
+      let coop = Trader.optimize (Trader.default_config params) federation q in
+      let comp_config =
+        {
+          (Trader.default_config params) with
+          Trader.protocol = Protocol.Reverse_auction { max_rounds = 10 };
+          strategy_of = (fun _ -> Strategy.default_competitive);
+          seller_template =
+            {
+              (Seller.default_config params) with
+              Seller.strategy = Strategy.default_competitive;
+            };
+        }
+      in
+      let comp = Trader.optimize comp_config federation q in
+      match (coop, comp) with
+      | Ok a, Ok b ->
+        Texttable.add_row t
+          [
+            string_of_int replicas;
+            fmt_cost (Cost.response a.Trader.cost);
+            fmt_cost (Cost.response b.Trader.cost);
+            fmt_cost b.Trader.stats.seller_surplus;
+            string_of_int b.Trader.stats.messages;
+          ]
+      | _ -> Texttable.add_row t [ string_of_int replicas; "fail" ])
+    [ 1; 2; 4; 8 ];
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* R-F7: convergence of the trading iterations                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A federation whose fragment boundaries overlap (replicas cut at
+   different points) plus one slow node holding complete copies.  In the
+   first round only the slow full copies can answer completely; the buyer
+   predicates analyser then proposes trimmed ranges (the paper's queries
+   (1b)/(2b)) whose offers tile disjointly, and the plan improves across
+   iterations. *)
+let misaligned_federation () =
+  let module Schema = Qt_catalog.Schema in
+  let module Fragment = Qt_catalog.Fragment in
+  let module Node = Qt_catalog.Node in
+  let module Interval = Qt_util.Interval in
+  let key = Interval.make 0 3999 in
+  let mk_rel name card row_bytes =
+    Schema.mk_relation ~partition_key:(Some "custid") ~row_bytes ~cardinality:card
+      ~attrs:
+        [
+          Schema.mk_attr ~domain:(Schema.D_int key) ~distinct:4000 "custid";
+          Schema.mk_attr ~domain:(Schema.D_int (Interval.make 0 99)) ~distinct:100
+            "office";
+          Schema.mk_attr ~domain:(Schema.D_int (Interval.make 1 1000)) ~distinct:1000
+            "charge";
+        ]
+      name
+  in
+  let customer = mk_rel "customer" 4000 64 in
+  let invoiceline = mk_rel "invoiceline" 20000 48 in
+  let schema = Schema.create [ customer; invoiceline ] in
+  let frag rel lo hi rows = Fragment.make ~rel ~range:(Interval.make lo hi) ~rows in
+  let both lo hi =
+    [
+      frag "customer" lo hi ((hi - lo + 1) * 4000 / 4000);
+      frag "invoiceline" lo hi ((hi - lo + 1) * 20000 / 4000);
+    ]
+  in
+  let nodes =
+    [
+      (* Overlapping regional slices: [0,2399] and [1600,3999]. *)
+      Node.make ~id:0 ~name:"west" ~fragments:(both 0 2399) ();
+      Node.make ~id:1 ~name:"east" ~fragments:(both 1600 3999) ();
+      (* A slow archive node with complete copies. *)
+      Node.make ~id:2 ~name:"archive" ~io_factor:0.25 ~cpu_factor:0.5
+        ~fragments:(both 0 3999) ();
+    ]
+  in
+  Qt_catalog.Federation.create schema nodes
+
+let r_f7 () =
+  heading "R-F7" "best plan cost after each trading iteration (misaligned replicas)";
+  let federation = misaligned_federation () in
+  let q =
+    Qt_sql.Parser.parse
+      "SELECT c.office, SUM(il.charge) FROM customer c, invoiceline il \
+       WHERE c.custid = il.custid GROUP BY c.office"
+  in
+  let config = { (Trader.default_config params) with Trader.max_iterations = 8 } in
+  match Trader.optimize config federation q with
+  | Error e -> Printf.printf "failed: %s\n" e
+  | Ok o ->
+    let t = Texttable.create [ "iteration"; "best plan cost (s)" ] in
+    List.iteri
+      (fun i c -> Texttable.add_row t [ string_of_int (i + 1); fmt_cost c ])
+      o.Trader.iteration_costs;
+    Texttable.print t;
+    Printf.printf "\ntrace:\n";
+    List.iter print_endline o.Trader.trace
+
+(* ------------------------------------------------------------------ *)
+(* R-F8: strategies and protocols                                       *)
+(* ------------------------------------------------------------------ *)
+
+let r_f8 () =
+  heading "R-F8" "market designs (10 nodes, 5x2 placement, 2-join query)";
+  let federation =
+    Generator.chain ~nodes:10 ~relations:3
+      ~placement:{ Generator.partitions = 5; replicas = 2 }
+      ()
+  in
+  let q = Workload.chain_query ~joins:2 ~relations:3 () in
+  let t =
+    Texttable.create
+      [ "market"; "plan cost"; "surplus"; "msgs"; "nego rounds"; "iterations" ]
+  in
+  let run name protocol strategy =
+    let config =
+      {
+        (Trader.default_config params) with
+        Trader.protocol;
+        strategy_of = (fun _ -> strategy);
+        load_of = (fun node -> if node mod 2 = 0 then 0.1 else 0.8);
+        seller_template =
+          { (Seller.default_config params) with Seller.strategy = strategy };
+      }
+    in
+    match Trader.optimize config federation q with
+    | Error _ -> Texttable.add_row t [ name; "fail" ]
+    | Ok o ->
+      Texttable.add_row t
+        [
+          name;
+          fmt_cost (Cost.response o.Trader.cost);
+          fmt_cost o.Trader.stats.seller_surplus;
+          string_of_int o.Trader.stats.messages;
+          string_of_int o.Trader.stats.negotiation_rounds;
+          string_of_int o.Trader.stats.iterations;
+        ]
+  in
+  run "cooperative+bidding" Protocol.Bidding Strategy.Cooperative;
+  run "competitive+bidding" Protocol.Bidding Strategy.default_competitive;
+  run "competitive+auction"
+    (Protocol.Reverse_auction { max_rounds = 8 })
+    Strategy.default_competitive;
+  run "truthful+vickrey" Protocol.Vickrey Strategy.Cooperative;
+  run "competitive+bargain"
+    (Protocol.Bargaining { max_rounds = 8; target_ratio = 0.7 })
+    Strategy.default_competitive;
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* R-F9: materialized views                                             *)
+(* ------------------------------------------------------------------ *)
+
+let r_f9 () =
+  heading "R-F9" "seller predicates analyser: materialized-view offers";
+  let q =
+    Qt_sql.Parser.parse
+      "SELECT il.custid, SUM(il.charge) FROM invoiceline il GROUP BY il.custid"
+  in
+  let t =
+    Texttable.create [ "views"; "plan cost"; "remote pieces"; "via views"; "opt time" ]
+  in
+  List.iter
+    (fun with_views ->
+      let federation =
+        Generator.telecom ~nodes:8 ~invoice_lines:40000
+          ~placement:{ Generator.partitions = 4; replicas = 1 }
+          ~with_views ()
+      in
+      let config =
+        {
+          (Trader.default_config params) with
+          Trader.seller_template =
+            { (Seller.default_config params) with Seller.use_views = with_views };
+        }
+      in
+      match Trader.optimize config federation q with
+      | Error _ -> Texttable.add_row t [ (if with_views then "on" else "off"); "fail" ]
+      | Ok o ->
+        let remotes = Qt_optimizer.Plan.remote_leaves o.Trader.plan in
+        let via_views =
+          List.filter (fun (x : Qt_core.Offer.t) -> x.via_view <> None) o.Trader.purchased
+        in
+        Texttable.add_row t
+          [
+            (if with_views then "on" else "off");
+            fmt_cost (Cost.response o.Trader.cost);
+            string_of_int (List.length remotes);
+            string_of_int (List.length via_views);
+            fmt_cost o.Trader.stats.sim_time;
+          ])
+    [ false; true ];
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* R-F10: buyer plan generator DP vs IDP-M                              *)
+(* ------------------------------------------------------------------ *)
+
+let r_f10 () =
+  heading "R-F10" "buyer plan generator: exhaustive DP vs IDP-M(2,5)";
+  let relations = 6 in
+  let federation =
+    Generator.chain ~nodes:12 ~relations
+      ~placement:{ Generator.partitions = 4; replicas = 1 }
+      ()
+  in
+  let t =
+    Texttable.create [ "joins"; "generator"; "plan cost"; "wall ms"; "iterations" ]
+  in
+  List.iter
+    (fun joins ->
+      let q = Workload.chain_query ~joins ~relations () in
+      let run name mode =
+        let config = { (Trader.default_config params) with Trader.mode } in
+        match Trader.optimize config federation q with
+        | Error _ -> Texttable.add_row t [ string_of_int joins; name; "fail" ]
+        | Ok o ->
+          Texttable.add_row t
+            [
+              string_of_int joins;
+              name;
+              fmt_cost (Cost.response o.Trader.cost);
+              Printf.sprintf "%.1f" (1000. *. o.Trader.stats.wall_time);
+              string_of_int o.Trader.stats.iterations;
+            ]
+      in
+      run "DP" Qt_core.Plan_generator.Mode_dp;
+      run "IDP-M(2,5)" (Qt_core.Plan_generator.Mode_idp (2, 5)))
+    [ 2; 3; 4; 5 ];
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* R-F11: load balancing across replicas under a query stream           *)
+(* ------------------------------------------------------------------ *)
+
+let r_f11 () =
+  heading "R-F11"
+    "load feedback: 40-query stream over 8 nodes (4 partitions x 2 replicas)";
+  let federation =
+    Generator.chain ~nodes:8 ~relations:2
+      ~placement:{ Generator.partitions = 4; replicas = 2 }
+      ()
+  in
+  let queries =
+    List.concat
+      (List.init 20 (fun _ ->
+           [
+             Workload.chain_query ~joins:1 ~aggregate:true ~relations:2 ();
+             Workload.chain_query ~joins:1 ~select_fraction:0.5 ~relations:2 ();
+           ]))
+  in
+  let t =
+    Texttable.create
+      [ "mode"; "avg plan cost"; "makespan"; "busy CV"; "failures" ]
+  in
+  let run name feedback =
+    let config =
+      { (Qt_sim.Workload_sim.default_config params) with Qt_sim.Workload_sim.feedback }
+    in
+    let r = Qt_sim.Workload_sim.run config federation queries in
+    let avg =
+      Qt_util.Listx.sum_by Fun.id r.per_query_cost
+      /. float_of_int (max 1 (List.length r.per_query_cost))
+    in
+    Texttable.add_row t
+      [
+        name;
+        fmt_cost avg;
+        fmt_cost r.makespan;
+        Printf.sprintf "%.3f" r.balance_cv;
+        string_of_int r.failures;
+      ]
+  in
+  run "blind (stale loads)" false;
+  run "feedback (live quotes)" true;
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* R-F12: heterogeneous query capabilities                              *)
+(* ------------------------------------------------------------------ *)
+
+let r_f12 () =
+  heading "R-F12"
+    "heterogeneous capabilities: fraction of scan-only nodes (8 nodes, 4x2)";
+  let q =
+    Qt_sql.Parser.parse
+      "SELECT c.office, SUM(il.charge) FROM customer c, invoiceline il \
+       WHERE c.custid = il.custid GROUP BY c.office"
+  in
+  let t =
+    Texttable.create
+      [ "scan-only nodes"; "plan cost"; "remote pieces"; "aggregated remotely" ]
+  in
+  List.iter
+    (fun weak ->
+      let capabilities_of id =
+        if id < weak then Qt_catalog.Node.scan_only
+        else Qt_catalog.Node.full_capabilities
+      in
+      let federation =
+        Generator.telecom ~capabilities_of
+          ~placement:{ Generator.partitions = 4; replicas = 2 }
+          ~nodes:8 ()
+      in
+      match Trader.optimize (Trader.default_config params) federation q with
+      | Error e -> Texttable.add_row t [ string_of_int weak; "fail: " ^ e ]
+      | Ok o ->
+        let remotes = Qt_optimizer.Plan.remote_leaves o.Trader.plan in
+        let aggregated =
+          List.filter
+            (fun (r : Qt_optimizer.Plan.remote) ->
+              Qt_sql.Analysis.has_aggregate r.Qt_optimizer.Plan.query)
+            remotes
+        in
+        Texttable.add_row t
+          [
+            Printf.sprintf "%d/8" weak;
+            fmt_cost (Cost.response o.Trader.cost);
+            string_of_int (List.length remotes);
+            string_of_int (List.length aggregated);
+          ])
+    [ 0; 2; 4; 6; 8 ];
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* R-F13: histogram statistics on skewed data                           *)
+(* ------------------------------------------------------------------ *)
+
+let r_f13 () =
+  heading "R-F13" "cardinality estimation under Zipf skew (theta=1.0)";
+  let key_domain = 4000 and customers = 4000 in
+  let skewed =
+    Generator.telecom ~skew:1.0 ~customers ~key_domain ~nodes:4 ()
+  in
+  let store = Qt_exec.Store.generate ~seed:33 skewed in
+  let t =
+    Texttable.create
+      [ "custid range"; "actual rows"; "histogram est"; "uniform est";
+        "hist err"; "uniform err" ]
+  in
+  List.iter
+    (fun (lo, hi) ->
+      let q =
+        Qt_sql.Parser.parse
+          (Printf.sprintf
+             "SELECT c.custname FROM customer c WHERE c.custid BETWEEN %d AND %d" lo
+             hi)
+      in
+      let env = Qt_stats.Estimate.env_of_schema skewed.Qt_catalog.Federation.schema q in
+      let hist_est = Qt_stats.Estimate.alias_rows env q "c" in
+      let uniform_est =
+        float_of_int customers *. float_of_int (hi - lo + 1)
+        /. float_of_int key_domain
+      in
+      let actual =
+        float_of_int
+          (Qt_exec.Table.cardinality
+             (Qt_exec.Store.fragment_table store ~rel:"customer"
+                ~range:(Qt_util.Interval.make lo hi)))
+      in
+      let err est =
+        if actual <= 0. then Float.abs est
+        else Float.abs (est -. actual) /. actual
+      in
+      Texttable.add_row t
+        [
+          Printf.sprintf "[%d,%d]" lo hi;
+          Printf.sprintf "%.0f" actual;
+          Printf.sprintf "%.0f" hist_est;
+          Printf.sprintf "%.0f" uniform_est;
+          Printf.sprintf "%.0f%%" (100. *. err hist_est);
+          Printf.sprintf "%.0f%%" (100. *. err uniform_est);
+        ])
+    [ (0, 99); (0, 399); (400, 799); (1600, 1999); (3600, 3999) ];
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* R-F14: subcontracting (Section 3.5's deferred extension)             *)
+(* ------------------------------------------------------------------ *)
+
+let r_f14 () =
+  heading "R-F14" "subcontracting: data node fills its coverage gap via a third node";
+  (* Node 0: all invoice lines + half the customers; node 1: the other
+     half of the customers only.  Without subcontracting the buyer must
+     join raw pieces itself; with it, node 0 buys the missing customers
+     and ships one small pre-aggregated answer. *)
+  let module Schema = Qt_catalog.Schema in
+  let module Fragment = Qt_catalog.Fragment in
+  let module Node = Qt_catalog.Node in
+  let module Interval = Qt_util.Interval in
+  let key = Interval.make 0 3999 in
+  let customer =
+    Schema.mk_relation ~partition_key:(Some "custid") ~row_bytes:64 ~cardinality:4000
+      ~attrs:
+        [
+          Schema.mk_attr ~domain:(Schema.D_int key) ~distinct:4000 "custid";
+          Schema.mk_attr ~domain:(Schema.D_int (Interval.make 0 99)) ~distinct:100
+            "office";
+        ]
+      "customer"
+  in
+  let invoiceline =
+    Schema.mk_relation ~partition_key:(Some "custid") ~row_bytes:48 ~cardinality:20000
+      ~attrs:
+        [
+          Schema.mk_attr ~domain:(Schema.D_int key) ~distinct:4000 "custid";
+          Schema.mk_attr ~domain:(Schema.D_int (Interval.make 1 1000)) ~distinct:1000
+            "charge";
+        ]
+      "invoiceline"
+  in
+  let schema = Schema.create [ customer; invoiceline ] in
+  let frag rel lo hi rows = Fragment.make ~rel ~range:(Interval.make lo hi) ~rows in
+  let federation =
+    Qt_catalog.Federation.create schema
+      [
+        (* A beefy regional server: completing its coverage via a
+           subcontract beats shipping raw pieces to the slower buyer. *)
+        Node.make ~id:0 ~name:"full-il" ~cpu_factor:8. ~io_factor:8.
+          ~fragments:[ frag "customer" 0 1999 2000; frag "invoiceline" 0 3999 20000 ]
+          ();
+        Node.make ~id:1 ~name:"cust-only"
+          ~fragments:[ frag "customer" 2000 3999 2000 ]
+          ();
+      ]
+  in
+  let q =
+    Qt_sql.Parser.parse
+      "SELECT c.office, SUM(il.charge) FROM customer c, invoiceline il \
+       WHERE c.custid = il.custid GROUP BY c.office"
+  in
+  let t =
+    Texttable.create [ "subcontracting"; "plan cost"; "messages"; "imported offers" ]
+  in
+  List.iter
+    (fun allow ->
+      let config =
+        { (Trader.default_config params) with Trader.allow_subcontracting = allow }
+      in
+      match Trader.optimize config federation q with
+      | Error e -> Texttable.add_row t [ (if allow then "on" else "off"); "fail: " ^ e ]
+      | Ok o ->
+        let imported =
+          List.filter (fun (x : Qt_core.Offer.t) -> x.imports <> []) o.Trader.purchased
+        in
+        Texttable.add_row t
+          [
+            (if allow then "on" else "off");
+            fmt_cost (Cost.response o.Trader.cost);
+            string_of_int o.Trader.stats.messages;
+            string_of_int (List.length imported);
+          ])
+    [ false; true ];
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* R-F15: adaptive re-optimization after a seller failure               *)
+(* ------------------------------------------------------------------ *)
+
+let r_f15 () =
+  heading "R-F15" "failover: re-trade only what a dead seller was providing";
+  let federation =
+    Generator.telecom ~nodes:12
+      ~placement:{ Generator.partitions = 6; replicas = 2 }
+      ()
+  in
+  let q = Workload.telecom_revenue_by_office () in
+  let config = Trader.default_config params in
+  match Trader.optimize config federation q with
+  | Error e -> Printf.printf "failed: %s\n" e
+  | Ok previous ->
+    let victim = (List.hd previous.Trader.purchased).Qt_core.Offer.seller in
+    let survivors =
+      List.filter
+        (fun (n : Qt_catalog.Node.t) -> n.node_id <> victim)
+        federation.Qt_catalog.Federation.nodes
+    in
+    let reduced =
+      Qt_catalog.Federation.create federation.Qt_catalog.Federation.schema survivors
+    in
+    let t =
+      Texttable.create [ "strategy"; "plan cost"; "messages"; "iterations" ]
+    in
+    (match Trader.optimize config reduced q with
+    | Ok cold ->
+      Texttable.add_row t
+        [
+          "cold re-optimization";
+          fmt_cost (Cost.response cold.Trader.cost);
+          string_of_int cold.Trader.stats.messages;
+          string_of_int cold.Trader.stats.iterations;
+        ]
+    | Error e -> Texttable.add_row t [ "cold re-optimization"; "fail: " ^ e ]);
+    (match
+       Qt_core.Recovery.failover ~params ~failed:[ victim ] ~previous federation q
+     with
+    | Ok warm ->
+      Texttable.add_row t
+        [
+          "warm (standing contracts)";
+          fmt_cost (Cost.response warm.Trader.cost);
+          string_of_int warm.Trader.stats.messages;
+          string_of_int warm.Trader.stats.iterations;
+        ]
+    | Error e -> Texttable.add_row t [ "warm"; "fail: " ^ e ]);
+    Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  heading "micro" "bechamel micro-benchmarks (ns per run)";
+  let open Bechamel in
+  let federation = Helpers_federation.small in
+  let q = Workload.telecom_revenue_by_office ~custid_range:(0, 1999) () in
+  let seller_config = Seller.default_config params in
+  let schema = federation.Qt_catalog.Federation.schema in
+  let node = List.hd federation.Qt_catalog.Federation.nodes in
+  let offers =
+    List.concat_map
+      (fun (n : Qt_catalog.Node.t) ->
+        (Seller.respond seller_config schema n ~requests:[ (q, 0.) ]).Seller.offers)
+      federation.Qt_catalog.Federation.nodes
+  in
+  let tests =
+    [
+      Test.make ~name:"sql-parse"
+        (Staged.stage (fun () ->
+             ignore
+               (Qt_sql.Parser.parse
+                  "SELECT c.office, SUM(il.charge) FROM customer c, invoiceline il \
+                   WHERE c.custid = il.custid GROUP BY c.office")));
+      Test.make ~name:"seller-respond"
+        (Staged.stage (fun () ->
+             ignore (Seller.respond seller_config schema node ~requests:[ (q, 0.) ])));
+      Test.make ~name:"plan-generate"
+        (Staged.stage (fun () ->
+             ignore
+               (Qt_core.Plan_generator.generate ~params
+                  ~weights:Qt_core.Offer.default_weights
+                  ~mode:Qt_core.Plan_generator.Mode_dp ~schema ~offers q)));
+      Test.make ~name:"qt-optimize"
+        (Staged.stage (fun () ->
+             ignore (Trader.optimize (Trader.default_config params) federation q)));
+      Test.make ~name:"global-dp"
+        (Staged.stage (fun () ->
+             ignore (Qt_baseline.Omniscient.global_dp ~params federation q)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let t = Texttable.create [ "benchmark"; "ns/run" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name est ->
+          let value =
+            match Analyze.OLS.estimates est with
+            | Some [ v ] -> Printf.sprintf "%.0f" v
+            | Some _ | None -> "n/a"
+          in
+          Texttable.add_row t [ name; value ])
+        analyzed)
+    tests;
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    ("params", r_t1);
+    ("f1", r_f1);
+    ("f2", r_f2);
+    ("f3", r_f3);
+    ("f4", r_f4);
+    ("f5", r_f5);
+    ("f6", r_f6);
+    ("f7", r_f7);
+    ("f8", r_f8);
+    ("f9", r_f9);
+    ("f10", r_f10);
+    ("f11", r_f11);
+    ("f12", r_f12);
+    ("f13", r_f13);
+    ("f14", r_f14);
+    ("f15", r_f15);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %s; known: %s\n" name
+          (String.concat ", " (List.map fst all));
+        exit 2)
+    requested

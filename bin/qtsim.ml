@@ -1,0 +1,365 @@
+(* qtsim — command-line driver for the query-trading simulator.
+
+   Subcommands:
+     optimize   optimize one SQL query over a generated federation and
+                show the winning plan, optionally executing it
+     compare    run QT and the baseline optimizers on the same problem
+     federation print a generated federation's catalog
+     trace      show the trading iterations for one query *)
+
+open Cmdliner
+
+let params_of_profile = function
+  | "default" -> Qt_cost.Params.default
+  | "lan" -> Qt_cost.Params.lan
+  | "wan" -> Qt_cost.Params.wan
+  | other -> failwith (Printf.sprintf "unknown network profile %s" other)
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let nodes_arg =
+  Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Federation size.")
+
+let partitions_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "p"; "partitions" ] ~docv:"P" ~doc:"Horizontal partitions per relation.")
+
+let replicas_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "r"; "replicas" ] ~docv:"R" ~doc:"Replicas of each partition.")
+
+let views_arg =
+  Arg.(
+    value & flag
+    & info [ "views" ] ~doc:"Install per-slice revenue materialized views.")
+
+let profile_arg =
+  Arg.(
+    value & opt string "default"
+    & info [ "net" ] ~docv:"PROFILE" ~doc:"Network profile: default, lan or wan.")
+
+let schema_arg =
+  Arg.(
+    value & opt string "telecom"
+    & info [ "schema" ] ~docv:"SCHEMA"
+        ~doc:"Federation schema: 'telecom' or 'chain:K' (K relations).")
+
+let sql_arg =
+  Arg.(
+    value & pos 0 string
+      "SELECT c.office, SUM(il.charge) FROM customer c, invoiceline il WHERE \
+       c.custid = il.custid GROUP BY c.office"
+    & info [] ~docv:"SQL" ~doc:"Query to optimize.")
+
+let execute_arg =
+  Arg.(
+    value & flag
+    & info [ "execute" ]
+        ~doc:"Execute the chosen plan on synthetic data and verify against a \
+              direct evaluation.")
+
+let competitive_arg =
+  Arg.(
+    value & flag
+    & info [ "competitive" ] ~doc:"Sellers quote markups instead of true costs.")
+
+let auction_arg =
+  Arg.(
+    value & flag
+    & info [ "auction" ] ~doc:"Negotiate lots with a reverse auction (implies several rounds).")
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Data-generation seed.")
+
+let subcontracting_arg =
+  Arg.(
+    value & flag
+    & info [ "subcontracting" ]
+        ~doc:"Let sellers buy missing ranges from third nodes (depth 1).")
+
+let price_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "price" ] ~docv:"PER_MB"
+        ~doc:"Monetary charge sellers apply per delivered megabyte.")
+
+let build_federation schema nodes partitions replicas views =
+  match String.split_on_char ':' schema with
+  | [ "telecom" ] ->
+    Qt_sim.Generator.telecom ~nodes
+      ~placement:{ Qt_sim.Generator.partitions; replicas }
+      ~with_views:views ()
+  | [ "chain"; k ] when int_of_string_opt k <> None ->
+    Qt_sim.Generator.chain ~nodes ~relations:(int_of_string k)
+      ~placement:{ Qt_sim.Generator.partitions; replicas }
+      ()
+  | [ "chain"; _ ] ->
+    failwith
+      (Printf.sprintf "chain schema needs a relation count, e.g. chain:3 (got %s)"
+         schema)
+  | _ -> failwith (Printf.sprintf "unknown schema %s (try telecom or chain:3)" schema)
+
+let build_config ?(subcontracting = false) ?(price = 0.) params competitive auction =
+  let strategy =
+    if competitive then Qt_trading.Strategy.default_competitive
+    else Qt_trading.Strategy.Cooperative
+  in
+  {
+    (Qt_core.Trader.default_config params) with
+    Qt_core.Trader.protocol =
+      (if auction then Qt_trading.Protocol.Reverse_auction { max_rounds = 8 }
+       else Qt_trading.Protocol.Bidding);
+    strategy_of = (fun _ -> strategy);
+    allow_subcontracting = subcontracting;
+    seller_template =
+      {
+        (Qt_core.Seller.default_config params) with
+        Qt_core.Seller.strategy = strategy;
+        price_per_mb = price;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_optimize sql schema nodes partitions replicas views profile execute
+    competitive auction seed subcontracting price =
+  let params = params_of_profile profile in
+  let federation = build_federation schema nodes partitions replicas views in
+  let query = Qt_sql.Parser.parse sql in
+  let config = build_config ~subcontracting ~price params competitive auction in
+  match Qt_core.Trader.optimize config federation query with
+  | Error e ->
+    Printf.eprintf "optimization failed: %s\n" e;
+    1
+  | Ok outcome ->
+    Printf.printf "Query: %s\n\n" (Qt_sql.Analysis.to_string query);
+    List.iter print_endline outcome.trace;
+    Printf.printf "\nPlan (estimated %s):\n%s\n"
+      (Format.asprintf "%a" Qt_cost.Cost.pp outcome.cost)
+      (Format.asprintf "%a" Qt_optimizer.Plan.pp outcome.plan);
+    Printf.printf
+      "Optimization: %d iterations, %d messages, %.1f KiB, %.4fs simulated, %.1fms \
+       wall\n"
+      outcome.stats.iterations outcome.stats.messages
+      (float_of_int outcome.stats.bytes /. 1024.)
+      outcome.stats.sim_time
+      (1000. *. outcome.stats.wall_time);
+    if outcome.stats.seller_surplus > 0. then
+      Printf.printf "Seller surplus extracted: %.4fs\n" outcome.stats.seller_surplus;
+    if execute then begin
+      let store = Qt_exec.Store.generate ~seed federation in
+      Qt_exec.Naive.materialize_views store federation;
+      let result = Qt_exec.Engine.run store federation outcome.plan in
+      let oracle = Qt_exec.Naive.run_global store query in
+      Printf.printf "\nResult (%d rows):\n" (Qt_exec.Table.cardinality result);
+      Format.printf "%a" (Qt_exec.Table.pp ~max_rows:15) result;
+      let sorted_result = Qt_exec.Table.sort_rows result in
+      let sorted_oracle = Qt_exec.Table.sort_rows oracle in
+      let agree =
+        Qt_exec.Table.cardinality result = Qt_exec.Table.cardinality oracle
+        && List.for_all2
+             (fun r1 r2 -> Array.for_all2 Qt_exec.Value.equal r1 r2)
+             sorted_result.Qt_exec.Table.rows sorted_oracle.Qt_exec.Table.rows
+      in
+      Printf.printf "Matches direct evaluation: %b\n" agree;
+      if not agree then exit 1
+    end;
+    0
+
+let optimize_cmd =
+  let doc = "Optimize one SQL query by query trading." in
+  Cmd.v
+    (Cmd.info "optimize" ~doc)
+    Term.(
+      const run_optimize $ sql_arg $ schema_arg $ nodes_arg $ partitions_arg
+      $ replicas_arg $ views_arg $ profile_arg $ execute_arg $ competitive_arg
+      $ auction_arg $ seed_arg $ subcontracting_arg $ price_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_compare sql schema nodes partitions replicas views profile staleness =
+  let params = params_of_profile profile in
+  let federation = build_federation schema nodes partitions replicas views in
+  let query = Qt_sql.Parser.parse sql in
+  Printf.printf "Query: %s\n\n" (Qt_sql.Analysis.to_string query);
+  let rows = Qt_sim.Experiment.compare_all ~staleness ~params federation query in
+  let table =
+    Qt_util.Texttable.create
+      [ "optimizer"; "plan cost (s)"; "opt time (s)"; "messages"; "KiB"; "wall ms" ]
+  in
+  List.iter
+    (fun (m : Qt_sim.Experiment.metrics) ->
+      Qt_util.Texttable.add_row table
+        [
+          m.optimizer;
+          (if Float.is_finite m.plan_cost then Printf.sprintf "%.4f" m.plan_cost
+           else "fail");
+          Printf.sprintf "%.4f" m.sim_time;
+          string_of_int m.messages;
+          Printf.sprintf "%.1f" m.kbytes;
+          Printf.sprintf "%.1f" m.wall_ms;
+        ])
+    rows;
+  Qt_util.Texttable.print table;
+  0
+
+let staleness_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "staleness" ] ~docv:"S"
+        ~doc:
+          "Stale-statistics factor for the centralized baselines (1.0 = perfectly \
+           fresh catalogs).")
+
+let compare_cmd =
+  let doc = "Compare QT against the full-knowledge baseline optimizers." in
+  Cmd.v
+    (Cmd.info "compare" ~doc)
+    Term.(
+      const run_compare $ sql_arg $ schema_arg $ nodes_arg $ partitions_arg
+      $ replicas_arg $ views_arg $ profile_arg $ staleness_arg)
+
+(* ------------------------------------------------------------------ *)
+(* federation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_federation schema nodes partitions replicas views =
+  let federation = build_federation schema nodes partitions replicas views in
+  Format.printf "%a@." Qt_catalog.Federation.pp federation;
+  0
+
+let federation_cmd =
+  let doc = "Print the catalog of a generated federation." in
+  Cmd.v
+    (Cmd.info "federation" ~doc)
+    Term.(
+      const run_federation $ schema_arg $ nodes_arg $ partitions_arg $ replicas_arg
+      $ views_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_trace sql schema nodes partitions replicas views profile competitive auction =
+  let params = params_of_profile profile in
+  let federation = build_federation schema nodes partitions replicas views in
+  let query = Qt_sql.Parser.parse sql in
+  let config = build_config params competitive auction in
+  match Qt_core.Trader.optimize config federation query with
+  | Error e ->
+    Printf.eprintf "optimization failed: %s\n" e;
+    1
+  | Ok outcome ->
+    List.iter print_endline outcome.trace;
+    Printf.printf "\npurchased offers:\n";
+    List.iter
+      (fun o -> Format.printf "  %a@." Qt_core.Offer.pp o)
+      outcome.purchased;
+    Printf.printf "\nconvergence: %s\n"
+      (String.concat " -> "
+         (List.map (Printf.sprintf "%.4f") outcome.iteration_costs));
+    0
+
+let trace_cmd =
+  let doc = "Show the trading iterations and purchased offers for a query." in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      const run_trace $ sql_arg $ schema_arg $ nodes_arg $ partitions_arg
+      $ replicas_arg $ views_arg $ profile_arg $ competitive_arg $ auction_arg)
+
+(* ------------------------------------------------------------------ *)
+(* workload                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_workload schema nodes partitions replicas profile count feedback competitive =
+  let params = params_of_profile profile in
+  let federation = build_federation schema nodes partitions replicas false in
+  let relations =
+    match String.split_on_char ':' schema with
+    | [ "chain"; k ] -> int_of_string k
+    | _ -> 2
+  in
+  let queries =
+    if String.length schema >= 5 && String.sub schema 0 5 = "chain" then
+      Qt_sim.Workload.random_chain_queries ~seed:11 ~count ~relations
+        ~max_joins:(relations - 1)
+    else
+      List.init count (fun i ->
+          Qt_sim.Workload.telecom_revenue_by_office
+            ~custid_range:(0, 999 + (137 * i mod 3000))
+            ())
+  in
+  let config =
+    {
+      (Qt_sim.Workload_sim.default_config params) with
+      Qt_sim.Workload_sim.feedback;
+      strategy =
+        (if competitive then Qt_trading.Strategy.default_competitive
+         else Qt_trading.Strategy.Cooperative);
+    }
+  in
+  let r = Qt_sim.Workload_sim.run config federation queries in
+  Printf.printf "queries: %d (failures %d)
+" count r.failures;
+  Printf.printf "avg plan cost: %.4fs
+"
+    (Qt_util.Listx.sum_by Fun.id r.per_query_cost
+    /. float_of_int (max 1 (List.length r.per_query_cost)));
+  Printf.printf "makespan: %.4fs   busy CV: %.3f
+" r.makespan r.balance_cv;
+  List.iter
+    (fun (node, busy) -> Printf.printf "  node %d: %.4fs purchased work
+" node busy)
+    r.node_busy;
+  0
+
+let workload_cmd =
+  let doc = "Run a query stream with load feedback (R-F11 style)." in
+  let count_arg =
+    Arg.(value & opt int 20 & info [ "count" ] ~docv:"N" ~doc:"Number of queries.")
+  in
+  let no_feedback_arg =
+    Arg.(
+      value & flag
+      & info [ "no-feedback" ] ~doc:"Hide current loads from seller quotes.")
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc)
+    Term.(
+      const (fun schema nodes partitions replicas profile count no_feedback competitive ->
+          run_workload schema nodes partitions replicas profile count
+            (not no_feedback) competitive)
+      $ schema_arg $ nodes_arg $ partitions_arg $ replicas_arg $ profile_arg
+      $ count_arg $ no_feedback_arg $ competitive_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "query-trading distributed query optimization simulator" in
+  Cmd.group
+    (Cmd.info "qtsim" ~version:"1.0.0" ~doc)
+    [ optimize_cmd; compare_cmd; federation_cmd; trace_cmd; workload_cmd ]
+
+let () =
+  (* Turn expected failures (bad SQL, bad schema spec) into clean CLI
+     errors instead of raw exception dumps. *)
+  match Cmd.eval' ~catch:false main_cmd with
+  | code -> exit code
+  | exception Qt_sql.Parser.Error msg ->
+    Printf.eprintf "qtsim: cannot parse query: %s\n" msg;
+    exit 2
+  | exception Failure msg ->
+    Printf.eprintf "qtsim: %s\n" msg;
+    exit 2
+  | exception Invalid_argument msg ->
+    Printf.eprintf "qtsim: invalid argument: %s\n" msg;
+    exit 2

@@ -1,0 +1,66 @@
+(* Competitive trading: the federation's nodes are independent businesses
+   that quote marked-up prices and concede during negotiation, instead of
+   revealing true costs (Section 2's competitive strategies).
+
+   The example contrasts three market designs on the same query:
+   - cooperative sellers under sealed-bid bidding (truthful quotes),
+   - competitive sellers under sealed-bid bidding (markups stick),
+   - competitive sellers under a reverse auction (competition drives the
+     quotes back toward cost where more than one seller can serve a lot).
+
+   Run with: dune exec examples/marketplace.exe *)
+
+let run_market name protocol strategy =
+  let params = Qt_cost.Params.default in
+  let federation =
+    Qt_sim.Generator.chain ~nodes:10 ~relations:3
+      ~placement:{ Qt_sim.Generator.partitions = 5; replicas = 2 }
+      ()
+  in
+  let query = Qt_sim.Workload.chain_query ~joins:2 ~relations:3 () in
+  let config =
+    {
+      (Qt_core.Trader.default_config params) with
+      Qt_core.Trader.protocol;
+      strategy_of = (fun node -> if node mod 2 = 0 then strategy else strategy);
+      (* Odd nodes run hotter than even ones: competitive quotes rise with
+         load, so replicas on idle nodes win lots. *)
+      load_of = (fun node -> if node mod 2 = 0 then 0.1 else 0.8);
+    }
+  in
+  match Qt_core.Trader.optimize config federation query with
+  | Error e -> Printf.printf "%-28s FAILED: %s\n" name e
+  | Ok outcome ->
+    Printf.printf
+      "%-28s plan=%.4fs  paid(quoted)=%.4fs  seller-surplus=%.4fs  msgs=%d  \
+       nego-rounds=%d\n"
+      name
+      (Qt_cost.Cost.response outcome.cost)
+      (Qt_util.Listx.sum_by (fun (o : Qt_core.Offer.t) -> o.quoted) outcome.purchased)
+      outcome.stats.seller_surplus outcome.stats.messages
+      outcome.stats.negotiation_rounds
+
+let () =
+  Printf.printf
+    "Market designs on a 2-join query over 10 competing nodes (5 partitions x 2 \
+     replicas):\n\n";
+  run_market "cooperative + bidding" Qt_trading.Protocol.Bidding
+    Qt_trading.Strategy.Cooperative;
+  run_market "competitive + bidding" Qt_trading.Protocol.Bidding
+    Qt_trading.Strategy.default_competitive;
+  run_market "competitive + auction"
+    (Qt_trading.Protocol.Reverse_auction { max_rounds = 8 })
+    Qt_trading.Strategy.default_competitive;
+  run_market "competitive + bargaining"
+    (Qt_trading.Protocol.Bargaining { max_rounds = 8; target_ratio = 0.7 })
+    Qt_trading.Strategy.default_competitive;
+  run_market "truthful + vickrey" Qt_trading.Protocol.Vickrey
+    Qt_trading.Strategy.Cooperative;
+  print_newline ();
+  Printf.printf
+    "Expected shape: cooperative bidding pays true cost (zero surplus); \n\
+     competitive bidding pays the markup; bargaining presses quotes back \n\
+     toward cost; open auctions erode markups only where competing \n\
+     replicas have similar costs (here the loaded replicas' cost floor \n\
+     shields the idle winners); Vickrey pays the winner the cost gap to \n\
+     the runner-up.\n"

@@ -1,0 +1,35 @@
+(** Centralized full-knowledge distributed optimizers.
+
+    These are the "currently most efficient techniques for distributed
+    query optimization" the paper compares against: a single site fetches
+    every catalog and searches the global plan space with System-R dynamic
+    programming ([global_dp]) or Kossmann & Stocker's iterative dynamic
+    programming [idp_m] (IDP-M(2,5) by default).
+
+    The [staleness] knob models the reality the paper's introduction
+    attacks: remote statistics at the central site are out of date, so the
+    optimizer picks plans using perturbed costs while the {e true} costs
+    decide what the plan actually achieves.  QT sellers never suffer this
+    — they quote from live local state. *)
+
+val global_dp :
+  ?staleness:float ->
+  ?seed:int ->
+  params:Qt_cost.Params.t ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t ->
+  (Common.result, string) result
+(** Exhaustive DP over the full-knowledge offer space.  With
+    [staleness = 1.] (default) this is the quality upper bound. *)
+
+val idp_m :
+  ?k:int ->
+  ?m:int ->
+  ?staleness:float ->
+  ?seed:int ->
+  params:Qt_cost.Params.t ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t ->
+  (Common.result, string) result
+(** IDP-M(k,m) (default (2,5)) over the same space: cheaper search, can
+    miss the optimum on larger queries. *)

@@ -1,0 +1,16 @@
+(** Two-step distributed optimization.
+
+    The classical cheap heuristic (used e.g. by Mariposa-era systems and
+    discussed as the scalable alternative to exhaustive search): first fix
+    the join order as if all data were local, then assign each base
+    relation to its cheapest source.  It never reconsiders the join shape
+    in the light of data placement, so it misses co-located join offers —
+    exactly the plans query trading finds through multi-relation offers. *)
+
+val optimize :
+  ?staleness:float ->
+  ?seed:int ->
+  params:Qt_cost.Params.t ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t ->
+  (Common.result, string) result

@@ -1,0 +1,46 @@
+module Interval = Qt_util.Interval
+
+type t = { schema : Schema.t; nodes : Node.t list }
+
+let create schema nodes =
+  let ids = List.map (fun (n : Node.t) -> n.node_id) nodes in
+  if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
+    invalid_arg "Federation.create: duplicate node ids";
+  List.iter
+    (fun (n : Node.t) ->
+      List.iter
+        (fun (f : Fragment.t) ->
+          if Schema.find_relation schema f.rel = None then
+            invalid_arg
+              (Printf.sprintf "Federation.create: node %d holds unknown relation %s"
+                 n.node_id f.rel))
+        n.fragments)
+    nodes;
+  { schema; nodes }
+
+let node t id = List.find (fun (n : Node.t) -> n.node_id = id) t.nodes
+
+let node_ids t = List.map (fun (n : Node.t) -> n.node_id) t.nodes
+
+let nodes_with_relation t rel = List.filter (fun n -> Node.holds_relation n rel) t.nodes
+
+let relation_covered t rel =
+  match Schema.find_relation t.schema rel with
+  | None -> false
+  | Some relation ->
+    let whole = Schema.key_range relation in
+    let ranges = List.concat_map (fun n -> Node.coverage n rel) t.nodes in
+    Interval.union_covers ranges whole
+
+let total_fragment_rows t rel =
+  List.fold_left
+    (fun acc n ->
+      List.fold_left (fun acc (f : Fragment.t) -> acc + f.rows) acc (Node.fragments_of n rel))
+    0 t.nodes
+
+let pp ppf t =
+  Format.fprintf ppf "federation of %d nodes@.%a@." (List.length t.nodes) Schema.pp
+    t.schema;
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_newline ppf ())
+    Node.pp ppf t.nodes

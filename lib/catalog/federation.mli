@@ -1,0 +1,30 @@
+(** The federation: global schema plus the set of member nodes.
+
+    This value exists only in the simulator's hands.  The QT optimizer is
+    careful to access it exclusively through the message-passing layer (a
+    buyer broadcasts a request and each node answers from its own
+    {!Node.t}); the full-knowledge baselines ([lib/baseline]) are allowed to
+    read it directly — that asymmetry is precisely what the experiments
+    measure. *)
+
+type t = { schema : Schema.t; nodes : Node.t list }
+
+val create : Schema.t -> Node.t list -> t
+(** @raise Invalid_argument on duplicate node ids or fragments referencing
+    unknown relations. *)
+
+val node : t -> int -> Node.t
+(** @raise Not_found for an unknown id. *)
+
+val node_ids : t -> int list
+
+val nodes_with_relation : t -> string -> Node.t list
+
+val relation_covered : t -> string -> bool
+(** Whether the union of all nodes' fragments covers the relation's full
+    key range (i.e. the query is answerable at all). *)
+
+val total_fragment_rows : t -> string -> int
+(** Sum of fragment rows over all nodes (counts replicas multiple times). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+module Interval = Qt_util.Interval
+
+type t = { rel : string; range : Interval.t; rows : int }
+
+let make ~rel ~range ~rows =
+  if rows < 0 then invalid_arg "Fragment.make: negative rows";
+  { rel; range; rows }
+
+let covers_whole (relation : Schema.relation) t =
+  Interval.contains t.range (Schema.key_range relation)
+
+let restrict_rows t wanted =
+  let own = t.range in
+  if Interval.is_empty own || Interval.contains wanted own then t.rows
+  else
+    let overlap = Interval.inter own wanted in
+    if Interval.is_empty overlap then 0
+    else
+      let frac = float_of_int (Interval.width overlap) /. float_of_int (Interval.width own) in
+      int_of_float (ceil (frac *. float_of_int t.rows))
+
+let predicate (relation : Schema.relation) ~alias t =
+  match relation.partition_key with
+  | None -> None
+  | Some key ->
+    if covers_whole relation t then None
+    else
+      Some (Qt_sql.Ast.Between ({ Qt_sql.Ast.rel = alias; name = key }, t.range.Interval.lo, t.range.Interval.hi))
+
+let pp ppf t = Format.fprintf ppf "%s%a(%d rows)" t.rel Interval.pp t.range t.rows
+
+let equal a b = a.rel = b.rel && Interval.equal a.range b.range && a.rows = b.rows

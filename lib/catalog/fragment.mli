@@ -1,0 +1,28 @@
+(** Horizontal fragments (partitions and replicas thereof) held by nodes.
+
+    A fragment is the unit of physical data placement: a contiguous range of
+    a relation's partition key.  Replication is expressed simply by the same
+    range appearing in several nodes' holdings. *)
+
+type t = {
+  rel : string;  (** Relation name. *)
+  range : Qt_util.Interval.t;
+      (** Partition-key range; {!Qt_util.Interval.full} for a complete copy
+          or for unpartitioned relations. *)
+  rows : int;  (** Rows stored in this fragment. *)
+}
+
+val make : rel:string -> range:Qt_util.Interval.t -> rows:int -> t
+val covers_whole : Schema.relation -> t -> bool
+(** Whether the fragment holds the entire relation. *)
+
+val restrict_rows : t -> Qt_util.Interval.t -> int
+(** Estimated rows of the fragment that fall in the given key range,
+    assuming uniform spread of the fragment's rows over its own range. *)
+
+val predicate : Schema.relation -> alias:string -> t -> Qt_sql.Ast.predicate option
+(** The [Between] conjunct expressing this fragment's restriction for a
+    query alias, or [None] when the fragment is the whole relation. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

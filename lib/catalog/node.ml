@@ -1,0 +1,43 @@
+type capabilities = {
+  max_join_relations : int;
+  can_aggregate : bool;
+  can_sort : bool;
+}
+
+let full_capabilities =
+  { max_join_relations = 16; can_aggregate = true; can_sort = true }
+
+let scan_only = { max_join_relations = 1; can_aggregate = false; can_sort = false }
+
+type t = {
+  node_id : int;
+  name : string;
+  fragments : Fragment.t list;
+  views : View.t list;
+  cpu_factor : float;
+  io_factor : float;
+  capabilities : capabilities;
+}
+
+let make ?(views = []) ?(cpu_factor = 1.0) ?(io_factor = 1.0)
+    ?(capabilities = full_capabilities) ~id ~name ~fragments () =
+  if cpu_factor <= 0. || io_factor <= 0. then
+    invalid_arg "Node.make: speed factors must be positive";
+  if capabilities.max_join_relations < 1 then
+    invalid_arg "Node.make: max_join_relations must be at least 1";
+  { node_id = id; name; fragments; views; cpu_factor; io_factor; capabilities }
+
+let fragments_of t rel = List.filter (fun (f : Fragment.t) -> f.rel = rel) t.fragments
+
+let holds_relation t rel = fragments_of t rel <> []
+
+let coverage t rel = List.map (fun (f : Fragment.t) -> f.range) (fragments_of t rel)
+
+let pp ppf t =
+  Format.fprintf ppf "node %d (%s): %a%s" t.node_id t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Fragment.pp)
+    t.fragments
+    (if t.views = [] then ""
+     else Printf.sprintf " +%d views" (List.length t.views))

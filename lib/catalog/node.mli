@@ -1,0 +1,56 @@
+(** A node's private physical catalog.
+
+    Everything in this record is local knowledge: other nodes never read it
+    directly — they learn about it only through the offers the node chooses
+    to make.  The simulator threads it to the node's seller-side modules
+    (rewriter, local optimizer, strategy). *)
+
+type capabilities = {
+  max_join_relations : int;
+      (** Largest number of relations this node can join locally; 1 means
+          the node only serves scans of its own fragments. *)
+  can_aggregate : bool;  (** Whether the node computes GROUP BY/aggregates. *)
+  can_sort : bool;  (** Whether the node delivers ordered answers. *)
+}
+(** What a node's query processor can do.  Autonomy means capabilities are
+    private: buyers never see this record — they only observe which offers
+    a node makes. *)
+
+val full_capabilities : capabilities
+(** No restrictions (joins up to 16 relations, aggregation, sorting). *)
+
+val scan_only : capabilities
+(** A thin data node: single-relation scans, no aggregation, no sorting. *)
+
+type t = {
+  node_id : int;
+  name : string;
+  fragments : Fragment.t list;
+  views : View.t list;
+  cpu_factor : float;
+      (** Relative CPU speed; costs are divided by this, so 2.0 means twice
+          as fast as the reference machine. *)
+  io_factor : float;  (** Relative IO speed, same convention. *)
+  capabilities : capabilities;
+}
+
+val make :
+  ?views:View.t list ->
+  ?cpu_factor:float ->
+  ?io_factor:float ->
+  ?capabilities:capabilities ->
+  id:int ->
+  name:string ->
+  fragments:Fragment.t list ->
+  unit ->
+  t
+
+val fragments_of : t -> string -> Fragment.t list
+(** Fragments of the given relation this node holds. *)
+
+val holds_relation : t -> string -> bool
+
+val coverage : t -> string -> Qt_util.Interval.t list
+(** Key ranges of the relation this node can serve. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,104 @@
+module Interval = Qt_util.Interval
+
+type domain =
+  | D_int of Interval.t
+  | D_string of int
+  | D_float
+
+type attribute = {
+  attr_name : string;
+  domain : domain;
+  distinct : int;
+  hist : Qt_util.Histogram.t option;
+}
+
+type relation = {
+  rel_name : string;
+  attributes : attribute list;
+  cardinality : int;
+  row_bytes : int;
+  partition_key : string option;
+}
+
+type t = { by_name : (string, relation) Hashtbl.t; order : relation list }
+
+let find_attribute rel name =
+  List.find_opt (fun a -> a.attr_name = name) rel.attributes
+
+let find_attribute_exn rel name =
+  match find_attribute rel name with
+  | Some a -> a
+  | None ->
+    invalid_arg (Printf.sprintf "Schema: relation %s has no attribute %s" rel.rel_name name)
+
+let validate_relation r =
+  let names = List.map (fun a -> a.attr_name) r.attributes in
+  if List.length (Qt_util.Listx.dedup String.equal names) <> List.length names then
+    invalid_arg (Printf.sprintf "Schema: duplicate attribute in %s" r.rel_name);
+  if r.cardinality < 0 then invalid_arg "Schema: negative cardinality";
+  match r.partition_key with
+  | None -> ()
+  | Some key -> (
+    match find_attribute r key with
+    | Some { domain = D_int _; _ } -> ()
+    | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Schema: partition key %s of %s is not an integer" key r.rel_name)
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Schema: partition key %s missing from %s" key r.rel_name))
+
+let create relations =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      validate_relation r;
+      if Hashtbl.mem by_name r.rel_name then
+        invalid_arg (Printf.sprintf "Schema: duplicate relation %s" r.rel_name);
+      Hashtbl.add by_name r.rel_name r)
+    relations;
+  { by_name; order = relations }
+
+let relations t = t.order
+let find_relation t name = Hashtbl.find_opt t.by_name name
+
+let find_relation_exn t name =
+  match find_relation t name with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Schema: unknown relation %s" name)
+
+let attribute_of t ~rel ~attr =
+  Option.bind (find_relation t rel) (fun r -> find_attribute r attr)
+
+let key_range rel =
+  match rel.partition_key with
+  | None -> Interval.full
+  | Some key -> (
+    match (find_attribute_exn rel key).domain with
+    | D_int itv -> itv
+    | D_string _ | D_float -> Interval.full)
+
+let mk_attr ?(distinct = 1000) ?(domain = D_int (Interval.make 0 999_999)) ?hist
+    attr_name =
+  { attr_name; domain; distinct; hist }
+
+let mk_relation ?(partition_key = None) ?(row_bytes = 100) ~cardinality ~attrs rel_name =
+  { rel_name; attributes = attrs; cardinality; row_bytes; partition_key }
+
+let pp_domain ppf = function
+  | D_int itv -> Format.fprintf ppf "int%a" Interval.pp itv
+  | D_string n -> Format.fprintf ppf "string(%d)" n
+  | D_float -> Format.pp_print_string ppf "float"
+
+let pp_relation ppf r =
+  Format.fprintf ppf "%s(%a) card=%d width=%dB%s" r.rel_name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf a -> Format.fprintf ppf "%s:%a" a.attr_name pp_domain a.domain))
+    r.attributes r.cardinality r.row_bytes
+    (match r.partition_key with None -> "" | Some k -> " partitioned by " ^ k)
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_newline ppf ())
+    pp_relation ppf t.order

@@ -1,0 +1,106 @@
+module Ast = Qt_sql.Ast
+module Analysis = Qt_sql.Analysis
+module Schema = Qt_catalog.Schema
+module Interval = Qt_util.Interval
+module Listx = Qt_util.Listx
+module Localize = Qt_rewrite.Localize
+
+let partition_attr schema (q : Ast.t) alias =
+  Option.bind (Analysis.relation_of_alias q alias) (fun rel_name ->
+      Option.bind (Schema.find_relation schema rel_name) (fun rel ->
+          Option.map
+            (fun key -> { Ast.rel = alias; name = key })
+            rel.Schema.partition_key))
+
+(* Distinct coverage ranges observed for an alias across the offer pool,
+   clipped to the query's required range. *)
+let observed_ranges schema (q : Ast.t) offers alias =
+  let required = Localize.required_range schema q alias in
+  let ranges =
+    List.filter_map
+      (fun (o : Offer.t) ->
+        match List.assoc_opt alias o.coverage with
+        | Some r ->
+          let clipped = Interval.inter r required in
+          if Interval.is_empty clipped || Interval.equal clipped required then None
+          else Some clipped
+        | None -> None)
+      offers
+  in
+  Listx.dedup Interval.equal ranges
+
+(* Family 1: two-phase aggregation piece queries. *)
+let aggregation_pieces schema (q : Ast.t) offers =
+  match Plan_generator.rollup_items q with
+  | None -> []
+  | Some _ ->
+    List.concat_map
+      (fun alias ->
+        match partition_attr schema q alias with
+        | None -> []
+        | Some attr ->
+          List.map
+            (fun range ->
+              Analysis.add_range { q with Ast.order_by = [] } attr range)
+            (observed_ranges schema q offers alias))
+      (Analysis.aliases q)
+
+(* Family 2: trimmed ranges that turn overlapping coverage into disjoint
+   pieces — the restrictions "which eliminate the redundancy". *)
+let redundancy_restrictions schema (q : Ast.t) offers =
+  let spj (o : Offer.t) = not (Analysis.has_aggregate o.query) in
+  let spj_offers = List.filter spj offers in
+  let groups = Listx.group_by (fun (o : Offer.t) -> o.subset) spj_offers in
+  List.concat_map
+    (fun (subset, group) ->
+      List.concat_map
+        (fun alias ->
+          match partition_attr schema q alias with
+          | None -> []
+          | Some attr ->
+            let ranges = observed_ranges schema q group alias in
+            let overlapping_pairs =
+              List.filter (fun (a, b) -> Interval.overlaps a b && not (Interval.equal a b))
+                (Listx.pairs ranges)
+            in
+            List.concat_map
+              (fun (a, b) ->
+                let trims = Interval.subtract a b @ Interval.subtract b a in
+                List.map
+                  (fun trim ->
+                    let shape =
+                      if List.length subset = List.length (Analysis.aliases q) then
+                        { q with Ast.order_by = [] }
+                      else Analysis.restrict q subset
+                    in
+                    Analysis.add_range shape attr trim)
+                  trims)
+              overlapping_pairs)
+        subset)
+    groups
+
+(* Family 3: projection-pruned sub-queries over connected subsets that no
+   offer covered yet (helping sellers target exactly what is missing). *)
+let subset_requests (q : Ast.t) offers =
+  let aliases = Analysis.aliases q in
+  if List.length aliases < 2 then []
+  else begin
+    let offered_subsets = List.map (fun (o : Offer.t) -> o.subset) offers in
+    let missing =
+      List.filter
+        (fun subset ->
+          Analysis.connected q subset
+          && List.length subset < List.length aliases
+          && not (List.mem (List.sort String.compare subset) offered_subsets))
+        (Listx.subsets_of_size 2 aliases)
+    in
+    List.map (Analysis.restrict q) missing
+  end
+
+let enrich ~schema ~query ~offers =
+  let proposals =
+    aggregation_pieces schema query offers
+    @ redundancy_restrictions schema query offers
+    @ subset_requests query offers
+  in
+  Listx.dedup (fun a b -> Analysis.equal_semantic a b) proposals

@@ -1,0 +1,26 @@
+(** Buyer predicates analyser (Section 3.7).
+
+    After each round, the buyer inspects the offers and candidate plans and
+    manufactures {e new} queries whose answers could improve the plan in
+    the next bargaining iteration — the defining difference between query
+    trading and trading of atomic goods.  Three families are produced:
+
+    - {b two-phase aggregation pieces}: when the query's aggregates
+      decompose (SUM/COUNT/MIN/MAX), ask for the aggregate computed per
+      partition range observed in the incoming offers; sellers then ship
+      tiny pre-aggregated answers instead of raw rows (this is how the
+      paper's Corfu/Myconos example converges to shipping two numbers);
+    - {b redundancy-eliminating restrictions}: when offered coverages
+      overlap, ask for trimmed ranges so a disjoint union block becomes
+      possible (the paper's queries (1b)/(2b));
+    - {b projection-pruned sub-queries}: per-subset restrictions of the
+      original query, which sellers answer more cheaply than the full
+      query. *)
+
+val enrich :
+  schema:Qt_catalog.Schema.t ->
+  query:Qt_sql.Ast.t ->
+  offers:Offer.t list ->
+  Qt_sql.Ast.t list
+(** New candidate queries (not yet deduplicated against previously asked
+    ones — the buyer loop does that by signature). *)

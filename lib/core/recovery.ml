@@ -1,0 +1,33 @@
+module Federation = Qt_catalog.Federation
+module Node = Qt_catalog.Node
+
+let surviving_contracts ~failed (previous : Trader.outcome) =
+  List.filter
+    (fun (o : Offer.t) ->
+      (not (List.mem o.seller failed))
+      && List.for_all (fun (_, source, _) -> not (List.mem source failed)) o.imports)
+    previous.Trader.purchased
+
+let failover ?config ~params ~failed ~previous (federation : Federation.t) q =
+  let survivors =
+    List.filter
+      (fun (n : Node.t) -> not (List.mem n.node_id failed))
+      federation.nodes
+  in
+  if survivors = [] then Result.Error "failover: every node failed"
+  else begin
+    let reduced = Federation.create federation.schema survivors in
+    let config = Option.value config ~default:(Trader.default_config params) in
+    let standing = surviving_contracts ~failed previous in
+    (* Re-trade exactly what the dead sellers were providing. *)
+    let lost =
+      Qt_util.Listx.dedup
+        (fun a b -> Qt_sql.Analysis.equal_semantic a b)
+        (List.filter_map
+           (fun (o : Offer.t) ->
+             if List.mem o.seller failed then Some o.answers else None)
+           previous.Trader.purchased)
+    in
+    let requests = if lost = [] then None else Some lost in
+    Trader.optimize ~standing ?requests config reduced q
+  end

@@ -1,0 +1,28 @@
+(** Adaptive re-optimization after node failures — the "contracting"
+    future-work item of Section 3.
+
+    When sellers disappear mid-way (crash, partition, withdrawal), the
+    buyer does not restart from scratch: the offers it already purchased
+    from surviving sellers are standing contracts whose quotes still hold,
+    so only the lost pieces need to be re-traded.  This module removes the
+    failed nodes from the federation, filters the previous outcome's
+    purchases down to the contracts that survive (their seller is alive
+    and none of their subcontracted imports reference a failed node), and
+    re-runs the trading loop seeded with them. *)
+
+val surviving_contracts :
+  failed:int list -> Trader.outcome -> Offer.t list
+(** The previous plan's purchased offers that remain honourable. *)
+
+val failover :
+  ?config:Trader.config ->
+  params:Qt_cost.Params.t ->
+  failed:int list ->
+  previous:Trader.outcome ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t ->
+  (Trader.outcome, string) result
+(** [failover ~failed ~previous federation q] re-optimizes [q] against
+    [federation] minus the [failed] nodes, seeding the pool with
+    {!surviving_contracts}.  [Error _] when the survivors cannot cover the
+    query at all. *)

@@ -1,0 +1,481 @@
+module Ast = Qt_sql.Ast
+module Analysis = Qt_sql.Analysis
+module Schema = Qt_catalog.Schema
+module Node = Qt_catalog.Node
+module Fragment = Qt_catalog.Fragment
+module Interval = Qt_util.Interval
+module Listx = Qt_util.Listx
+module Estimate = Qt_stats.Estimate
+module Cost = Qt_cost.Cost
+module Model = Qt_cost.Model
+module Plan = Qt_optimizer.Plan
+module Dp = Qt_optimizer.Dp
+module Localize = Qt_rewrite.Localize
+module View_match = Qt_views.View_match
+module Strategy = Qt_trading.Strategy
+
+type config = {
+  params : Qt_cost.Params.t;
+  strategy : Strategy.t;
+  load : float;
+  max_offers_per_request : int;
+  use_views : bool;
+  local_prune : (int * int) option;
+  offer_overhead : float;
+  price_per_mb : float;
+  market : (Ast.t -> Offer.t list) option;
+      (* Subcontracting (Section 3.5's deferred extension): a way to ask
+         the rest of the federation for pieces this node is missing.  The
+         trading loop provides it (excluding the node itself, depth 1);
+         [None] disables subcontracting. *)
+}
+
+let default_config params =
+  {
+    params;
+    strategy = Strategy.Cooperative;
+    load = 0.;
+    max_offers_per_request = 24;
+    use_views = true;
+    local_prune = None;
+    offer_overhead = 5e-4;
+    price_per_mb = 0.;
+    market = None;
+  }
+
+type response = { offers : Offer.t list; processing_time : float }
+
+(* Expected output column names of a request — what the buyer will see
+   from any honest seller, used to align view-based answers. *)
+let request_output_cols (q : Ast.t) =
+  List.concat_map
+    (fun item ->
+      match item with
+      | Ast.Sel_col a when a.Ast.name = "*" ->
+        (* Whole-row witness: cannot be served from a view; caller filters
+           these out before asking for a rename. *)
+        [ (a.Ast.rel, "*") ]
+      | Ast.Sel_col a -> [ (a.Ast.rel, a.Ast.name) ]
+      | Ast.Sel_agg _ -> [ ("", View_match.output_name item) ])
+    q.Ast.select
+
+let completeness_of schema (q : Ast.t) subset coverage =
+  List.fold_left
+    (fun acc alias ->
+      let required = Localize.required_range schema q alias in
+      match List.assoc_opt alias coverage with
+      | None -> acc
+      | Some covered ->
+        let rw = Interval.width required and cw = Interval.width covered in
+        if rw = 0 then acc
+        else acc *. Float.min 1. (float_of_int cw /. float_of_int rw))
+    1. subset
+
+let offer_of_partial config schema (node : Node.t) ~request ~request_sig
+    ?(purchase_cost = 0.) ?(imports = []) (variant : Localize.t) env
+    (partial : Dp.partial) =
+  let coverage =
+    List.filter_map
+      (fun alias ->
+        match List.assoc_opt alias variant.base with
+        | None -> None
+        | Some (f : Fragment.t) ->
+          let required = Localize.required_range schema request alias in
+          Some (alias, Interval.inter f.range required))
+      partial.subset
+  in
+  let row_bytes = Estimate.select_width env partial.query in
+  let transfer = Model.transfer config.params ~rows:partial.rows ~row_bytes in
+  (* Contention: a loaded node honestly needs longer to produce the same
+     answer, so even truthful quotes rise with load. *)
+  let contention = 1. +. Float.max 0. config.load in
+  let total_time =
+    (contention *. Cost.response partial.cost)
+    +. Cost.response transfer +. purchase_cost
+  in
+  let completeness = completeness_of schema request partial.subset coverage in
+  let delivered_mb = partial.rows *. float_of_int row_bytes /. 1e6 in
+  let props =
+    {
+      Offer.total_time;
+      first_row_time = config.params.Qt_cost.Params.net_latency +. (0.05 *. total_time);
+      rows = partial.rows;
+      row_bytes;
+      freshness = 1.0;
+      completeness;
+      price = config.price_per_mb *. delivered_mb;
+    }
+  in
+  {
+    Offer.seller = node.node_id;
+    request_sig;
+    query = partial.query;
+    answers = partial.query;
+    subset = partial.subset;
+    coverage;
+    props;
+    quoted = Strategy.initial_quote config.strategy ~load:config.load ~true_cost:total_time;
+    true_cost = total_time;
+    via_view = None;
+    rename = None;
+    imports;
+  }
+
+let view_offers config schema (node : Node.t) ~request ~request_sig =
+  if not config.use_views then []
+  else if
+    (* Whole-row witnesses cannot be reconstructed from a view. *)
+    List.exists
+      (function Ast.Sel_col a -> a.Ast.name = "*" | Ast.Sel_agg _ -> false)
+      request.Ast.select
+  then []
+  else
+    List.filter_map
+      (fun view ->
+        match View_match.rewrite schema view request with
+        | None -> None
+        | Some rw ->
+          let scan =
+            Plan.Scan
+              {
+                Plan.alias = "v";
+                rel = view.Qt_catalog.View.view_name;
+                range = Interval.full;
+                scan_rows = rw.scan_rows;
+                row_bytes = view.row_bytes;
+                node = node.node_id;
+              }
+          in
+          let cq = rw.query_over_view in
+          let filtered =
+            if cq.Ast.where = [] then scan
+            else
+              Plan.Filter
+                { input = scan; preds = cq.Ast.where; rows = rw.out_rows }
+          in
+          let topped =
+            if cq.Ast.group_by <> [] || Analysis.has_aggregate cq then
+              Plan.Aggregate
+                {
+                  input = filtered;
+                  group_by = cq.Ast.group_by;
+                  select = cq.Ast.select;
+                  rows = rw.out_rows;
+                }
+            else
+              Plan.Project
+                { input = filtered; select = cq.Ast.select; rows = rw.out_rows }
+          in
+          let exec =
+            Plan.cost config.params ~cpu_factor:node.cpu_factor
+              ~io_factor:node.io_factor topped
+          in
+          let transfer =
+            Model.transfer config.params ~rows:rw.out_rows ~row_bytes:rw.out_row_bytes
+          in
+          let contention = 1. +. Float.max 0. config.load in
+          let total_time =
+            (contention *. Cost.response exec) +. Cost.response transfer
+          in
+          let subset = List.sort String.compare (Analysis.aliases request) in
+          let coverage =
+            List.map
+              (fun alias -> (alias, Localize.required_range schema request alias))
+              subset
+          in
+          let props =
+            {
+              Offer.total_time;
+              first_row_time =
+                config.params.Qt_cost.Params.net_latency +. (0.05 *. total_time);
+              rows = rw.out_rows;
+              row_bytes = rw.out_row_bytes;
+              freshness = 0.9;
+              completeness = 1.0;
+              price =
+                config.price_per_mb *. rw.out_rows
+                *. float_of_int rw.out_row_bytes /. 1e6;
+            }
+          in
+          Some
+            {
+              Offer.seller = node.node_id;
+              request_sig;
+              query = cq;
+              answers = request;
+              subset;
+              coverage;
+              props;
+              quoted =
+                Strategy.initial_quote config.strategy ~load:config.load
+                  ~true_cost:total_time;
+              true_cost = total_time;
+              via_view = Some view.view_name;
+              rename = Some (request_output_cols request);
+              imports = [];
+            })
+      node.views
+
+let partition_attr schema (q : Ast.t) alias =
+  Option.bind (Analysis.relation_of_alias q alias) (fun rel_name ->
+      Option.bind (Schema.find_relation schema rel_name) (fun rel ->
+          Option.map
+            (fun key -> { Ast.rel = alias; name = key })
+            rel.Schema.partition_key))
+
+(* Subcontracting: when a variant retains every alias of the request but
+   covers exactly one of them partially, try to buy the missing key ranges
+   from third nodes and offer the complete answer.  Returns the augmented
+   variant together with the total purchase cost and the imports. *)
+let subcontract config schema (request : Ast.t) (variant : Localize.t) =
+  match config.market with
+  | None -> None
+  | Some market ->
+    let aliases = Analysis.aliases request in
+    if List.length variant.base <> List.length aliases then None
+    else begin
+      let gapped =
+        List.filter_map
+          (fun (alias, (f : Fragment.t)) ->
+            let required = Localize.required_range schema request alias in
+            let own = Interval.inter f.range required in
+            match Interval.subtract required own with
+            | [] -> None
+            | gaps -> Some (alias, f, own, gaps))
+          variant.base
+      in
+      match gapped with
+      | [ (alias, own_fragment, own_range, gaps) ] -> (
+        let required = Localize.required_range schema request alias in
+        match partition_attr schema request alias with
+        | None -> None
+        | Some key_attr ->
+          let buy gap =
+            let sub_query =
+              Analysis.add_range (Analysis.restrict request [ alias ]) key_attr gap
+            in
+            let usable (o : Offer.t) =
+              o.subset = [ alias ]
+              && o.via_view = None
+              && o.imports = []
+              && (not (Analysis.has_aggregate o.answers))
+              &&
+              match List.assoc_opt alias o.coverage with
+              | Some covered -> Interval.contains covered gap
+              | None -> false
+            in
+            Listx.min_by
+              (fun (o : Offer.t) -> o.quoted)
+              (List.filter usable (market sub_query))
+          in
+          let purchases = List.map buy gaps in
+          if List.exists Option.is_none purchases then None
+          else begin
+            let purchases = List.filteri (fun _ o -> o <> None) purchases in
+            let purchases = List.map Option.get purchases in
+            let purchase_cost = Listx.sum_by (fun (o : Offer.t) -> o.quoted) purchases in
+            let bought_rows = Listx.sum_by (fun (o : Offer.t) -> o.props.rows) purchases in
+            let own_rows =
+              Option.value ~default:0. (List.assoc_opt alias variant.base_rows)
+            in
+            let synthetic =
+              Fragment.make ~rel:own_fragment.Fragment.rel ~range:required
+                ~rows:(int_of_float (own_rows +. bought_rows))
+            in
+            (* The augmented query drops the alias's own-range restriction:
+               the combined extent now covers the whole requirement. *)
+            let rebuilt =
+              List.fold_left
+                (fun acc (a, (f : Fragment.t)) ->
+                  if a = alias then acc
+                  else
+                    match partition_attr schema request a with
+                    | None -> acc
+                    | Some attr ->
+                      Analysis.add_range acc attr
+                        (Interval.inter f.range
+                           (Localize.required_range schema request a)))
+                request variant.base
+            in
+            let base =
+              List.map
+                (fun (a, f) -> if a = alias then (a, synthetic) else (a, f))
+                variant.base
+            in
+            let base_rows =
+              List.map
+                (fun (a, r) -> if a = alias then (a, own_rows +. bought_rows) else (a, r))
+                variant.base_rows
+            in
+            let imports =
+              List.map2
+                (fun gap (o : Offer.t) -> (own_fragment.Fragment.rel, o.seller, gap))
+                gaps purchases
+            in
+            Some
+              ( { Localize.query = rebuilt; base; base_rows },
+                purchase_cost,
+                imports,
+                alias,
+                Interval.hull own_range required )
+          end)
+      | [] | _ :: _ :: _ -> None
+    end
+
+let respond config schema (node : Node.t) ~requests =
+  let considered = ref 0 in
+  let all_offers =
+    List.concat_map
+      (fun (request, buyer_estimate) ->
+        let request_sig = Analysis.signature request in
+        let caps = node.capabilities in
+        let variants = Localize.localize schema node request in
+        (* Capability clipping: a node that cannot sort offers the
+           unsorted answer (the buyer re-sorts); one that cannot aggregate
+           offers the plain rows under the localized shape. *)
+        let variants =
+          List.map
+            (fun (variant : Localize.t) ->
+              let q = variant.query in
+              let q =
+                if q.Ast.order_by <> [] && not caps.Node.can_sort then
+                  { q with Ast.order_by = [] }
+                else q
+              in
+              let q =
+                if
+                  (Analysis.has_aggregate q || q.Ast.group_by <> [])
+                  && not caps.Node.can_aggregate
+                then Analysis.restrict q (Analysis.aliases q)
+                else q
+              in
+              { variant with Localize.query = q })
+            variants
+        in
+        let within_capabilities (p : Qt_optimizer.Dp.partial) =
+          List.length p.subset <= caps.Node.max_join_relations
+          && (caps.Node.can_aggregate
+             || not (Analysis.has_aggregate p.query || p.query.Ast.group_by <> []))
+          && (caps.Node.can_sort || p.query.Ast.order_by = [])
+        in
+        (* The per-variant pipeline: estimate, enumerate with the local
+           optimizer, clip to capabilities, turn partials into offers. *)
+        let variant_offers ?(purchase_cost = 0.) ?(imports = [])
+            ?(keep = fun (_ : Qt_optimizer.Dp.partial) -> true)
+            (variant : Localize.t) =
+          let key_ranges =
+            List.filter_map
+              (fun (alias, (f : Fragment.t)) ->
+                match
+                  Option.bind (Schema.find_relation schema f.rel) (fun rel ->
+                      rel.Schema.partition_key)
+                with
+                | None -> None
+                | Some key ->
+                  let required = Localize.required_range schema request alias in
+                  Some (alias, (key, Interval.inter f.range required)))
+              variant.base
+          in
+          let env =
+            Estimate.env_of_fragments ~key_ranges schema variant.query
+              variant.base_rows
+          in
+          let base alias =
+            match List.assoc_opt alias variant.base with
+            | None -> None
+            | Some (f : Fragment.t) ->
+              let rel = Schema.find_relation_exn schema f.rel in
+              Some
+                (Plan.Scan
+                   {
+                     Plan.alias;
+                     rel = f.rel;
+                     range = f.range;
+                     scan_rows =
+                       Option.value ~default:1. (List.assoc_opt alias variant.base_rows);
+                     row_bytes = rel.row_bytes;
+                     node = node.node_id;
+                   })
+          in
+          let dp =
+            Dp.optimize ~params:config.params ~cpu_factor:node.cpu_factor
+              ~io_factor:node.io_factor ?prune:config.local_prune ~env ~base
+              variant.query
+          in
+          let candidates =
+            dp.partials
+            @ (match dp.best with
+              | Some best
+                when not
+                       (List.exists
+                          (fun (p : Dp.partial) -> Ast.equal p.query best.query)
+                          dp.partials) ->
+                [ best ]
+              | Some _ | None -> [])
+          in
+          let candidates =
+            List.filter (fun p -> within_capabilities p && keep p) candidates
+          in
+          considered := !considered + List.length candidates;
+          List.map
+            (offer_of_partial config schema node ~request ~request_sig ~purchase_cost
+               ~imports variant env)
+            candidates
+        in
+        let from_fragments = List.concat_map (fun v -> variant_offers v) variants in
+        (* Subcontracting: complete a partially-covered variant by buying
+           the missing ranges from third nodes, then offer the pieces that
+           span the completed alias. *)
+        let from_subcontracts =
+          if config.market = None then []
+          else
+            List.concat_map
+              (fun variant ->
+                match subcontract config schema request variant with
+                | None -> []
+                | Some (augmented, purchase_cost, imports, gap_alias, _) ->
+                  variant_offers ~purchase_cost ~imports
+                    ~keep:(fun p -> List.mem gap_alias p.Qt_optimizer.Dp.subset)
+                    augmented)
+              variants
+        in
+        let from_views =
+          if caps.Node.can_aggregate then
+            view_offers config schema node ~request ~request_sig
+          else []
+        in
+        considered := !considered + List.length from_views;
+        let offers = from_fragments @ from_subcontracts @ from_views in
+        (* Strategy filter: don't bother offering a complete answer that is
+           far above what the buyer announced it values the query at. *)
+        let offers =
+          List.filter
+            (fun (o : Offer.t) ->
+              buyer_estimate <= 0.
+              || o.props.completeness < 1.
+              || o.quoted <= 5. *. buyer_estimate)
+            offers
+        in
+        (* Deduplicate identical offered queries, keeping the cheapest. *)
+        let deduped =
+          List.filter_map
+            (fun (_, group) ->
+              Listx.min_by (fun (o : Offer.t) -> o.props.total_time) group)
+            (Listx.group_by
+               (fun (o : Offer.t) -> Analysis.signature o.query)
+               offers)
+        in
+        let ranked =
+          List.sort
+            (fun (a : Offer.t) (b : Offer.t) ->
+              let c = Float.compare b.props.completeness a.props.completeness in
+              if c <> 0 then c else Float.compare a.props.total_time b.props.total_time)
+            deduped
+        in
+        Listx.take config.max_offers_per_request ranked)
+      requests
+  in
+  {
+    offers = all_offers;
+    processing_time = config.offer_overhead *. float_of_int (max 1 !considered);
+  }

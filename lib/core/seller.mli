@@ -1,0 +1,65 @@
+(** Seller-side trading modules (Figure 3, grey boxes).
+
+    Given a request-for-bids containing a set of queries, a seller node:
+
+    + rewrites each query against its local fragments
+      ({!Qt_rewrite.Localize} — the partial query constructor);
+    + runs its local optimizer on every rewriting, keeping the optimal
+      2-way, 3-way, ... partial results (the modified dynamic programming
+      of Section 3.4);
+    + lets the predicates analyser add offers served from materialized
+      views (Section 3.5);
+    + prices everything through its strategy module and returns the
+      offers it is willing to make.
+
+    Everything here reads only the node's private catalog; the buyer
+    learns nothing but the offers. *)
+
+type config = {
+  params : Qt_cost.Params.t;
+  strategy : Qt_trading.Strategy.t;
+  load : float;  (** Current load of the node (0 = idle). *)
+  max_offers_per_request : int;
+  use_views : bool;
+  local_prune : (int * int) option;
+      (** IDP(k,m) pruning for the seller's own optimizer, for very large
+          requests. *)
+  offer_overhead : float;
+      (** Simulated seconds of seller CPU per offer constructed — the cost
+          of running the seller-side machinery, charged to the
+          optimization clock. *)
+  price_per_mb : float;
+      (** Monetary charge per delivered megabyte, reported in each offer's
+          [props.price].  Commercial nodes set this > 0; buyers that care
+          fold it in through {!Offer.weights.w_price}.  Default 0. *)
+  market : (Qt_sql.Ast.t -> Offer.t list) option;
+      (** Subcontracting (the extension Section 3.5 defers): a channel to
+          request offers for pieces this node is missing, provided by the
+          trading loop (other nodes only, depth 1).  When set, a seller
+          holding part of a required range may buy the complement from a
+          third node and offer the {e complete} answer, with the purchase
+          folded into its quote and recorded in the offer's [imports].
+          [None] (the default) disables subcontracting. *)
+}
+
+val default_config : Qt_cost.Params.t -> config
+(** Cooperative, idle, at most 24 offers per request, views enabled, no
+    pruning, 0.5 ms per offer. *)
+
+type response = {
+  offers : Offer.t list;
+  processing_time : float;
+      (** Simulated seller-side optimization time for the whole request
+          batch. *)
+}
+
+val respond :
+  config ->
+  Qt_catalog.Schema.t ->
+  Qt_catalog.Node.t ->
+  requests:(Qt_sql.Ast.t * float) list ->
+  response
+(** [respond config schema node ~requests] builds this node's offers for
+    each [(query, buyer_estimate)] in the RFB.  The buyer estimate is the
+    value the buyer announced for the query (step B1); sellers with
+    nothing cheaper to offer stay silent on that lot. *)

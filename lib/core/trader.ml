@@ -1,0 +1,311 @@
+module Ast = Qt_sql.Ast
+module Analysis = Qt_sql.Analysis
+module Federation = Qt_catalog.Federation
+module Node = Qt_catalog.Node
+module Cost = Qt_cost.Cost
+module Plan = Qt_optimizer.Plan
+module Network = Qt_net.Network
+module Protocol = Qt_trading.Protocol
+module Strategy = Qt_trading.Strategy
+module Listx = Qt_util.Listx
+
+type config = {
+  params : Qt_cost.Params.t;
+  protocol : Protocol.kind;
+  weights : Offer.weights;
+  mode : Plan_generator.mode;
+  max_iterations : int;
+  seller_template : Seller.config;
+  strategy_of : int -> Strategy.t;
+  load_of : int -> float;
+  initial_estimate : float;
+  plan_overhead : float;
+  allow_subcontracting : bool;
+}
+
+let default_config params =
+  {
+    params;
+    protocol = Protocol.Bidding;
+    weights = Offer.default_weights;
+    mode = Plan_generator.Mode_dp;
+    max_iterations = 6;
+    seller_template = Seller.default_config params;
+    strategy_of = (fun _ -> Strategy.Cooperative);
+    load_of = (fun _ -> 0.);
+    initial_estimate = 0.;
+    plan_overhead = 1e-4;
+    allow_subcontracting = false;
+  }
+
+type stats = {
+  iterations : int;
+  messages : int;
+  bytes : int;
+  sim_time : float;
+  wall_time : float;
+  offers_received : int;
+  negotiation_rounds : int;
+  queries_asked : int;
+  plan_cost : float;
+  seller_surplus : float;
+}
+
+type outcome = {
+  plan : Plan.t;
+  cost : Cost.t;
+  stats : stats;
+  purchased : Offer.t list;
+  trace : string list;
+  iteration_costs : float list;
+}
+
+let request_bytes requests =
+  Listx.sum_by
+    (fun (q, _) -> float_of_int (32 + String.length (Analysis.to_string q)))
+    requests
+  |> int_of_float
+
+(* Step B3/S3: one nested negotiation per lot.  Offers compete only when
+   they promise the same answer (same offered query), otherwise they are
+   complementary goods and all survive to the plan generator. *)
+let negotiate config net offers =
+  let lots =
+    Listx.group_by (fun (o : Offer.t) -> Analysis.signature o.query) offers
+  in
+  let total_rounds = ref 0 in
+  let total_messages = ref 0 in
+  let max_rounds_any_lot = ref 0 in
+  let winners =
+    List.filter_map
+      (fun (_, competing) ->
+        let quotes =
+          List.map
+            (fun (o : Offer.t) ->
+              {
+                Protocol.seller = o.seller;
+                item = o;
+                value = Offer.valuation config.weights o;
+                true_cost = o.true_cost;
+                strategy = config.strategy_of o.seller;
+                load = config.load_of o.seller;
+              })
+            competing
+        in
+        let outcome = Protocol.run config.protocol quotes in
+        total_rounds := !total_rounds + outcome.Protocol.rounds;
+        total_messages := !total_messages + outcome.Protocol.exchanged_messages;
+        max_rounds_any_lot := max !max_rounds_any_lot outcome.Protocol.rounds;
+        Option.map
+          (fun (q : Offer.t Protocol.quote) -> { q.item with Offer.quoted = q.value })
+          outcome.Protocol.winner)
+      lots
+  in
+  (* Lots are negotiated in parallel: clock advances by the deepest lot. *)
+  Network.account_messages net ~count:!total_messages ~bytes_each:64
+    ~elapsed:
+      (float_of_int !max_rounds_any_lot *. 2. *. Network.one_way net ~bytes:64);
+  (winners, !total_rounds)
+
+let optimize ?(standing = []) ?requests:initial_requests config
+    (federation : Federation.t) (q : Ast.t) =
+  let wall_start = Sys.time () in
+  let net = Network.create config.params in
+  let schema = federation.schema in
+  let asked : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let pool : Offer.t list ref = ref standing in
+  let trace = ref [] in
+  let offers_received = ref 0 in
+  let negotiation_rounds = ref 0 in
+  let queries_asked = ref 0 in
+  let best : Plan_generator.candidate option ref = ref None in
+  let iteration_costs = ref [] in
+  let queue =
+    ref
+      (match initial_requests with
+      | None -> [ (q, config.initial_estimate) ]
+      | Some qs -> List.map (fun query -> (query, 0.)) qs)
+  in
+  let iterations = ref 0 in
+  let continue = ref true in
+  while !continue && !iterations < config.max_iterations && !queue <> [] do
+    incr iterations;
+    let requests =
+      List.filter
+        (fun (query, _) -> not (Hashtbl.mem asked (Analysis.signature query)))
+        !queue
+    in
+    List.iter
+      (fun (query, _) -> Hashtbl.replace asked (Analysis.signature query) ())
+      requests;
+    queries_asked := !queries_asked + List.length requests;
+    if requests = [] then continue := false
+    else begin
+      (* B2: broadcast the RFB; every seller prices it in parallel. *)
+      let req_bytes = request_bytes requests in
+      (* Depth-1 market channel for subcontracting: a seller may ask all
+         OTHER nodes for a missing piece; the traffic is accounted after
+         the round (sub-RFB + offers per contacted node). *)
+      let sub_messages = ref 0 in
+      let sub_elapsed = ref 0. in
+      let market_for (self : Node.t) =
+        if not config.allow_subcontracting then None
+        else
+          Some
+            (fun sub_query ->
+              let others =
+                List.filter
+                  (fun (n : Node.t) -> n.node_id <> self.node_id)
+                  federation.nodes
+              in
+              sub_messages := !sub_messages + (2 * List.length others);
+              let depth0 =
+                {
+                  config.seller_template with
+                  Seller.market = None;
+                  use_views = false;
+                  max_offers_per_request = 8;
+                }
+              in
+              let offers =
+                List.concat_map
+                  (fun (n : Node.t) ->
+                    let r =
+                      Seller.respond
+                        {
+                          depth0 with
+                          Seller.strategy = config.strategy_of n.node_id;
+                          load = config.load_of n.node_id;
+                        }
+                        schema n
+                        ~requests:[ (sub_query, 0.) ]
+                    in
+                    sub_elapsed :=
+                      Float.max !sub_elapsed
+                        ((2. *. Network.one_way net ~bytes:300)
+                        +. r.Seller.processing_time);
+                    r.Seller.offers)
+                  others
+              in
+              offers)
+      in
+      let responses =
+        List.map
+          (fun (node : Node.t) ->
+            let seller_config =
+              {
+                config.seller_template with
+                Seller.strategy = config.strategy_of node.node_id;
+                load = config.load_of node.node_id;
+                market = market_for node;
+              }
+            in
+            Seller.respond seller_config schema node ~requests)
+          federation.nodes
+      in
+      if !sub_messages > 0 then
+        Network.account_messages net ~count:!sub_messages ~bytes_each:300
+          ~elapsed:!sub_elapsed;
+      let participants =
+        List.map
+          (fun (r : Seller.response) ->
+            let reply_bytes = Listx.sum_by (fun o -> float_of_int (Offer.wire_bytes o)) r.offers in
+            (req_bytes, int_of_float reply_bytes, r.processing_time))
+          responses
+      in
+      ignore (Network.parallel_round net participants);
+      let fresh = List.concat_map (fun (r : Seller.response) -> r.offers) responses in
+      offers_received := !offers_received + List.length fresh;
+      (* B3: nested trading negotiation selects the winning offers. *)
+      let winners, rounds = negotiate config net fresh in
+      negotiation_rounds := !negotiation_rounds + rounds;
+      pool := !pool @ winners;
+      (* B4: combine winning offers into candidate plans. *)
+      Network.local_work net
+        (config.plan_overhead *. float_of_int (List.length !pool));
+      let candidates =
+        Plan_generator.generate ~params:config.params ~weights:config.weights
+          ~mode:config.mode ~schema ~offers:!pool q
+      in
+      let improved =
+        match (candidates, !best) with
+        | [], _ -> false
+        | c :: _, None ->
+          best := Some c;
+          true
+        | c :: _, Some b ->
+          if Cost.response c.cost < Cost.response b.cost -. 1e-12 then begin
+            best := Some c;
+            true
+          end
+          else false
+      in
+      iteration_costs :=
+        (match !best with
+        | None -> infinity
+        | Some c -> Cost.response c.Plan_generator.cost)
+        :: !iteration_costs;
+      (* B5/B6: the predicates analyser proposes the next round's queries. *)
+      let proposals = Buyer_analyser.enrich ~schema ~query:q ~offers:!pool in
+      let fresh_queries =
+        List.filter
+          (fun query -> not (Hashtbl.mem asked (Analysis.signature query)))
+          proposals
+      in
+      trace :=
+        Printf.sprintf
+          "iter %d: asked %d quer%s, %d offers, %d winners, best=%s, %d new quer%s"
+          !iterations (List.length requests)
+          (if List.length requests = 1 then "y" else "ies")
+          (List.length fresh) (List.length winners)
+          (match !best with
+          | None -> "none"
+          | Some c -> Printf.sprintf "%.4gs (%s)" (Cost.response c.cost) c.description)
+          (List.length fresh_queries)
+          (if List.length fresh_queries = 1 then "y" else "ies")
+        :: !trace;
+      (* B7: stop when nothing improved and nothing new to ask. *)
+      if (not improved) && fresh_queries = [] then continue := false
+      else queue := List.map (fun query -> (query, 0.)) fresh_queries
+    end
+  done;
+  match !best with
+  | None -> Result.Error "query trading failed: no candidate execution plan"
+  | Some c ->
+    let leaves = Plan.remote_leaves c.plan in
+    let purchased =
+      List.filter
+        (fun (o : Offer.t) ->
+          List.exists
+            (fun (r : Plan.remote) ->
+              r.Plan.seller = o.seller && Ast.equal r.Plan.query o.query)
+            leaves)
+        !pool
+    in
+    let purchased = Listx.dedup (fun a b -> a == b) purchased in
+    let surplus =
+      Listx.sum_by
+        (fun (o : Offer.t) -> Strategy.surplus ~quoted:o.quoted ~true_cost:o.true_cost)
+        purchased
+    in
+    Ok
+      {
+        plan = c.plan;
+        cost = c.cost;
+        stats =
+          {
+            iterations = !iterations;
+            messages = Network.messages net;
+            bytes = Network.bytes_sent net;
+            sim_time = Network.clock net;
+            wall_time = Sys.time () -. wall_start;
+            offers_received = !offers_received;
+            negotiation_rounds = !negotiation_rounds;
+            queries_asked = !queries_asked;
+            plan_cost = Cost.response c.cost;
+            seller_surplus = surplus;
+          };
+        purchased;
+        trace = List.rev !trace;
+        iteration_costs = List.rev !iteration_costs;
+      }

@@ -1,0 +1,87 @@
+(** The query-trading optimizer — the paper's core contribution
+    (Section 3.2, Figure 2).
+
+    The buyer iteratively: announces a set of queries (request for bids,
+    step B2); collects seller offers built by {!Seller} (S2); runs a
+    nested negotiation per lot to pick winners (B3/S3); combines winning
+    offers into candidate plans with {!Plan_generator} (B4); lets
+    {!Buyer_analyser} derive new queries worth asking (B5/B6); and stops
+    when neither the plan improved nor new queries appeared (B7),
+    returning the best plan and its cost (B8).
+
+    All inter-node traffic flows through a {!Qt_net.Network}, so the
+    returned statistics (simulated elapsed time, messages, bytes) are the
+    quantities the paper's experiments report. *)
+
+type config = {
+  params : Qt_cost.Params.t;
+  protocol : Qt_trading.Protocol.kind;  (** Nested-negotiation protocol. *)
+  weights : Offer.weights;  (** Buyer's offer-ranking function. *)
+  mode : Plan_generator.mode;  (** Plan generator: DP or IDP-M(k,m). *)
+  max_iterations : int;  (** Safety bound on trading iterations. *)
+  seller_template : Seller.config;
+      (** Per-seller settings; [strategy_of]/[load_of] below override the
+          strategy and load fields per node. *)
+  strategy_of : int -> Qt_trading.Strategy.t;
+  load_of : int -> float;
+  initial_estimate : float;
+      (** The paper's [c0]: the buyer's a-priori value for the query (0 =
+          unknown). *)
+  plan_overhead : float;
+      (** Simulated buyer CPU seconds per offer in the pool, charged per
+          plan-generation pass. *)
+  allow_subcontracting : bool;
+      (** Give sellers a depth-1 market channel so they can buy missing
+          ranges from third nodes and offer complete answers (Section
+          3.5's deferred extension).  Adds O(nodes^2) message traffic per
+          gap — off by default. *)
+}
+
+val default_config : Qt_cost.Params.t -> config
+(** Bidding protocol, cooperative sellers, exhaustive DP plan generation,
+    response-time weights, at most 6 iterations. *)
+
+type stats = {
+  iterations : int;
+  messages : int;
+  bytes : int;
+  sim_time : float;  (** Simulated optimization elapsed time (seconds). *)
+  wall_time : float;  (** Real CPU seconds the optimizer itself used. *)
+  offers_received : int;
+  negotiation_rounds : int;
+  queries_asked : int;
+  plan_cost : float;  (** Estimated response time of the chosen plan. *)
+  seller_surplus : float;
+      (** Sum over purchased offers of (final price - true cost); 0 under
+          cooperative strategies. *)
+}
+
+type outcome = {
+  plan : Qt_optimizer.Plan.t;
+  cost : Qt_cost.Cost.t;
+  stats : stats;
+  purchased : Offer.t list;
+      (** The offers the final plan actually buys (its [Remote] leaves). *)
+  trace : string list;  (** One line per iteration, for examples/demos. *)
+  iteration_costs : float list;
+      (** Best-known plan cost after each trading iteration (infinity while
+          no candidate exists) -- the convergence series of experiment
+          R-F7. *)
+}
+
+val optimize :
+  ?standing:Offer.t list ->
+  ?requests:Qt_sql.Ast.t list ->
+  config ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t ->
+  (outcome, string) result
+(** [optimize config federation q] runs the trading loop for [q].
+    [standing] offers are {e contracts} already held from an earlier
+    negotiation (the paper's future-work "contracting" for
+    partial/adaptive optimization): they enter the pool before the first
+    request for bids, so unchanged pieces need not be re-traded.
+    [requests] overrides the first round's request-for-bids content
+    (default [[q]]): a recovering buyer asks only for the pieces it lost
+    — see {!Recovery}.  [Error _] reproduces the paper's abort condition: the
+    loop ended with no candidate execution plan. *)

@@ -1,0 +1,32 @@
+type t = { cpu : float; io : float; net : float }
+
+let zero = { cpu = 0.; io = 0.; net = 0. }
+
+let make ?(cpu = 0.) ?(io = 0.) ?(net = 0.) () = { cpu; io; net }
+
+let add a b = { cpu = a.cpu +. b.cpu; io = a.io +. b.io; net = a.net +. b.net }
+
+let sum = List.fold_left add zero
+
+let scale k t = { cpu = k *. t.cpu; io = k *. t.io; net = k *. t.net }
+
+let response t = t.cpu +. t.io +. t.net
+
+(* Parallel composition keeps the breakdown of whichever branch dominates,
+   scaled so the response equals the max of the two responses.  The
+   breakdown of the dominated branch is intentionally discarded: response
+   time is what plans are ranked by. *)
+let par a b = if response a >= response b then a else b
+
+let compare a b = Float.compare (response a) (response b)
+
+let ( <+> ) = add
+
+let is_finite t =
+  Float.is_finite t.cpu && Float.is_finite t.io && Float.is_finite t.net
+
+let infinite = { cpu = infinity; io = infinity; net = infinity }
+
+let pp ppf t =
+  Format.fprintf ppf "%.4gs (cpu %.3g + io %.3g + net %.3g)" (response t) t.cpu t.io
+    t.net

@@ -1,0 +1,37 @@
+(** Cost vectors.
+
+    A cost separates CPU, IO and network seconds so experiments can report
+    each component, but ordering of plans uses the scalar {!response}.
+    The paper notes the valuation may be multidimensional (freshness,
+    money, ...); those extra dimensions live in the query-answer properties
+    ([Qt_core.Offer]) and are folded into a scalar by the buyer's weighting
+    function, for which {!response} is the default. *)
+
+type t = { cpu : float; io : float; net : float }
+
+val zero : t
+val make : ?cpu:float -> ?io:float -> ?net:float -> unit -> t
+val add : t -> t -> t
+val sum : t list -> t
+val scale : float -> t -> t
+
+val response : t -> float
+(** Scalar valuation: the sum of the components (a sequential execution
+    model; parallelism between sellers is accounted for at plan level by
+    {!par}). *)
+
+val par : t -> t -> t
+(** Combine two costs incurred in parallel: component-wise CPU/IO/net such
+    that the response of the result is the max of the responses.  Used when
+    independent remote offers are fetched concurrently. *)
+
+val compare : t -> t -> int
+(** Orders by {!response}. *)
+
+val ( <+> ) : t -> t -> t
+(** Infix {!add}. *)
+
+val is_finite : t -> bool
+val infinite : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+let pages (p : Params.t) ~rows ~row_bytes =
+  Float.max 1. (ceil (rows *. float_of_int row_bytes /. float_of_int p.page_bytes))
+
+let scan (p : Params.t) ?(io_factor = 1.0) ~rows ~row_bytes () =
+  Cost.make
+    ~io:(pages p ~rows ~row_bytes *. p.io_page /. io_factor)
+    ~cpu:(rows *. p.cpu_tuple) ()
+
+let filter (p : Params.t) ?(cpu_factor = 1.0) ~rows () =
+  Cost.make ~cpu:(rows *. p.cpu_tuple /. cpu_factor) ()
+
+let spill_io (p : Params.t) ~io_factor ~rows ~row_bytes =
+  (* One write plus one read of the whole input. *)
+  2. *. pages p ~rows ~row_bytes *. p.io_page /. io_factor
+
+let fits_in_memory (p : Params.t) ~rows ~row_bytes =
+  rows *. float_of_int row_bytes <= float_of_int p.work_mem_bytes
+
+let hash_join (p : Params.t) ?(cpu_factor = 1.0) ?(io_factor = 1.0) ?(row_bytes = 64)
+    ~build_rows ~probe_rows ~out_rows () =
+  (* Build (1 pass over build side), probe (1 pass), emit. *)
+  let tuples = build_rows +. probe_rows +. out_rows in
+  let cpu = tuples *. p.cpu_tuple /. cpu_factor in
+  if fits_in_memory p ~rows:build_rows ~row_bytes then Cost.make ~cpu ()
+  else
+    (* Grace hash join: partition both inputs to disk, then join the
+       partitions. *)
+    let io =
+      spill_io p ~io_factor ~rows:build_rows ~row_bytes
+      +. spill_io p ~io_factor ~rows:probe_rows ~row_bytes
+    in
+    Cost.make ~cpu ~io ()
+
+let external_sort (p : Params.t) ?(cpu_factor = 1.0) ?(io_factor = 1.0)
+    ?(row_bytes = 64) ~rows () =
+  let n = Float.max 2. rows in
+  let cpu = n *. Float.log n /. Float.log 2. *. p.cpu_tuple /. cpu_factor in
+  if fits_in_memory p ~rows ~row_bytes then Cost.make ~cpu ()
+  else Cost.make ~cpu ~io:(spill_io p ~io_factor ~rows ~row_bytes) ()
+
+let sort_merge_join (p : Params.t) ?(cpu_factor = 1.0) ?(io_factor = 1.0)
+    ?(row_bytes = 64) ?(left_sorted = false) ?(right_sorted = false) ~left_rows
+    ~right_rows ~out_rows () =
+  let sort_side sorted rows =
+    if sorted then Cost.zero
+    else external_sort p ~cpu_factor ~io_factor ~row_bytes ~rows ()
+  in
+  let merge =
+    Cost.make ~cpu:((left_rows +. right_rows +. out_rows) *. p.cpu_tuple /. cpu_factor) ()
+  in
+  Cost.sum [ sort_side left_sorted left_rows; sort_side right_sorted right_rows; merge ]
+
+let nested_loop_join (p : Params.t) ?(cpu_factor = 1.0) ~outer_rows ~inner_rows
+    ~out_rows () =
+  let tuples = (outer_rows *. inner_rows) +. out_rows in
+  Cost.make ~cpu:(tuples *. p.cpu_tuple /. cpu_factor) ()
+
+let sort (p : Params.t) ?(cpu_factor = 1.0) ~rows () =
+  let n = Float.max 2. rows in
+  Cost.make ~cpu:(n *. Float.log n /. Float.log 2. *. p.cpu_tuple /. cpu_factor) ()
+
+let aggregate (p : Params.t) ?(cpu_factor = 1.0) ~rows ~groups () =
+  Cost.make ~cpu:((rows +. groups) *. p.cpu_tuple /. cpu_factor) ()
+
+let union (p : Params.t) ?(cpu_factor = 1.0) ~rows () =
+  Cost.make ~cpu:(rows *. p.cpu_tuple /. cpu_factor) ()
+
+let transfer_bytes (p : Params.t) ~rows ~row_bytes =
+  p.msg_overhead_bytes + int_of_float (ceil (rows *. float_of_int row_bytes))
+
+let transfer (p : Params.t) ~rows ~row_bytes =
+  let bytes = float_of_int (transfer_bytes p ~rows ~row_bytes) in
+  Cost.make ~net:(p.net_latency +. (bytes /. p.net_bandwidth)) ()

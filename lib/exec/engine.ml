@@ -1,0 +1,38 @@
+module Plan = Qt_optimizer.Plan
+
+let run store federation plan =
+  let rec go = function
+    | Plan.Scan s -> (
+      match Store.view_table store ~node:s.node ~view:s.rel with
+      | Some view -> Table.retag view ~alias:s.alias
+      | None ->
+        Table.retag (Store.fragment_table store ~rel:s.rel ~range:s.range) ~alias:s.alias)
+    | Plan.Filter f -> Ops.filter (go f.input) f.preds
+    | Plan.Join j -> (
+      match j.algo with
+      | Plan.Hash -> Ops.hash_join (go j.build) (go j.probe) j.preds
+      | Plan.Sort_merge -> Ops.merge_join (go j.build) (go j.probe) j.preds
+      | Plan.Nested_loop -> Ops.nested_loop_join (go j.build) (go j.probe) j.preds)
+    | Plan.Union u -> (
+      match List.map go u.inputs with
+      | [] -> invalid_arg "Engine.run: empty union"
+      | first :: rest -> List.fold_left Table.append first rest)
+    | Plan.Project p -> Ops.project (go p.input) p.select
+    | Plan.Sort s -> Ops.sort (go s.input) s.keys
+    | Plan.Aggregate a -> Ops.aggregate (go a.input) ~group_by:a.group_by a.select
+    | Plan.Distinct d -> Ops.distinct (go d.input)
+    | Plan.Remote r -> (
+      let answer =
+        Naive.run_at_node ~imports:r.imports store federation ~node:r.seller r.query
+      in
+      match r.rename with
+      | None -> answer
+      | Some cols ->
+        if List.length cols <> Array.length answer.Table.cols then
+          invalid_arg "Engine.run: remote rename width mismatch";
+        let renamed =
+          Array.of_list (List.map (fun (alias, name) -> { Table.alias; name }) cols)
+        in
+        Table.create renamed answer.Table.rows)
+  in
+  go plan

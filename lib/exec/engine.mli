@@ -1,0 +1,13 @@
+(** Physical-plan interpreter.
+
+    Executes a {!Qt_optimizer.Plan.t} — including distributed plans whose
+    [Remote] leaves are sub-queries purchased from seller nodes — against
+    the simulated federation data.  Remote leaves run at their seller with
+    only that node's fragments and views visible, so the interpreter
+    faithfully reproduces the autonomy boundary: if the optimizer bought
+    the wrong pieces, the result will differ from the oracle and tests
+    catch it. *)
+
+val run : Store.t -> Qt_catalog.Federation.t -> Qt_optimizer.Plan.t -> Table.t
+(** @raise Invalid_argument on malformed plans (unknown columns, aggregate
+    items in a projection, ...). *)

@@ -1,0 +1,27 @@
+module Ast = Qt_sql.Ast
+
+let scalar table row = function
+  | Ast.Lit l -> Value.of_literal l
+  | Ast.Col a -> row.(Table.find_col_exn table ~alias:a.Ast.rel ~name:a.Ast.name)
+
+let cmp_holds op c =
+  match op with
+  | Ast.Eq -> c = 0
+  | Ast.Ne -> c <> 0
+  | Ast.Lt -> c < 0
+  | Ast.Le -> c <= 0
+  | Ast.Gt -> c > 0
+  | Ast.Ge -> c >= 0
+
+let predicate table row = function
+  | Ast.Cmp (op, l, r) ->
+    let vl = scalar table row l and vr = scalar table row r in
+    (not (Value.is_null vl || Value.is_null vr))
+    && cmp_holds op (Value.compare vl vr)
+  | Ast.Between (a, lo, hi) -> (
+    match scalar table row (Ast.Col a) with
+    | Value.V_int n -> lo <= n && n <= hi
+    | Value.V_float f -> float_of_int lo <= f && f <= float_of_int hi
+    | Value.V_string _ | Value.V_null -> false)
+
+let predicates table row preds = List.for_all (predicate table row) preds

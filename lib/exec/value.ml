@@ -1,0 +1,43 @@
+type t = V_int of int | V_float of float | V_string of string | V_null
+
+let of_literal = function
+  | Qt_sql.Ast.L_int n -> V_int n
+  | Qt_sql.Ast.L_float f -> V_float f
+  | Qt_sql.Ast.L_string s -> V_string s
+
+let rank = function V_null -> 0 | V_int _ | V_float _ -> 1 | V_string _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | V_int x, V_int y -> Int.compare x y
+  | V_float x, V_float y -> Float.compare x y
+  | V_int x, V_float y -> Float.compare (float_of_int x) y
+  | V_float x, V_int y -> Float.compare x (float_of_int y)
+  | V_string x, V_string y -> String.compare x y
+  | V_null, V_null -> 0
+  | (V_null | V_int _ | V_float _ | V_string _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let to_float = function
+  | V_int n -> float_of_int n
+  | V_float f -> f
+  | V_null -> 0.
+  | V_string s -> invalid_arg (Printf.sprintf "Value.to_float: string %S" s)
+
+let add a b =
+  match (a, b) with
+  | V_int x, V_int y -> V_int (x + y)
+  | V_null, v | v, V_null -> v
+  | (V_int _ | V_float _), (V_int _ | V_float _) -> V_float (to_float a +. to_float b)
+  | V_string _, _ | _, V_string _ -> invalid_arg "Value.add: string operand"
+
+let is_null = function V_null -> true | V_int _ | V_float _ | V_string _ -> false
+
+let pp ppf = function
+  | V_int n -> Format.fprintf ppf "%d" n
+  | V_float f -> Format.fprintf ppf "%g" f
+  | V_string s -> Format.pp_print_string ppf s
+  | V_null -> Format.pp_print_string ppf "NULL"
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,58 @@
+type t = {
+  params : Qt_cost.Params.t;
+  mutable clock : float;
+  mutable messages : int;
+  mutable bytes_sent : int;
+}
+
+let create params = { params; clock = 0.; messages = 0; bytes_sent = 0 }
+
+let params t = t.params
+let clock t = t.clock
+let messages t = t.messages
+let bytes_sent t = t.bytes_sent
+
+let reset_counters t =
+  t.clock <- 0.;
+  t.messages <- 0;
+  t.bytes_sent <- 0
+
+let payload t bytes = bytes + t.params.Qt_cost.Params.msg_overhead_bytes
+
+let one_way t ~bytes =
+  let p = t.params in
+  p.Qt_cost.Params.net_latency
+  +. (float_of_int (payload t bytes) /. p.Qt_cost.Params.net_bandwidth)
+
+let account t ~bytes =
+  t.messages <- t.messages + 1;
+  t.bytes_sent <- t.bytes_sent + payload t bytes
+
+let send t ~bytes =
+  account t ~bytes;
+  let dt = one_way t ~bytes in
+  t.clock <- t.clock +. dt;
+  dt
+
+let parallel_round t participants =
+  let elapsed =
+    List.fold_left
+      (fun acc (request_bytes, reply_bytes, processing) ->
+        account t ~bytes:request_bytes;
+        account t ~bytes:reply_bytes;
+        let rtt =
+          one_way t ~bytes:request_bytes +. processing +. one_way t ~bytes:reply_bytes
+        in
+        Float.max acc rtt)
+      0. participants
+  in
+  t.clock <- t.clock +. elapsed;
+  elapsed
+
+let local_work t dt = t.clock <- t.clock +. Float.max 0. dt
+
+let account_messages t ~count ~bytes_each ~elapsed =
+  for _ = 1 to count do
+    account t ~bytes:bytes_each
+  done;
+  t.clock <- t.clock +. Float.max 0. elapsed

@@ -1,0 +1,57 @@
+(** System-R dynamic-programming join enumeration, with the two extensions
+    the paper needs (Section 3.4):
+
+    - {b Partial results}: conventional DP prices every connected sub-join
+      on the way to the full plan; we surface those intermediate optima as
+      [partial]s so a seller can offer the optimal 2-way, 3-way, ...
+      answers to the buyer, exactly as the modified DP of the paper does.
+    - {b IDP(k,m) pruning} (Kossmann & Stocker): after all [k]-way
+      sub-plans are built, only the best [m] are retained; larger plans are
+      built from the survivors.  [IDP-M(2,5)] is the variant the paper
+      names for the buyer plan generator. *)
+
+type partial = {
+  subset : string list;  (** Sorted aliases covered. *)
+  query : Qt_sql.Ast.t;  (** The restricted query this plan answers. *)
+  plan : Plan.t;
+  rows : float;
+  cost : Qt_cost.Cost.t;  (** Execution cost at the owning node. *)
+}
+
+type result = {
+  partials : partial list;
+      (** Best plan per connected alias subset, smallest subsets first. *)
+  best : partial option;
+      (** Plan covering {e all} aliases with full query semantics applied
+          (aggregation, distinct, ordering, final projection); [None] when
+          some alias has no access path or the join graph is
+          disconnected. *)
+}
+
+val optimize :
+  params:Qt_cost.Params.t ->
+  ?cpu_factor:float ->
+  ?io_factor:float ->
+  ?prune:int * int ->
+  env:Qt_stats.Estimate.env ->
+  base:(string -> Plan.t option) ->
+  Qt_sql.Ast.t ->
+  result
+(** [optimize ~params ~env ~base q] runs the enumeration.  [base alias]
+    supplies the access path for an alias — a fragment scan (possibly a
+    union of fragment scans) for a seller, a remote-capable scan for the
+    baselines — or [None] if the alias is unavailable, in which case
+    partials simply avoid it.  [prune = (k, m)] enables IDP(k,m). *)
+
+val finalize :
+  params:Qt_cost.Params.t ->
+  ?cpu_factor:float ->
+  ?io_factor:float ->
+  env:Qt_stats.Estimate.env ->
+  Qt_sql.Ast.t ->
+  Plan.t ->
+  partial
+(** Wrap a plan that already produces the joined rows of all aliases of the
+    query with the query's top-level semantics (aggregate / distinct / sort
+    / project), returning it as a full-cover partial.  Shared by the seller
+    optimizer and the buyer plan generator. *)

@@ -1,0 +1,64 @@
+(** Experiment harness: run the competing optimizers on a federation and
+    collect the paper's metrics — plan quality (estimated response time of
+    the chosen plan under true costs), simulated optimization time,
+    messages and bytes exchanged. *)
+
+type metrics = {
+  optimizer : string;
+  plan_cost : float;  (** True response time of the chosen plan (s). *)
+  sim_time : float;  (** Simulated optimization elapsed time (s). *)
+  messages : int;
+  kbytes : float;
+  iterations : int;  (** Trading iterations (QT only; 1 for baselines). *)
+  wall_ms : float;  (** Real CPU time of the optimizer run. *)
+}
+
+val of_trader : string -> Qt_core.Trader.stats -> metrics
+val of_baseline : string -> Qt_baseline.Common.stats -> metrics
+
+val run_qt :
+  ?config:Qt_core.Trader.config ->
+  params:Qt_cost.Params.t ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t ->
+  (metrics * Qt_core.Trader.outcome, string) result
+
+val run_qt_idp :
+  params:Qt_cost.Params.t ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t ->
+  (metrics * Qt_core.Trader.outcome, string) result
+(** QT with the IDP-M(2,5) buyer plan generator (Section 3.6's scalable
+    variant). *)
+
+val run_global_dp :
+  ?staleness:float ->
+  params:Qt_cost.Params.t ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t ->
+  (metrics, string) result
+
+val run_idp :
+  ?staleness:float ->
+  params:Qt_cost.Params.t ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t ->
+  (metrics, string) result
+
+val run_two_step :
+  ?staleness:float ->
+  params:Qt_cost.Params.t ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t ->
+  (metrics, string) result
+
+val compare_all :
+  ?staleness:float ->
+  params:Qt_cost.Params.t ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t ->
+  metrics list
+(** QT, global DP, IDP-M(2,5) and two-step on the same problem; optimizers
+    that fail are reported with infinite plan cost. *)
+
+val failed : string -> metrics

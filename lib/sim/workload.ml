@@ -1,0 +1,137 @@
+module Ast = Qt_sql.Ast
+module Rng = Qt_util.Rng
+
+let telecom_revenue_by_office ?custid_range () =
+  let c_custid = { Ast.rel = "c"; name = "custid" } in
+  let il_custid = { Ast.rel = "il"; name = "custid" } in
+  let office = { Ast.rel = "c"; name = "office" } in
+  let where =
+    Ast.eq_join c_custid il_custid
+    ::
+    (match custid_range with
+    | None -> []
+    | Some (lo, hi) -> [ Ast.Between (c_custid, lo, hi) ])
+  in
+  Ast.query
+    ~select:
+      [
+        Ast.Sel_col office;
+        Ast.Sel_agg (Ast.Sum, Some { Ast.rel = "il"; name = "charge" });
+      ]
+    ~from:
+      [
+        { Ast.relation = "customer"; alias = "c" };
+        { Ast.relation = "invoiceline"; alias = "il" };
+      ]
+    ~where ~group_by:[ office ] ()
+
+let telecom_customer_lookup ~custid =
+  let c_custid = { Ast.rel = "c"; name = "custid" } in
+  let il_custid = { Ast.rel = "il"; name = "custid" } in
+  Ast.query
+    ~select:
+      [
+        Ast.Sel_col { Ast.rel = "c"; name = "custname" };
+        Ast.Sel_col { Ast.rel = "il"; name = "invid" };
+        Ast.Sel_col { Ast.rel = "il"; name = "charge" };
+      ]
+    ~from:
+      [
+        { Ast.relation = "customer"; alias = "c" };
+        { Ast.relation = "invoiceline"; alias = "il" };
+      ]
+    ~where:
+      [
+        Ast.eq_join c_custid il_custid;
+        Ast.eq_const c_custid (Ast.L_int custid);
+      ]
+    ()
+
+let chain_key_domain = 5000
+
+let chain_query ?(joins = 1) ?(select_fraction = 1.0) ?(aggregate = false) ~relations
+    () =
+  if joins + 1 > relations then invalid_arg "Workload.chain_query: too many joins";
+  let alias i = Printf.sprintf "a%d" i in
+  let from =
+    List.init (joins + 1) (fun i ->
+        { Ast.relation = Printf.sprintf "r%d" i; alias = alias i })
+  in
+  let join_preds =
+    List.init joins (fun i ->
+        Ast.eq_join
+          { Ast.rel = alias i; name = "id" }
+          { Ast.rel = alias (i + 1); name = "id" })
+  in
+  let selection =
+    if select_fraction >= 1.0 then []
+    else
+      let hi =
+        max 0
+          (int_of_float (select_fraction *. float_of_int chain_key_domain) - 1)
+      in
+      [ Ast.Between ({ Ast.rel = alias 0; name = "id" }, 0, hi) ]
+  in
+  if aggregate then
+    let tag = { Ast.rel = alias 0; name = "tag" } in
+    Ast.query
+      ~select:
+        [
+          Ast.Sel_col tag;
+          Ast.Sel_agg (Ast.Sum, Some { Ast.rel = alias 0; name = "val" });
+        ]
+      ~from
+      ~where:(join_preds @ selection)
+      ~group_by:[ tag ] ()
+  else
+    Ast.query
+      ~select:
+        [
+          Ast.Sel_col { Ast.rel = alias 0; name = "id" };
+          Ast.Sel_col { Ast.rel = alias joins; name = "val" };
+        ]
+      ~from
+      ~where:(join_preds @ selection)
+      ()
+
+let star_key_domain = 8000
+
+let star_query ?dimensions_used ?(group_dim = 0) ?(fact_fraction = 1.0) ~dimensions
+    () =
+  let used = Option.value dimensions_used ~default:dimensions in
+  if used > dimensions then invalid_arg "Workload.star_query: too many dimensions";
+  if group_dim >= used then invalid_arg "Workload.star_query: group_dim not joined";
+  let from =
+    { Ast.relation = "fact"; alias = "f" }
+    :: List.init used (fun d ->
+           { Ast.relation = Printf.sprintf "dim%d" d; alias = Printf.sprintf "d%d" d })
+  in
+  let join_preds =
+    List.init used (fun d ->
+        Ast.eq_join
+          { Ast.rel = "f"; name = Printf.sprintf "d%d_id" d }
+          { Ast.rel = Printf.sprintf "d%d" d; name = "id" })
+  in
+  let selection =
+    if fact_fraction >= 1.0 then []
+    else
+      let hi =
+        max 0 (int_of_float (fact_fraction *. float_of_int star_key_domain) - 1)
+      in
+      [ Ast.Between ({ Ast.rel = "f"; name = "fid" }, 0, hi) ]
+  in
+  let grp = { Ast.rel = Printf.sprintf "d%d" group_dim; name = "grp" } in
+  Ast.query
+    ~select:
+      [ Ast.Sel_col grp; Ast.Sel_agg (Ast.Sum, Some { Ast.rel = "f"; name = "measure" }) ]
+    ~from
+    ~where:(join_preds @ selection)
+    ~group_by:[ grp ] ()
+
+let random_chain_queries ~seed ~count ~relations ~max_joins =
+  let rng = Rng.create seed in
+  List.init count (fun _ ->
+      let joins = Rng.int_in rng 1 (min max_joins (relations - 1)) in
+      let select_fraction = Qt_util.Rng.pick rng [ 1.0; 0.5; 0.25; 0.1 ] in
+      let aggregate = Rng.bool rng in
+      chain_query ~joins ~select_fraction ~aggregate ~relations ())

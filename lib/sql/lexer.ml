@@ -1,0 +1,126 @@
+type token =
+  | T_ident of string
+  | T_int of int
+  | T_float of float
+  | T_string of string
+  | T_comma
+  | T_dot
+  | T_lparen
+  | T_rparen
+  | T_star
+  | T_eq
+  | T_ne
+  | T_lt
+  | T_le
+  | T_gt
+  | T_ge
+  | T_eof
+
+exception Error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec go i =
+    if i >= n then emit T_eof
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | ',' -> emit T_comma; go (i + 1)
+      | '.' ->
+        (* A dot can begin a float only in the middle of a number; as a
+           separate token it is always attribute qualification. *)
+        emit T_dot;
+        go (i + 1)
+      | '(' -> emit T_lparen; go (i + 1)
+      | ')' -> emit T_rparen; go (i + 1)
+      | '*' -> emit T_star; go (i + 1)
+      | '=' -> emit T_eq; go (i + 1)
+      | '<' ->
+        if i + 1 < n && input.[i + 1] = '=' then (emit T_le; go (i + 2))
+        else if i + 1 < n && input.[i + 1] = '>' then (emit T_ne; go (i + 2))
+        else (emit T_lt; go (i + 1))
+      | '>' ->
+        if i + 1 < n && input.[i + 1] = '=' then (emit T_ge; go (i + 2))
+        else (emit T_gt; go (i + 1))
+      | '!' ->
+        if i + 1 < n && input.[i + 1] = '=' then (emit T_ne; go (i + 2))
+        else raise (Error ("unexpected '!'", i))
+      | '\'' ->
+        let rec find_close j =
+          if j >= n then raise (Error ("unterminated string literal", i))
+          else if input.[j] = '\'' then j
+          else find_close (j + 1)
+        in
+        let close = find_close (i + 1) in
+        emit (T_string (String.sub input (i + 1) (close - i - 1)));
+        go (close + 1)
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit input.[i + 1]) ->
+        let start = i in
+        let i = if c = '-' then i + 1 else i in
+        let rec digits j = if j < n && is_digit input.[j] then digits (j + 1) else j in
+        let after_int = digits i in
+        (* Optional fraction, then optional exponent ('e'/'E' [+-] digits),
+           so printed floats like 1e-06 tokenize back. *)
+        let after_frac =
+          if after_int < n && input.[after_int] = '.' && after_int + 1 < n
+             && is_digit input.[after_int + 1]
+          then digits (after_int + 1)
+          else after_int
+        in
+        let after_exp =
+          if after_frac < n
+             && (input.[after_frac] = 'e' || input.[after_frac] = 'E')
+          then begin
+            let j =
+              if after_frac + 1 < n
+                 && (input.[after_frac + 1] = '+' || input.[after_frac + 1] = '-')
+              then after_frac + 2
+              else after_frac + 1
+            in
+            if j < n && is_digit input.[j] then digits j else after_frac
+          end
+          else after_frac
+        in
+        if after_exp > after_int then begin
+          let text = String.sub input start (after_exp - start) in
+          emit (T_float (float_of_string text));
+          go after_exp
+        end
+        else begin
+          let text = String.sub input start (after_int - start) in
+          emit (T_int (int_of_string text));
+          go after_int
+        end
+      | c when is_ident_start c ->
+        let rec idchars j = if j < n && is_ident_char input.[j] then idchars (j + 1) else j in
+        let stop = idchars (i + 1) in
+        emit (T_ident (String.sub input i (stop - i)));
+        go stop
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c, i))
+  in
+  go 0;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | T_ident s -> Format.fprintf ppf "ident(%s)" s
+  | T_int n -> Format.fprintf ppf "int(%d)" n
+  | T_float f -> Format.fprintf ppf "float(%g)" f
+  | T_string s -> Format.fprintf ppf "string(%s)" s
+  | T_comma -> Format.pp_print_string ppf ","
+  | T_dot -> Format.pp_print_string ppf "."
+  | T_lparen -> Format.pp_print_string ppf "("
+  | T_rparen -> Format.pp_print_string ppf ")"
+  | T_star -> Format.pp_print_string ppf "*"
+  | T_eq -> Format.pp_print_string ppf "="
+  | T_ne -> Format.pp_print_string ppf "<>"
+  | T_lt -> Format.pp_print_string ppf "<"
+  | T_le -> Format.pp_print_string ppf "<="
+  | T_gt -> Format.pp_print_string ppf ">"
+  | T_ge -> Format.pp_print_string ppf ">="
+  | T_eof -> Format.pp_print_string ppf "<eof>"

@@ -1,0 +1,29 @@
+(** Hand-written lexer for the SQL subset. *)
+
+type token =
+  | T_ident of string
+  | T_int of int
+  | T_float of float
+  | T_string of string  (** contents without the quotes *)
+  | T_comma
+  | T_dot
+  | T_lparen
+  | T_rparen
+  | T_star
+  | T_eq
+  | T_ne
+  | T_lt
+  | T_le
+  | T_gt
+  | T_ge
+  | T_eof
+
+exception Error of string * int
+(** [Error (message, position)] — byte offset into the input. *)
+
+val tokenize : string -> token list
+(** Full token stream, ending with [T_eof].  Keywords are returned as
+    [T_ident]; the parser matches them case-insensitively.
+    @raise Error on malformed input. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,49 @@
+(** Negotiation protocols (Section 2).
+
+    A protocol turns a set of competing quotes for one {e lot} (one traded
+    item — for QT, one sub-query) into a winning offer and a final price.
+    Three classic protocols are provided:
+
+    - {b Bidding} (the Contract-Net pattern the paper cites): one sealed
+      round; the lowest quote wins at its quoted value.
+    - {b Reverse auction}: open descending rounds; losing sellers may
+      undercut the standing best according to their strategy until no one
+      moves or the round limit is reached.
+    - {b Bargaining}: the buyer counters with a target price; each round
+      sellers concede toward it; stops at acceptance or round limit.
+
+    Protocols are generic in the item type and know nothing about queries;
+    the QT optimizer instantiates them per requested sub-query. *)
+
+type kind =
+  | Bidding
+  | Vickrey
+      (** Sealed-bid second-price (reverse) auction: the lowest quote wins
+          but is paid the {e second}-lowest quote.  Truthful quoting is a
+          dominant strategy, so even self-interested sellers reveal true
+          costs; the buyer pays the market's second-best price. *)
+  | Reverse_auction of { max_rounds : int }
+  | Bargaining of { max_rounds : int; target_ratio : float }
+      (** Buyer aims at [target_ratio] times the best initial quote. *)
+
+type 'item quote = {
+  seller : int;
+  item : 'item;
+  value : float;  (** Current quoted valuation (lower is better). *)
+  true_cost : float;  (** Seller-private; used for surplus accounting. *)
+  strategy : Strategy.t;
+  load : float;
+}
+
+type 'item outcome = {
+  winner : 'item quote option;  (** With [value] = final price. *)
+  rounds : int;  (** Negotiation rounds beyond the initial quotes. *)
+  exchanged_messages : int;
+      (** Messages implied by the negotiation itself (quotes, counter
+          offers, award), excluding the initial request broadcast. *)
+}
+
+val run : kind -> 'item quote list -> 'item outcome
+(** Deterministic: ties break toward the earlier quote in the list. *)
+
+val pp_kind : Format.formatter -> kind -> unit

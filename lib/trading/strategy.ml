@@ -1,0 +1,31 @@
+type t =
+  | Cooperative
+  | Competitive of {
+      markup : float;
+      floor : float;
+      concession : float;
+      load_sensitivity : float;
+    }
+
+let default_competitive =
+  Competitive { markup = 0.4; floor = 0.05; concession = 0.5; load_sensitivity = 0.3 }
+
+let initial_quote t ~load ~true_cost =
+  match t with
+  | Cooperative -> true_cost
+  | Competitive { markup; load_sensitivity; _ } ->
+    true_cost *. (1. +. markup +. (load_sensitivity *. Float.max 0. load))
+
+let concede t ~load ~true_cost ~current =
+  match t with
+  | Cooperative -> None
+  | Competitive { floor; concession; load_sensitivity; _ } ->
+    let bottom = true_cost *. (1. +. floor +. (load_sensitivity *. Float.max 0. load)) in
+    if current <= bottom +. (1e-12 *. Float.max 1. bottom) then None
+    else begin
+      let next = current -. (concession *. (current -. bottom)) in
+      (* Guard against non-termination when the gap underflows. *)
+      if next >= current then None else Some (Float.max bottom next)
+    end
+
+let surplus ~quoted ~true_cost = quoted -. true_cost

@@ -1,0 +1,43 @@
+(** Seller and buyer strategies (Section 2 of the paper).
+
+    A strategy decides what value an entity quotes, given its private
+    valuation and its knowledge of the negotiation.  The paper
+    distinguishes {e cooperative} strategies, which maximize the joint
+    surplus of all parties (a company-internal federation quotes its true
+    cost), from {e competitive} ones, which maximize private utility (a
+    commercial node quotes a markup and concedes slowly). *)
+
+type t =
+  | Cooperative
+      (** Truthful: quote the private cost.  Optimal plans, zero seller
+          surplus. *)
+  | Competitive of {
+      markup : float;
+          (** Initial margin over true cost, e.g. 0.5 quotes 150%. *)
+      floor : float;
+          (** Minimum acceptable margin; concessions never go below
+              [true_cost * (1 + floor)]. *)
+      concession : float;
+          (** Fraction of the gap to the floor conceded per negotiation
+              round (0 = never concede, 1 = jump to floor). *)
+      load_sensitivity : float;
+          (** Additional margin per unit of current load: busy sellers
+            quote higher, modelling inconsistent behaviour over time. *)
+    }
+
+val default_competitive : t
+(** 40% markup, 5% floor, half-gap concessions, moderate load term. *)
+
+val initial_quote : t -> load:float -> true_cost:float -> float
+(** The first offer a seller makes for an item it can produce at
+    [true_cost] while running at [load] (0 = idle, 1 = saturated). *)
+
+val concede : t -> load:float -> true_cost:float -> current:float -> float option
+(** [concede t ~load ~true_cost ~current] is the seller's next, lower
+    quote when pressed in an auction/bargaining round where its [current]
+    quote is not winning — or [None] when the strategy refuses to go
+    lower.  Guaranteed to return a value strictly below [current] when it
+    returns at all. *)
+
+val surplus : quoted:float -> true_cost:float -> float
+(** The seller surplus realized if the item sells at the quoted value. *)

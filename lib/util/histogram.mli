@@ -1,0 +1,47 @@
+(** Equi-width histograms over integer attributes.
+
+    Uniform-value assumptions break down on skewed data (hot customers,
+    popular keys).  A histogram attached to a schema attribute lets every
+    estimator — the sellers' local optimizers and the buyer's plan
+    generator alike — price range restrictions by actual mass instead of
+    range width.  Buckets store (fractional) row counts; queries between
+    bucket boundaries interpolate linearly within the boundary buckets. *)
+
+type t
+
+val create : lo:int -> hi:int -> buckets:int -> t
+(** All-zero histogram over the closed domain [lo, hi].
+    @raise Invalid_argument if the domain is empty or [buckets <= 0]. *)
+
+val of_values : lo:int -> hi:int -> buckets:int -> int list -> t
+(** Build from observed values; values outside the domain are clamped to
+    its edges. *)
+
+val uniform : lo:int -> hi:int -> buckets:int -> total:float -> t
+(** [total] rows spread evenly. *)
+
+val zipf : lo:int -> hi:int -> buckets:int -> total:float -> theta:float -> t
+(** [total] rows distributed over the domain with Zipf skew [theta]
+    (0 = uniform); lower key values are the hot ones. *)
+
+val add : t -> int -> unit
+(** Count one occurrence. *)
+
+val total : t -> float
+
+val mass_in : t -> Interval.t -> float
+(** Estimated rows with values inside the interval (clipped to the
+    domain), interpolating within partially-covered buckets. *)
+
+val fraction_in : t -> Interval.t -> float
+(** [mass_in] normalized by {!total}; 0 when the histogram is empty. *)
+
+val bucket_count : t -> int
+val domain : t -> Interval.t
+
+val sample : t -> Rng.t -> int
+(** Draw a value from the histogram's distribution: a bucket weighted by
+    its mass, then uniform within the bucket.
+    @raise Invalid_argument on an empty histogram. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,95 @@
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let rec drop n = function
+  | [] -> []
+  | _ :: rest as l -> if n <= 0 then l else drop (n - 1) rest
+
+let index_of pred xs =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if pred x then Some i else go (i + 1) rest
+  in
+  go 0 xs
+
+let dedup equal xs =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | x :: rest ->
+      if List.exists (equal x) seen then go seen rest else go (x :: seen) rest
+  in
+  go [] xs
+
+let group_by key xs =
+  let rec insert groups k x =
+    match groups with
+    | [] -> [ (k, [ x ]) ]
+    | (k', members) :: rest ->
+      if k = k' then (k', x :: members) :: rest else (k', members) :: insert rest k x
+  in
+  let grouped = List.fold_left (fun groups x -> insert groups (key x) x) [] xs in
+  List.map (fun (k, members) -> (k, List.rev members)) grouped
+
+let min_by score = function
+  | [] -> None
+  | x :: rest ->
+    let best =
+      List.fold_left
+        (fun (bx, bs) y ->
+          let s = score y in
+          if s < bs then (y, s) else (bx, bs))
+        (x, score x) rest
+    in
+    Some (fst best)
+
+let sum_by f xs = List.fold_left (fun acc x -> acc +. f x) 0. xs
+
+let pairs xs =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ go rest
+  in
+  go xs
+
+let rec subsets_of_size k xs =
+  if k = 0 then [ [] ]
+  else
+    match xs with
+    | [] -> []
+    | x :: rest ->
+      List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest)
+      @ subsets_of_size k rest
+
+let nonempty_subsets xs =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let subs = go rest in
+      List.map (fun s -> x :: s) subs @ subs
+  in
+  List.filter (fun s -> s <> []) (go xs)
+
+let cartesian lists =
+  let rec go = function
+    | [] -> [ [] ]
+    | choices :: rest ->
+      let tails = go rest in
+      List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+  in
+  go lists
+
+let range lo hi =
+  let rec go i acc = if i < lo then acc else go (i - 1) (i :: acc) in
+  go hi []
+
+let partition3 classify xs =
+  let rec go ls ms rs = function
+    | [] -> (List.rev ls, List.rev ms, List.rev rs)
+    | x :: rest -> (
+      match classify x with
+      | `Left -> go (x :: ls) ms rs rest
+      | `Middle -> go ls (x :: ms) rs rest
+      | `Right -> go ls ms (x :: rs) rest)
+  in
+  go [] [] [] xs

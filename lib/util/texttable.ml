@@ -1,0 +1,44 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  let ncols = List.length t.headers in
+  let nrow = List.length row in
+  if nrow > ncols then invalid_arg "Texttable.add_row: too many cells";
+  let padded = row @ List.init (ncols - nrow) (fun _ -> "") in
+  t.rows <- padded :: t.rows
+
+let add_float_row t ?(decimals = 2) label values =
+  add_row t (label :: List.map (fun v -> Printf.sprintf "%.*f" decimals v) values)
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let buf = Buffer.create 256 in
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < ncols - 1 then
+          Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.headers;
+  let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (to_string t);
+  flush stdout

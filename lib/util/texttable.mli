@@ -1,0 +1,23 @@
+(** Aligned plain-text tables for experiment reports.
+
+    Both the benchmark harness and the CLI print their series with this
+    module so that EXPERIMENTS.md rows can be pasted directly from program
+    output. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val add_float_row : t -> ?decimals:int -> string -> float list -> unit
+(** Convenience: a label cell followed by formatted floats. *)
+
+val to_string : t -> string
+(** Render with column alignment and a separator under the header. *)
+
+val print : t -> unit
+(** [to_string] followed by [print_string] and a flush. *)

@@ -1,0 +1,293 @@
+module Ast = Qt_sql.Ast
+module Analysis = Qt_sql.Analysis
+module Schema = Qt_catalog.Schema
+module View = Qt_catalog.View
+module Estimate = Qt_stats.Estimate
+module Listx = Qt_util.Listx
+
+type rewriting = {
+  view : View.t;
+  query_over_view : Ast.t;
+  out_rows : float;
+  scan_rows : float;
+  out_row_bytes : int;
+}
+
+let agg_prefix = function
+  | Ast.Count -> "count"
+  | Ast.Sum -> "sum"
+  | Ast.Avg -> "avg"
+  | Ast.Min -> "min"
+  | Ast.Max -> "max"
+
+let output_name = function
+  | Ast.Sel_col a -> a.Ast.rel ^ "_" ^ a.Ast.name
+  | Ast.Sel_agg (f, Some a) -> agg_prefix f ^ "_" ^ a.Ast.rel ^ "_" ^ a.Ast.name
+  | Ast.Sel_agg (f, None) -> agg_prefix f ^ "_star"
+
+let view_schema schema (view : View.t) =
+  let def = view.definition in
+  let attr_of_item item =
+    match item with
+    | Ast.Sel_col a -> (
+      let backing =
+        Option.bind (Analysis.relation_of_alias def a.Ast.rel) (fun rel ->
+            Schema.attribute_of schema ~rel ~attr:a.Ast.name)
+      in
+      match backing with
+      | Some b -> { b with Schema.attr_name = output_name item }
+      | None -> Schema.mk_attr (output_name item))
+    | Ast.Sel_agg _ ->
+      {
+        Schema.attr_name = output_name item;
+        domain = Schema.D_float;
+        distinct = max 1 view.rows;
+        hist = None;
+      }
+  in
+  Schema.mk_relation ~row_bytes:view.row_bytes ~cardinality:view.rows
+    ~attrs:(List.map attr_of_item def.Ast.select)
+    view.view_name
+
+(* All alias bijections from the view's FROM onto the request's FROM that
+   preserve relation names. *)
+let alias_mappings (view_q : Ast.t) (req : Ast.t) =
+  let by_rel q =
+    Listx.group_by
+      (fun (r : Ast.table_ref) -> r.relation)
+      q.Ast.from
+  in
+  let vg = by_rel view_q and rg = by_rel req in
+  let vrels = List.sort compare (List.map fst vg)
+  and rrels = List.sort compare (List.map fst rg) in
+  let sizes_match =
+    vrels = rrels
+    && List.for_all
+         (fun (rel, vs) ->
+           match List.assoc_opt rel rg with
+           | Some rs -> List.length vs = List.length rs
+           | None -> false)
+         vg
+  in
+  if not sizes_match then []
+  else begin
+    let rec permutations = function
+      | [] -> [ [] ]
+      | xs ->
+        List.concat_map
+          (fun x ->
+            let rest = List.filter (fun y -> y <> x) xs in
+            List.map (fun p -> x :: p) (permutations rest))
+          xs
+    in
+    (* For each relation group, pair view aliases with a permutation of the
+       request aliases, then take the cartesian product across groups. *)
+    let group_choices =
+      List.map
+        (fun (rel, vs) ->
+          let rs = List.assoc rel rg in
+          let valiases = List.map (fun (r : Ast.table_ref) -> r.alias) vs in
+          let raliases = List.map (fun (r : Ast.table_ref) -> r.alias) rs in
+          List.map (List.combine valiases) (permutations raliases))
+        vg
+    in
+    List.map List.concat (Listx.cartesian group_choices)
+  end
+
+let mapped_col_of_attr renamed_view_items (a : Ast.attr) =
+  (* Find the view output column that carries attribute [a] (after the view
+     has been renamed into the request's alias space). *)
+  List.find_map
+    (fun (item, name) ->
+      match item with
+      | Ast.Sel_col va when Ast.equal_attr va a -> Some name
+      | Ast.Sel_col _ | Ast.Sel_agg _ -> None)
+    renamed_view_items
+
+let map_attr_to_view renamed_view_items (a : Ast.attr) =
+  Option.map (fun name -> { Ast.rel = "v"; name }) (mapped_col_of_attr renamed_view_items a)
+
+let map_pred_to_view renamed_view_items p =
+  let map_scalar = function
+    | Ast.Lit _ as s -> Some s
+    | Ast.Col a ->
+      Option.map (fun a' -> Ast.Col a') (map_attr_to_view renamed_view_items a)
+  in
+  match p with
+  | Ast.Cmp (op, l, r) -> (
+    match (map_scalar l, map_scalar r) with
+    | Some l', Some r' -> Some (Ast.Cmp (op, l', r'))
+    | None, _ | _, None -> None)
+  | Ast.Between (a, lo, hi) ->
+    Option.map (fun a' -> Ast.Between (a', lo, hi)) (map_attr_to_view renamed_view_items a)
+
+let rollup_agg fn =
+  match fn with
+  | Ast.Sum -> Some Ast.Sum
+  | Ast.Count -> Some Ast.Sum  (* counts roll up by summing *)
+  | Ast.Min -> Some Ast.Min
+  | Ast.Max -> Some Ast.Max
+  | Ast.Avg -> None
+
+let option_all xs =
+  List.fold_right
+    (fun x acc ->
+      match (x, acc) with
+      | Some v, Some vs -> Some (v :: vs)
+      | None, _ | _, None -> None)
+    xs (Some [])
+
+let try_mapping schema (view : View.t) (req : Ast.t) mapping =
+  let vq = Analysis.rename_aliases mapping view.definition in
+  if not (Containment.where_implies req vq) then None
+  else begin
+    (* Pair each (renamed) view output item with its stable column name,
+       which is derived from the ORIGINAL definition so that execution
+       engines and the matcher agree on naming. *)
+    let renamed_items =
+      List.map2
+        (fun renamed original -> (renamed, output_name original))
+        vq.Ast.select view.definition.Ast.select
+    in
+    let residual = Containment.residual ~of_:req ~given:vq in
+    let residual_mapped = option_all (List.map (map_pred_to_view renamed_items) residual) in
+    let view_is_aggregate = Analysis.has_aggregate vq || vq.Ast.group_by <> [] in
+    let req_is_aggregate = Analysis.has_aggregate req || req.Ast.group_by <> [] in
+    let build_select () =
+      if not view_is_aggregate then
+        (* SPJ view: request items map column-for-column; aggregates of the
+           request are computed over the view's rows directly. *)
+        option_all
+          (List.map
+             (fun item ->
+               match item with
+               | Ast.Sel_col a ->
+                 Option.map (fun a' -> Ast.Sel_col a') (map_attr_to_view renamed_items a)
+               | Ast.Sel_agg (f, Some a) ->
+                 Option.map
+                   (fun a' -> Ast.Sel_agg (f, Some a'))
+                   (map_attr_to_view renamed_items a)
+               | Ast.Sel_agg (f, None) -> Some (Ast.Sel_agg (f, None)))
+             req.Ast.select)
+      else if not req_is_aggregate then None
+      else begin
+        (* Aggregate view answering an aggregate request: grouping of the
+           request must be expressible over the view's group columns, and
+           each aggregate must roll up. *)
+        let group_ok =
+          List.for_all
+            (fun g -> mapped_col_of_attr renamed_items g <> None)
+            req.Ast.group_by
+          && List.for_all
+               (fun g ->
+                 List.exists (Ast.equal_attr g) vq.Ast.group_by)
+               req.Ast.group_by
+        in
+        if not group_ok then None
+        else
+          option_all
+            (List.map
+               (fun item ->
+                 match item with
+                 | Ast.Sel_col a ->
+                   if List.exists (Ast.equal_attr a) req.Ast.group_by then
+                     Option.map (fun a' -> Ast.Sel_col a') (map_attr_to_view renamed_items a)
+                   else None
+                 | Ast.Sel_agg (f, arg) -> (
+                   match rollup_agg f with
+                   | None -> None
+                   | Some rolled ->
+                     (* Find the view aggregate with the same function and
+                        argument. *)
+                     let source =
+                       List.find_map
+                         (fun (vitem, name) ->
+                           match (vitem, arg) with
+                           | Ast.Sel_agg (vf, Some va), Some a
+                             when vf = f && Ast.equal_attr va a ->
+                             Some name
+                           | Ast.Sel_agg (vf, None), None when vf = f -> Some name
+                           | (Ast.Sel_col _ | Ast.Sel_agg _), _ -> None)
+                         renamed_items
+                     in
+                     Option.map
+                       (fun name ->
+                         Ast.Sel_agg (rolled, Some { Ast.rel = "v"; name }))
+                       source))
+               req.Ast.select)
+      end
+    in
+    (* Residual filters over an aggregate view must only touch group
+       columns; over an SPJ view any mapped column works. *)
+    let residual_ok mapped =
+      if not view_is_aggregate then Some mapped
+      else if
+        List.for_all
+          (fun p ->
+            List.for_all
+              (fun (a : Ast.attr) ->
+                List.exists
+                  (fun (vitem, name) ->
+                    name = a.Ast.name
+                    &&
+                    match vitem with
+                    | Ast.Sel_col va -> List.exists (Ast.equal_attr va) vq.Ast.group_by
+                    | Ast.Sel_agg _ -> false)
+                  renamed_items)
+              (Analysis.attrs_of_predicate p))
+          mapped
+      then Some mapped
+      else None
+    in
+    match (residual_mapped, build_select ()) with
+    | Some residual', Some select -> (
+      match residual_ok residual' with
+      | None -> None
+      | Some residual' ->
+        let group_by =
+          List.filter_map (map_attr_to_view renamed_items) req.Ast.group_by
+        in
+        if List.length group_by <> List.length req.Ast.group_by then None
+        else
+          let order_by =
+            (* Order can always be re-established; keep it when mappable,
+               drop it otherwise (the buyer re-sorts). *)
+            List.filter_map
+              (fun (a, o) ->
+                Option.map (fun a' -> (a', o)) (map_attr_to_view renamed_items a))
+              req.Ast.order_by
+          in
+          let query_over_view =
+            {
+              Ast.distinct = req.Ast.distinct;
+              select;
+              from = [ { Ast.relation = view.view_name; alias = "v" } ];
+              where = residual';
+              group_by;
+              order_by;
+            }
+          in
+          let vrel = view_schema schema view in
+          let env =
+            {
+              Estimate.schema = Schema.create [ vrel ];
+              base_rows = [ ("v", float_of_int view.rows) ];
+              key_ranges = [];
+            }
+          in
+          let out_rows = Estimate.output_rows env query_over_view in
+          Some
+            {
+              view;
+              query_over_view;
+              out_rows;
+              scan_rows = float_of_int view.rows;
+              out_row_bytes = Estimate.select_width env query_over_view;
+            })
+    | (None, _ | _, None) -> None
+  end
+
+let rewrite schema view req =
+  (* DISTINCT requests are conservatively rejected against aggregate views. *)
+  let mappings = alias_mappings view.View.definition req in
+  List.find_map (try_mapping schema view req) mappings

@@ -1,0 +1,43 @@
+(** Answering a requested query from a materialized view (Sections 3.5,
+    3.6 of the paper).
+
+    Two rewriting shapes are supported, mirroring the paper's example of a
+    per-customer revenue view answering a per-office revenue query:
+
+    - {b SPJ views}: the view joins the same relations under conditions the
+      request implies; the request is answered by filtering/projecting (and
+      possibly re-aggregating) the view's rows.
+    - {b Aggregate views}: the view groups at a finer granularity than the
+      request; SUM/MIN/MAX roll up directly and COUNT rolls up as a SUM of
+      the view's counts.  AVG does not roll up and is rejected.
+
+    The matcher is sound but deliberately incomplete (see
+    {!Containment}). *)
+
+type rewriting = {
+  view : Qt_catalog.View.t;
+  query_over_view : Qt_sql.Ast.t;
+      (** Compensation query: a single-table query over the view (alias
+          ["v"], relation = view name) that computes the requested
+          result.  Executable by any engine that exposes the materialized
+          view as a table whose columns are named by {!output_name}. *)
+  out_rows : float;  (** Estimated result cardinality. *)
+  scan_rows : float;  (** View rows that must be read (= view size). *)
+  out_row_bytes : int;
+}
+
+val output_name : Qt_sql.Ast.select_item -> string
+(** Stable column name given to a view output: [alias_attr] for plain
+    columns, [fn_alias_attr] for aggregates, [count_star] for COUNT-star. *)
+
+val rewrite :
+  Qt_catalog.Schema.t -> Qt_catalog.View.t -> Qt_sql.Ast.t -> rewriting option
+(** [rewrite schema view request] attempts to answer [request] from [view].
+    Returns [None] when no sound rewriting exists under the supported
+    shapes. *)
+
+val view_schema :
+  Qt_catalog.Schema.t -> Qt_catalog.View.t -> Qt_catalog.Schema.relation
+(** The view's output described as a relation (column names from
+    {!output_name}), used for cardinality estimation over the view and by
+    the execution engine to type view tables. *)

@@ -1,0 +1,154 @@
+module Schema = Qt_catalog.Schema
+module Fragment = Qt_catalog.Fragment
+module Node = Qt_catalog.Node
+module View = Qt_catalog.View
+module Federation = Qt_catalog.Federation
+module Interval = Qt_util.Interval
+
+let quick = Helpers.quick
+
+let customer =
+  Schema.mk_relation ~partition_key:(Some "custid") ~cardinality:1000
+    ~attrs:
+      [
+        Schema.mk_attr ~domain:(Schema.D_int (Interval.make 0 999)) ~distinct:1000
+          "custid";
+        Schema.mk_attr ~domain:(Schema.D_string 100) "custname";
+      ]
+    "customer"
+
+let test_schema_lookup () =
+  let s = Schema.create [ customer ] in
+  Alcotest.(check bool) "found" true (Schema.find_relation s "customer" <> None);
+  Alcotest.(check bool) "missing" true (Schema.find_relation s "nope" = None);
+  Alcotest.(check bool) "attr found" true
+    (Schema.attribute_of s ~rel:"customer" ~attr:"custid" <> None);
+  Alcotest.(check bool) "key range" true
+    (Interval.equal (Interval.make 0 999) (Schema.key_range customer))
+
+let test_schema_validation () =
+  let dup_attr =
+    Schema.mk_relation ~cardinality:1
+      ~attrs:[ Schema.mk_attr "x"; Schema.mk_attr "x" ]
+      "bad"
+  in
+  (match Schema.create [ dup_attr ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate attribute accepted");
+  (match Schema.create [ customer; customer ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate relation accepted");
+  let bad_key =
+    Schema.mk_relation ~partition_key:(Some "name") ~cardinality:1
+      ~attrs:[ Schema.mk_attr ~domain:(Schema.D_string 5) "name" ]
+      "bad2"
+  in
+  match Schema.create [ bad_key ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "string partition key accepted"
+
+let test_fragment_restrict_rows () =
+  let f = Fragment.make ~rel:"customer" ~range:(Interval.make 0 99) ~rows:200 in
+  Alcotest.(check int) "whole" 200 (Fragment.restrict_rows f (Interval.make 0 99));
+  Alcotest.(check int) "superset" 200 (Fragment.restrict_rows f Interval.full);
+  Alcotest.(check int) "half" 100 (Fragment.restrict_rows f (Interval.make 0 49));
+  Alcotest.(check int) "disjoint" 0 (Fragment.restrict_rows f (Interval.make 500 600));
+  Alcotest.(check bool) "covers_whole false" false (Fragment.covers_whole customer f);
+  let whole = Fragment.make ~rel:"customer" ~range:(Interval.make 0 999) ~rows:1000 in
+  Alcotest.(check bool) "covers_whole true" true (Fragment.covers_whole customer whole)
+
+let test_fragment_predicate () =
+  let f = Fragment.make ~rel:"customer" ~range:(Interval.make 100 199) ~rows:100 in
+  (match Fragment.predicate customer ~alias:"c" f with
+  | Some (Qt_sql.Ast.Between (a, 100, 199)) ->
+    Alcotest.(check string) "alias" "c" a.Qt_sql.Ast.rel;
+    Alcotest.(check string) "attr" "custid" a.Qt_sql.Ast.name
+  | _ -> Alcotest.fail "predicate shape");
+  let whole = Fragment.make ~rel:"customer" ~range:Interval.full ~rows:1000 in
+  Alcotest.(check bool) "no predicate for full copy" true
+    (Fragment.predicate customer ~alias:"c" whole = None)
+
+let test_node_and_federation () =
+  let schema = Schema.create [ customer ] in
+  let f0 = Fragment.make ~rel:"customer" ~range:(Interval.make 0 499) ~rows:500 in
+  let f1 = Fragment.make ~rel:"customer" ~range:(Interval.make 500 999) ~rows:500 in
+  let n0 = Node.make ~id:0 ~name:"n0" ~fragments:[ f0 ] () in
+  let n1 = Node.make ~id:1 ~name:"n1" ~fragments:[ f1 ] () in
+  let fed = Federation.create schema [ n0; n1 ] in
+  Alcotest.(check int) "ids" 2 (List.length (Federation.node_ids fed));
+  Alcotest.(check int) "holders" 2
+    (List.length (Federation.nodes_with_relation fed "customer"));
+  Alcotest.(check bool) "covered" true (Federation.relation_covered fed "customer");
+  Alcotest.(check int) "total rows" 1000 (Federation.total_fragment_rows fed "customer");
+  (* Remove a slice: coverage must fail. *)
+  let partial = Federation.create schema [ n0 ] in
+  Alcotest.(check bool) "uncovered" false
+    (Federation.relation_covered partial "customer");
+  (* Duplicate ids rejected. *)
+  (match Federation.create schema [ n0; n0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate node ids accepted");
+  (* Unknown relation rejected. *)
+  let ghost =
+    Node.make ~id:9 ~name:"ghost"
+      ~fragments:[ Fragment.make ~rel:"nope" ~range:Interval.full ~rows:1 ]
+      ()
+  in
+  match Federation.create schema [ ghost ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown relation accepted"
+
+let test_generator_covers () =
+  (* Every generated federation must cover its relations, whatever the
+     partition/replica mix. *)
+  List.iter
+    (fun (nodes, partitions, replicas) ->
+      let fed = Helpers.telecom_federation ~nodes ~partitions ~replicas () in
+      List.iter
+        (fun (rel : Schema.relation) ->
+          if not (Federation.relation_covered fed rel.rel_name) then
+            Alcotest.failf "nodes=%d p=%d r=%d leaves %s uncovered" nodes partitions
+              replicas rel.rel_name)
+        (Schema.relations fed.Federation.schema))
+    [ (4, 2, 1); (4, 4, 2); (10, 5, 3); (3, 8, 1); (16, 4, 4) ]
+
+let test_generator_replicas_consistent () =
+  let fed = Helpers.telecom_federation ~nodes:6 ~partitions:3 ~replicas:2 () in
+  (* Each partition of customer must appear on exactly two nodes with the
+     same range and row count. *)
+  let frags =
+    List.concat_map (fun (n : Node.t) -> Node.fragments_of n "customer")
+      fed.Federation.nodes
+  in
+  let groups =
+    Qt_util.Listx.group_by (fun (f : Fragment.t) -> f.range.Interval.lo) frags
+  in
+  Alcotest.(check int) "three partitions" 3 (List.length groups);
+  List.iter
+    (fun (_, copies) ->
+      Alcotest.(check int) "two replicas" 2 (List.length copies);
+      match copies with
+      | [ a; b ] -> Alcotest.(check bool) "identical" true (Fragment.equal a b)
+      | _ -> ())
+    groups
+
+let test_view_make () =
+  let def = Helpers.parse "SELECT il.custid FROM invoiceline il" in
+  let v = View.make ~name:"v1" ~definition:def ~rows:10 () in
+  Alcotest.(check string) "name" "v1" v.View.view_name;
+  match View.make ~name:"bad" ~definition:def ~rows:(-1) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative view rows accepted"
+
+let suite =
+  ( "catalog",
+    [
+      quick "schema lookup" test_schema_lookup;
+      quick "schema validation" test_schema_validation;
+      quick "fragment restrict_rows" test_fragment_restrict_rows;
+      quick "fragment predicate" test_fragment_predicate;
+      quick "node and federation" test_node_and_federation;
+      quick "generator covers" test_generator_covers;
+      quick "generator replicas consistent" test_generator_replicas_consistent;
+      quick "view make" test_view_make;
+    ] )

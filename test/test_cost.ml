@@ -1,0 +1,84 @@
+module Cost = Qt_cost.Cost
+module Params = Qt_cost.Params
+module Model = Qt_cost.Model
+
+let quick = Helpers.quick
+let p = Params.default
+
+let test_cost_algebra () =
+  let a = Cost.make ~cpu:1. ~io:2. ~net:3. () in
+  let b = Cost.make ~cpu:0.5 () in
+  Alcotest.(check (float 1e-9)) "response" 6. (Cost.response a);
+  Alcotest.(check (float 1e-9)) "add" 6.5 (Cost.response (Cost.add a b));
+  Alcotest.(check (float 1e-9)) "sum" 13. (Cost.response (Cost.sum [ a; a; b; b ]));
+  Alcotest.(check (float 1e-9)) "scale" 12. (Cost.response (Cost.scale 2. a));
+  Alcotest.(check (float 1e-9)) "zero" 0. (Cost.response Cost.zero);
+  Alcotest.(check bool) "compare" true (Cost.compare b a < 0);
+  Alcotest.(check bool) "finite" true (Cost.is_finite a);
+  Alcotest.(check bool) "infinite" false (Cost.is_finite Cost.infinite)
+
+let test_cost_par () =
+  let a = Cost.make ~net:3. () and b = Cost.make ~net:5. () in
+  Alcotest.(check (float 1e-9)) "par is max" 5. (Cost.response (Cost.par a b));
+  Alcotest.(check (float 1e-9)) "par commutes" 5. (Cost.response (Cost.par b a));
+  Alcotest.(check (float 1e-9)) "par with zero" 3.
+    (Cost.response (Cost.par a Cost.zero))
+
+let test_scan_monotonic () =
+  let c1 = Cost.response (Model.scan p ~rows:1000. ~row_bytes:100 ()) in
+  let c2 = Cost.response (Model.scan p ~rows:10000. ~row_bytes:100 ()) in
+  Alcotest.(check bool) "more rows cost more" true (c2 > c1);
+  let fast = Cost.response (Model.scan p ~io_factor:2.0 ~rows:10000. ~row_bytes:100 ()) in
+  Alcotest.(check bool) "faster disk cheaper" true (fast < c2)
+
+let test_join_models () =
+  let hj =
+    Cost.response
+      (Model.hash_join p ~build_rows:100. ~probe_rows:1000. ~out_rows:500. ())
+  in
+  let nl =
+    Cost.response
+      (Model.nested_loop_join p ~outer_rows:100. ~inner_rows:1000. ~out_rows:500. ())
+  in
+  Alcotest.(check bool) "hash beats nested loop" true (hj < nl);
+  let sorted = Cost.response (Model.sort p ~rows:10000. ()) in
+  let scanned = Cost.response (Model.filter p ~rows:10000. ()) in
+  Alcotest.(check bool) "sort beats linear pass" true (sorted > scanned)
+
+let test_transfer () =
+  let small = Cost.response (Model.transfer p ~rows:1. ~row_bytes:10) in
+  let big = Cost.response (Model.transfer p ~rows:1_000_000. ~row_bytes:100) in
+  Alcotest.(check bool) "latency floor" true (small >= p.Params.net_latency);
+  Alcotest.(check bool) "volume dominates" true (big > 100. *. small);
+  Alcotest.(check int) "bytes accounted" (p.Params.msg_overhead_bytes + 1000)
+    (Model.transfer_bytes p ~rows:10. ~row_bytes:100)
+
+let test_params_presets () =
+  Alcotest.(check bool) "lan faster" true
+    (Params.lan.Params.net_latency < Params.default.Params.net_latency);
+  Alcotest.(check bool) "wan slower" true
+    (Params.wan.Params.net_latency > Params.default.Params.net_latency);
+  Alcotest.(check bool) "wan thin" true
+    (Params.wan.Params.net_bandwidth < Params.lan.Params.net_bandwidth)
+
+let prop_response_nonneg =
+  QCheck2.Test.make ~name:"model costs are non-negative" ~count:300
+    QCheck2.Gen.(pair (float_bound_exclusive 1e6) (int_range 1 1000))
+    (fun (rows, row_bytes) ->
+      let rows = Float.abs rows in
+      Cost.response (Model.scan p ~rows ~row_bytes ()) >= 0.
+      && Cost.response (Model.sort p ~rows ()) >= 0.
+      && Cost.response (Model.transfer p ~rows ~row_bytes) >= 0.
+      && Cost.response (Model.aggregate p ~rows ~groups:(rows /. 2.) ()) >= 0.)
+
+let suite =
+  ( "cost",
+    [
+      quick "cost algebra" test_cost_algebra;
+      quick "cost par" test_cost_par;
+      quick "scan monotonic" test_scan_monotonic;
+      quick "join models" test_join_models;
+      quick "transfer" test_transfer;
+      quick "params presets" test_params_presets;
+      QCheck_alcotest.to_alcotest prop_response_nonneg;
+    ] )

@@ -1,0 +1,375 @@
+module Ast = Qt_sql.Ast
+module Value = Qt_exec.Value
+module Table = Qt_exec.Table
+module Ops = Qt_exec.Ops
+module Store = Qt_exec.Store
+module Naive = Qt_exec.Naive
+module Interval = Qt_util.Interval
+
+let quick = Helpers.quick
+let parse = Helpers.parse
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "int vs float" true (Value.compare (V_int 2) (V_float 2.0) = 0);
+  Alcotest.(check bool) "int order" true (Value.compare (V_int 1) (V_int 2) < 0);
+  Alcotest.(check bool) "null first" true (Value.compare V_null (V_int (-999)) < 0);
+  Alcotest.(check bool) "string after numeric" true
+    (Value.compare (V_string "a") (V_int 5) > 0);
+  Alcotest.(check bool) "add ints" true (Value.equal (Value.add (V_int 2) (V_int 3)) (V_int 5));
+  Alcotest.(check bool) "add null" true (Value.equal (Value.add V_null (V_int 3)) (V_int 3))
+
+(* ------------------------------------------------------------------ *)
+(* Tables and operators over hand-built data                            *)
+(* ------------------------------------------------------------------ *)
+
+let col alias name = { Table.alias; name }
+
+let people =
+  Table.create
+    [| col "p" "id"; col "p" "dept"; col "p" "salary" |]
+    [
+      [| Value.V_int 1; Value.V_string "eng"; Value.V_int 100 |];
+      [| Value.V_int 2; Value.V_string "eng"; Value.V_int 200 |];
+      [| Value.V_int 3; Value.V_string "ops"; Value.V_int 150 |];
+      [| Value.V_int 4; Value.V_string "ops"; Value.V_int 50 |];
+    ]
+
+let depts =
+  Table.create
+    [| col "d" "name"; col "d" "floor" |]
+    [
+      [| Value.V_string "eng"; Value.V_int 3 |];
+      [| Value.V_string "ops"; Value.V_int 1 |];
+      [| Value.V_string "hr"; Value.V_int 2 |];
+    ]
+
+let test_table_create_validates () =
+  match Table.create [| col "a" "x" |] [ [| Value.V_int 1; Value.V_int 2 |] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "row width mismatch accepted"
+
+let test_filter () =
+  let preds = [ Ast.Cmp (Ast.Gt, Ast.Col (Ast.attr "p" "salary"), Ast.Lit (Ast.L_int 100)) ] in
+  let out = Ops.filter people preds in
+  Alcotest.(check int) "two rows" 2 (Table.cardinality out)
+
+let test_filter_between () =
+  let preds = [ Ast.Between (Ast.attr "p" "id", 2, 3) ] in
+  Alcotest.(check int) "range filter" 2 (Table.cardinality (Ops.filter people preds))
+
+let test_hash_join () =
+  let preds = [ Ast.eq_join (Ast.attr "p" "dept") (Ast.attr "d" "name") ] in
+  let out = Ops.hash_join people depts preds in
+  Alcotest.(check int) "all people matched" 4 (Table.cardinality out);
+  Alcotest.(check int) "five columns" 5 (Array.length out.Table.cols);
+  (* hr has no people: inner join drops it. *)
+  let hr =
+    List.filter
+      (fun row -> Value.equal row.(3) (Value.V_string "hr"))
+      out.Table.rows
+  in
+  Alcotest.(check int) "no hr rows" 0 (List.length hr)
+
+let test_join_with_extra_pred () =
+  let preds =
+    [
+      Ast.eq_join (Ast.attr "p" "dept") (Ast.attr "d" "name");
+      Ast.Cmp (Ast.Ge, Ast.Col (Ast.attr "p" "salary"), Ast.Lit (Ast.L_int 150));
+    ]
+  in
+  Alcotest.(check int) "post filter applied" 2
+    (Table.cardinality (Ops.hash_join people depts preds))
+
+let test_merge_join_matches_hash () =
+  let preds = [ Ast.eq_join (Ast.attr "p" "dept") (Ast.attr "d" "name") ] in
+  let h = Ops.hash_join people depts preds in
+  let m = Ops.merge_join people depts preds in
+  Alcotest.(check bool) "same multiset" true (Helpers.tables_equal_po h m);
+  (* Merge output is ordered by the join key. *)
+  let key_idx = Table.find_col_exn m ~alias:"p" ~name:"dept" in
+  let keys = List.map (fun r -> r.(key_idx)) m.Table.rows in
+  let sorted = List.sort Value.compare keys in
+  Alcotest.(check bool) "key-ordered output" true
+    (List.for_all2 (fun a b -> Value.compare a b = 0) keys sorted)
+
+let test_merge_join_duplicate_runs () =
+  (* Both sides carry duplicate keys: the merge must emit the full cross
+     product of each equal-key run. *)
+  let l =
+    Table.create [| col "a" "k" |]
+      [ [| Value.V_int 1 |]; [| Value.V_int 1 |]; [| Value.V_int 2 |] ]
+  in
+  let r =
+    Table.create [| col "b" "k" |]
+      [ [| Value.V_int 1 |]; [| Value.V_int 1 |]; [| Value.V_int 1 |] ]
+  in
+  let preds = [ Ast.eq_join (Ast.attr "a" "k") (Ast.attr "b" "k") ] in
+  Alcotest.(check int) "2x3 run product" 6
+    (Table.cardinality (Ops.merge_join l r preds));
+  Alcotest.(check int) "hash agrees" 6 (Table.cardinality (Ops.hash_join l r preds))
+
+let test_merge_join_requires_eq () =
+  match Ops.merge_join people depts [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "merge join without equality accepted"
+
+let test_hash_join_null_and_type_semantics () =
+  (* NULL join keys never match (SQL three-valued equality) and numeric
+     keys are distinct from string keys — identically in every join
+     algorithm. *)
+  let l =
+    Table.create [| col "a" "k" |]
+      [ [| Value.V_null |]; [| Value.V_int 2 |]; [| Value.V_string "2" |] ]
+  in
+  let r =
+    Table.create [| col "b" "k" |]
+      [ [| Value.V_null |]; [| Value.V_float 2.0 |] ]
+  in
+  let preds = [ Ast.eq_join (Ast.attr "a" "k") (Ast.attr "b" "k") ] in
+  let h = Ops.hash_join l r preds in
+  (* Only V_int 2 = V_float 2.0 matches: not the NULLs, not the string. *)
+  Alcotest.(check int) "single match" 1 (Table.cardinality h);
+  let m = Ops.merge_join l r preds in
+  Alcotest.(check bool) "merge agrees" true (Helpers.tables_equal_po h m);
+  let n = Ops.nested_loop_join l r preds in
+  Alcotest.(check bool) "nested loop agrees" true (Helpers.tables_equal_po h n)
+
+let test_nested_loop_matches_hash () =
+  let preds =
+    [
+      Ast.eq_join (Ast.attr "p" "dept") (Ast.attr "d" "name");
+      Ast.Cmp (Ast.Ge, Ast.Col (Ast.attr "p" "salary"), Ast.Lit (Ast.L_int 100));
+    ]
+  in
+  let h = Ops.hash_join people depts preds in
+  let n = Ops.nested_loop_join people depts preds in
+  Alcotest.(check bool) "same multiset" true (Helpers.tables_equal_po h n)
+
+let test_cartesian_fallback () =
+  let out = Ops.hash_join people depts [] in
+  Alcotest.(check int) "cartesian" 12 (Table.cardinality out)
+
+let test_project_and_star () =
+  let out = Ops.project people [ Ast.col "p" "salary" ] in
+  Alcotest.(check int) "one col" 1 (Array.length out.Table.cols);
+  let star = Ops.project people [ Ast.Sel_col (Ast.attr "p" "*") ] in
+  Alcotest.(check int) "star keeps all" 3 (Array.length star.Table.cols);
+  match Ops.project people [ Ast.Sel_agg (Ast.Count, None) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "aggregate in project accepted"
+
+let test_aggregate_grouped () =
+  let out =
+    Ops.aggregate people
+      ~group_by:[ Ast.attr "p" "dept" ]
+      [
+        Ast.col "p" "dept";
+        Ast.Sel_agg (Ast.Sum, Some (Ast.attr "p" "salary"));
+        Ast.Sel_agg (Ast.Count, None);
+        Ast.Sel_agg (Ast.Min, Some (Ast.attr "p" "salary"));
+        Ast.Sel_agg (Ast.Max, Some (Ast.attr "p" "salary"));
+        Ast.Sel_agg (Ast.Avg, Some (Ast.attr "p" "salary"));
+      ]
+  in
+  Alcotest.(check int) "two groups" 2 (Table.cardinality out);
+  let eng =
+    List.find (fun r -> Value.equal r.(0) (Value.V_string "eng")) out.Table.rows
+  in
+  Alcotest.(check bool) "sum" true (Value.equal eng.(1) (Value.V_int 300));
+  Alcotest.(check bool) "count" true (Value.equal eng.(2) (Value.V_int 2));
+  Alcotest.(check bool) "min" true (Value.equal eng.(3) (Value.V_int 100));
+  Alcotest.(check bool) "max" true (Value.equal eng.(4) (Value.V_int 200));
+  Alcotest.(check bool) "avg" true (Value.equal eng.(5) (Value.V_float 150.))
+
+let test_aggregate_global_empty () =
+  let empty = { people with Table.rows = [] } in
+  let out =
+    Ops.aggregate empty ~group_by:[]
+      [ Ast.Sel_agg (Ast.Count, None); Ast.Sel_agg (Ast.Sum, Some (Ast.attr "p" "salary")) ]
+  in
+  Alcotest.(check int) "one row for empty input" 1 (Table.cardinality out);
+  let row = List.hd out.Table.rows in
+  Alcotest.(check bool) "count 0" true (Value.equal row.(0) (Value.V_int 0));
+  Alcotest.(check bool) "sum null" true (Value.is_null row.(1))
+
+let test_distinct_and_sort () =
+  let dup =
+    Table.create [| col "t" "x" |]
+      [ [| Value.V_int 2 |]; [| Value.V_int 1 |]; [| Value.V_int 2 |] ]
+  in
+  Alcotest.(check int) "dedup" 2 (Table.cardinality (Ops.distinct dup));
+  let sorted = Ops.sort dup [ (Ast.attr "t" "x", Ast.Desc) ] in
+  match sorted.Table.rows with
+  | [ [| Value.V_int 2 |]; [| Value.V_int 2 |]; [| Value.V_int 1 |] ] -> ()
+  | _ -> Alcotest.fail "descending sort wrong"
+
+let test_append_reorders () =
+  let t1 = Table.create [| col "a" "x"; col "a" "y" |] [ [| Value.V_int 1; Value.V_int 2 |] ] in
+  let t2 = Table.create [| col "a" "y"; col "a" "x" |] [ [| Value.V_int 4; Value.V_int 3 |] ] in
+  let out = Table.append t1 t2 in
+  Alcotest.(check int) "two rows" 2 (Table.cardinality out);
+  match List.nth out.Table.rows 1 with
+  | [| Value.V_int 3; Value.V_int 4 |] -> ()
+  | _ -> Alcotest.fail "columns not reordered"
+
+(* ------------------------------------------------------------------ *)
+(* Store + Naive                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let federation = Helpers.telecom_federation ~nodes:4 ~partitions:2 ~replicas:2 ()
+let store = Store.generate ~seed:5 federation
+
+let test_store_cardinalities () =
+  Alcotest.(check int) "customers" 800
+    (Table.cardinality (Store.global_table store "customer"));
+  Alcotest.(check int) "invoice lines" 4000
+    (Table.cardinality (Store.global_table store "invoiceline"))
+
+let test_fragment_slices_global () =
+  let whole = Store.global_table store "customer" in
+  let lo = Store.fragment_table store ~rel:"customer" ~range:(Interval.make 0 399) in
+  let hi = Store.fragment_table store ~rel:"customer" ~range:(Interval.make 400 799) in
+  Alcotest.(check int) "partition split"
+    (Table.cardinality whole)
+    (Table.cardinality lo + Table.cardinality hi)
+
+let test_naive_matches_handcount () =
+  let q = parse "SELECT COUNT(*) FROM customer c WHERE c.custid BETWEEN 0 AND 399" in
+  let result = Naive.run_global store q in
+  let expected =
+    Table.cardinality (Store.fragment_table store ~rel:"customer" ~range:(Interval.make 0 399))
+  in
+  match List.hd result.Table.rows with
+  | [| Value.V_int n |] -> Alcotest.(check int) "count" expected n
+  | _ -> Alcotest.fail "count shape"
+
+let test_node_union_of_fragments_vs_global () =
+  (* A query over one node's holdings must equal the global query
+     restricted to that node's ranges. *)
+  let node = List.hd federation.Qt_catalog.Federation.nodes in
+  let frag =
+    List.find
+      (fun (f : Qt_catalog.Fragment.t) -> f.rel = "customer")
+      node.Qt_catalog.Node.fragments
+  in
+  let q = parse "SELECT c.custid, c.office FROM customer c" in
+  let local = Naive.run_at_node store federation ~node:node.node_id q in
+  let expected =
+    Naive.run_global store
+      (parse
+         (Printf.sprintf
+            "SELECT c.custid, c.office FROM customer c WHERE c.custid BETWEEN %d AND %d"
+            frag.range.Interval.lo frag.range.Interval.hi))
+  in
+  Alcotest.(check bool) "node = restricted global" true
+    (Helpers.tables_equal_po local expected)
+
+let test_replicas_agree () =
+  (* Two nodes holding the same partition must give identical answers. *)
+  let q = parse "SELECT c.custid FROM customer c WHERE c.custid BETWEEN 0 AND 399" in
+  let holders =
+    List.filter
+      (fun (n : Qt_catalog.Node.t) ->
+        List.exists
+          (fun (f : Qt_catalog.Fragment.t) ->
+            f.rel = "customer" && Interval.contains f.range (Interval.make 0 399))
+          n.fragments)
+      federation.Qt_catalog.Federation.nodes
+  in
+  match holders with
+  | a :: b :: _ ->
+    let ra = Naive.run_at_node store federation ~node:a.node_id q in
+    let rb = Naive.run_at_node store federation ~node:b.node_id q in
+    Alcotest.(check bool) "replicas identical" true (Helpers.tables_equal_po ra rb)
+  | _ -> Alcotest.fail "expected two replicas of partition 0"
+
+let test_naive_join_group () =
+  let q =
+    parse
+      "SELECT c.office, SUM(il.charge) FROM customer c, invoiceline il \
+       WHERE c.custid = il.custid GROUP BY c.office"
+  in
+  let result = Naive.run_global store q in
+  Alcotest.(check bool) "some groups" true (Table.cardinality result > 0);
+  Alcotest.(check bool) "at most 100 offices" true (Table.cardinality result <= 100);
+  (* Sum of per-office sums = global sum. *)
+  let total_by_office =
+    Qt_util.Listx.sum_by (fun row -> Value.to_float row.(1)) result.Table.rows
+  in
+  let global =
+    Naive.run_global store
+      (parse
+         "SELECT SUM(il.charge) FROM customer c, invoiceline il \
+          WHERE c.custid = il.custid")
+  in
+  let expected = Value.to_float (List.hd global.Table.rows).(0) in
+  (* Grouping must not lose or duplicate joined rows. *)
+  Alcotest.(check (float 0.5)) "totals agree" expected total_by_office
+
+let test_materialize_views () =
+  let fed = Helpers.telecom_federation ~nodes:4 ~partitions:2 ~with_views:true () in
+  let st = Store.generate ~seed:6 fed in
+  Naive.materialize_views st fed;
+  let node =
+    List.find
+      (fun (n : Qt_catalog.Node.t) -> n.Qt_catalog.Node.views <> [])
+      fed.Qt_catalog.Federation.nodes
+  in
+  let view = List.hd node.Qt_catalog.Node.views in
+  match Store.view_table st ~node:node.node_id ~view:view.view_name with
+  | None -> Alcotest.fail "view not materialized"
+  | Some t ->
+    Alcotest.(check int) "three columns" 3 (Array.length t.Table.cols);
+    Alcotest.(check bool) "non-empty" true (Table.cardinality t > 0);
+    (* Column names follow the stable output-name convention. *)
+    Alcotest.(check string) "sum column" "sum_il_charge" t.Table.cols.(1).Table.name
+
+(* Property: for random chain queries, evaluating at a node that holds a
+   full replica equals the global evaluation. *)
+let prop_full_replica_node_is_global =
+  let fed = Helpers.chain_federation ~nodes:2 ~relations:2 ~partitions:1 ~replicas:2 () in
+  let st = Store.generate ~seed:8 fed in
+  QCheck2.Test.make ~name:"full-replica node answers = global" ~count:30
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let q =
+        List.hd
+          (Qt_sim.Workload.random_chain_queries ~seed ~count:1 ~relations:2 ~max_joins:1)
+      in
+      let local = Naive.run_at_node st fed ~node:0 q in
+      let global = Naive.run_global st q in
+      Helpers.tables_equal_po local global)
+
+let suite =
+  ( "exec",
+    [
+      quick "value compare" test_value_compare;
+      quick "table create validates" test_table_create_validates;
+      quick "filter" test_filter;
+      quick "filter between" test_filter_between;
+      quick "hash join" test_hash_join;
+      quick "join with extra pred" test_join_with_extra_pred;
+      quick "merge join matches hash" test_merge_join_matches_hash;
+      quick "merge join duplicate runs" test_merge_join_duplicate_runs;
+      quick "merge join requires eq" test_merge_join_requires_eq;
+      quick "join null/type semantics" test_hash_join_null_and_type_semantics;
+      quick "nested loop matches hash" test_nested_loop_matches_hash;
+      quick "cartesian fallback" test_cartesian_fallback;
+      quick "project and star" test_project_and_star;
+      quick "aggregate grouped" test_aggregate_grouped;
+      quick "aggregate global empty" test_aggregate_global_empty;
+      quick "distinct and sort" test_distinct_and_sort;
+      quick "append reorders" test_append_reorders;
+      quick "store cardinalities" test_store_cardinalities;
+      quick "fragments slice global" test_fragment_slices_global;
+      quick "naive matches hand count" test_naive_matches_handcount;
+      quick "node union vs global" test_node_union_of_fragments_vs_global;
+      quick "replicas agree" test_replicas_agree;
+      quick "naive join group" test_naive_join_group;
+      quick "materialize views" test_materialize_views;
+      QCheck_alcotest.to_alcotest prop_full_replica_node_is_global;
+    ] )

@@ -1,0 +1,114 @@
+(* Integration battery: plans produced by the LOCAL System-R optimizer are
+   executed by the engine and compared against the naive oracle, for a
+   spectrum of SQL shapes.  This isolates optimizer+engine correctness
+   from the trading machinery (which test_core covers). *)
+
+module Ast = Qt_sql.Ast
+module Schema = Qt_catalog.Schema
+module Estimate = Qt_stats.Estimate
+module Plan = Qt_optimizer.Plan
+module Dp = Qt_optimizer.Dp
+module Interval = Qt_util.Interval
+
+let quick = Helpers.quick
+let params = Qt_cost.Params.default
+
+let federation = Helpers.telecom_federation ~nodes:2 ~partitions:1 ()
+let schema = federation.Qt_catalog.Federation.schema
+let store = Qt_exec.Store.generate ~seed:99 federation
+
+(* Base access paths: whole-relation scans (node 0 holds everything when
+   partitions = 1... node 0 holds partition 1 of 1 = all rows). *)
+let base (q : Ast.t) alias =
+  match Qt_sql.Analysis.relation_of_alias q alias with
+  | None -> None
+  | Some rel_name ->
+    let rel = Schema.find_relation_exn schema rel_name in
+    Some
+      (Plan.Scan
+         {
+           Plan.alias;
+           rel = rel_name;
+           range = Interval.full;
+           scan_rows = float_of_int rel.cardinality;
+           row_bytes = rel.row_bytes;
+           node = 0;
+         })
+
+let optimize_and_execute sql =
+  let q = Qt_sql.Parser.parse sql in
+  let env = Estimate.env_of_schema schema q in
+  match (Dp.optimize ~params ~env ~base:(base q) q).Dp.best with
+  | None -> Alcotest.failf "no plan for %s" sql
+  | Some best ->
+    let result = Qt_exec.Engine.run store federation best.Dp.plan in
+    let oracle = Qt_exec.Naive.run_global store q in
+    if not (Helpers.tables_equal_po result oracle) then
+      Alcotest.failf "optimized execution diverges for %s@.plan:@.%a" sql Plan.pp
+        best.Dp.plan
+
+let battery =
+  [
+    (* projections and selections *)
+    "SELECT c.custid FROM customer c";
+    "SELECT c.custid, c.custname, c.office FROM customer c";
+    "SELECT c.custid FROM customer c WHERE c.custid = 17";
+    "SELECT c.custid FROM customer c WHERE c.custid <> 17";
+    "SELECT c.custid FROM customer c WHERE c.custid BETWEEN 100 AND 250";
+    "SELECT c.custid FROM customer c WHERE c.custid >= 700 AND c.office < 50";
+    "SELECT c.custid FROM customer c WHERE c.custid BETWEEN 100 AND 100 AND c.custid = 200";
+    (* joins *)
+    "SELECT c.custname, il.charge FROM customer c, invoiceline il \
+     WHERE c.custid = il.custid";
+    "SELECT c.custname FROM customer c, invoiceline il \
+     WHERE c.custid = il.custid AND il.charge > 900";
+    "SELECT c.office, il.invid FROM customer c, invoiceline il \
+     WHERE c.custid = il.custid AND c.custid BETWEEN 0 AND 99 AND c.office > 20";
+    (* self join *)
+    "SELECT a.custid FROM customer a, customer b \
+     WHERE a.custid = b.custid AND b.office = 7";
+    (* aggregation *)
+    "SELECT COUNT(*) FROM customer c";
+    "SELECT SUM(il.charge), MIN(il.charge), MAX(il.charge), AVG(il.charge) \
+     FROM invoiceline il";
+    "SELECT c.office, COUNT(*) FROM customer c GROUP BY c.office";
+    "SELECT c.office, SUM(il.charge) FROM customer c, invoiceline il \
+     WHERE c.custid = il.custid GROUP BY c.office";
+    "SELECT il.custid, il.linenum, COUNT(*) FROM invoiceline il \
+     GROUP BY il.custid, il.linenum";
+    (* distinct and ordering *)
+    "SELECT DISTINCT c.office FROM customer c";
+    "SELECT DISTINCT c.office, c.custname FROM customer c WHERE c.custid < 50";
+    "SELECT c.custid FROM customer c WHERE c.custid BETWEEN 0 AND 80 \
+     ORDER BY c.custid";
+    "SELECT c.office, COUNT(*) FROM customer c GROUP BY c.office ORDER BY c.office";
+    "SELECT c.custid, c.office FROM customer c WHERE c.custid < 60 \
+     ORDER BY c.office DESC";
+    (* aggregates over empty inputs *)
+    "SELECT COUNT(*) FROM customer c WHERE c.custid = -5";
+    "SELECT SUM(il.charge) FROM invoiceline il WHERE il.charge > 100000";
+  ]
+
+let test_battery () = List.iter optimize_and_execute battery
+
+(* Normalization properties over the random query generator shared with
+   the parser roundtrip. *)
+let prop_normalize_idempotent =
+  QCheck2.Test.make ~name:"normalize is idempotent" ~count:200 Test_sql.query_gen
+    (fun q ->
+      let n = Qt_sql.Analysis.normalize q in
+      Ast.equal n (Qt_sql.Analysis.normalize n))
+
+let prop_signature_order_insensitive =
+  QCheck2.Test.make ~name:"signature ignores conjunct order" ~count:200
+    Test_sql.query_gen (fun q ->
+      let shuffled = { q with Ast.where = List.rev q.Ast.where } in
+      Qt_sql.Analysis.signature q = Qt_sql.Analysis.signature shuffled)
+
+let suite =
+  ( "local-exec",
+    [
+      quick "optimizer/engine battery" test_battery;
+      QCheck_alcotest.to_alcotest prop_normalize_idempotent;
+      QCheck_alcotest.to_alcotest prop_signature_order_insensitive;
+    ] )

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "qt"
+    [
+      Test_util.suite;
+      Test_sql.suite;
+      Test_catalog.suite;
+      Test_stats.suite;
+      Test_cost.suite;
+      Test_optimizer.suite;
+      Test_rewrite.suite;
+      Test_views.suite;
+      Test_trading.suite;
+      Test_net.suite;
+      Test_exec.suite;
+      Test_core.suite;
+      Test_baseline.suite;
+      Test_sim.suite;
+      Test_extra.suite;
+      Test_local_exec.suite;
+      Test_errors.suite;
+    ]

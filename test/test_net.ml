@@ -1,0 +1,64 @@
+module Network = Qt_net.Network
+module Params = Qt_cost.Params
+
+let quick = Helpers.quick
+
+let test_send_accounting () =
+  let net = Network.create Params.default in
+  let dt = Network.send net ~bytes:1000 in
+  Alcotest.(check int) "one message" 1 (Network.messages net);
+  Alcotest.(check int) "bytes include envelope" 1200 (Network.bytes_sent net);
+  Alcotest.(check (float 1e-9)) "clock advanced" dt (Network.clock net);
+  Alcotest.(check bool) "latency floor" true
+    (dt >= Params.default.Params.net_latency)
+
+let test_parallel_round_max_not_sum () =
+  let net = Network.create Params.default in
+  let elapsed =
+    Network.parallel_round net
+      [ (100, 100, 0.010); (100, 100, 0.050); (100, 100, 0.020) ]
+  in
+  (* Three participants = six messages, but time = slowest round trip. *)
+  Alcotest.(check int) "six messages" 6 (Network.messages net);
+  let one_way = Network.one_way net ~bytes:100 in
+  Alcotest.(check (float 1e-9)) "max participant" (0.050 +. (2. *. one_way)) elapsed;
+  Alcotest.(check (float 1e-9)) "clock = elapsed" elapsed (Network.clock net)
+
+let test_parallel_round_empty () =
+  let net = Network.create Params.default in
+  Alcotest.(check (float 1e-9)) "empty round free" 0. (Network.parallel_round net []);
+  Alcotest.(check int) "no messages" 0 (Network.messages net)
+
+let test_local_work_and_reset () =
+  let net = Network.create Params.default in
+  Network.local_work net 1.5;
+  Network.local_work net (-1.0);
+  Alcotest.(check (float 1e-9)) "negative ignored" 1.5 (Network.clock net);
+  ignore (Network.send net ~bytes:10);
+  Network.reset_counters net;
+  Alcotest.(check int) "messages reset" 0 (Network.messages net);
+  Alcotest.(check (float 1e-9)) "clock reset" 0. (Network.clock net)
+
+let test_account_messages () =
+  let net = Network.create Params.default in
+  Network.account_messages net ~count:5 ~bytes_each:64 ~elapsed:0.3;
+  Alcotest.(check int) "five messages" 5 (Network.messages net);
+  Alcotest.(check int) "bytes" (5 * (64 + 200)) (Network.bytes_sent net);
+  Alcotest.(check (float 1e-9)) "elapsed" 0.3 (Network.clock net)
+
+let test_bandwidth_matters () =
+  let lan = Network.create Params.lan and wan = Network.create Params.wan in
+  let big = 10_000_000 in
+  Alcotest.(check bool) "wan slower" true
+    (Network.one_way wan ~bytes:big > Network.one_way lan ~bytes:big)
+
+let suite =
+  ( "net",
+    [
+      quick "send accounting" test_send_accounting;
+      quick "parallel round max" test_parallel_round_max_not_sum;
+      quick "parallel round empty" test_parallel_round_empty;
+      quick "local work and reset" test_local_work_and_reset;
+      quick "account messages" test_account_messages;
+      quick "bandwidth matters" test_bandwidth_matters;
+    ] )

@@ -1,0 +1,372 @@
+module Ast = Qt_sql.Ast
+module Schema = Qt_catalog.Schema
+module Estimate = Qt_stats.Estimate
+module Cost = Qt_cost.Cost
+module Plan = Qt_optimizer.Plan
+module Dp = Qt_optimizer.Dp
+module Interval = Qt_util.Interval
+
+let quick = Helpers.quick
+let parse = Helpers.parse
+let params = Qt_cost.Params.default
+
+(* Four relations with very different sizes so join order matters. *)
+let rel name card =
+  Schema.mk_relation ~partition_key:(Some "id") ~cardinality:card
+    ~attrs:
+      [
+        Schema.mk_attr ~domain:(Schema.D_int (Interval.make 0 999)) ~distinct:1000 "id";
+        Schema.mk_attr ~domain:(Schema.D_int (Interval.make 0 9999)) ~distinct:1000 "val";
+      ]
+    name
+
+let schema =
+  Schema.create [ rel "ra" 100; rel "rb" 10000; rel "rc" 1000; rel "rd" 50000 ]
+
+let scan_base (q : Ast.t) alias =
+  match Qt_sql.Analysis.relation_of_alias q alias with
+  | None -> None
+  | Some rel_name ->
+    let r = Schema.find_relation_exn schema rel_name in
+    Some
+      (Plan.Scan
+         {
+           Plan.alias;
+           rel = rel_name;
+           range = Interval.full;
+           scan_rows = float_of_int r.cardinality;
+           row_bytes = r.row_bytes;
+           node = 0;
+         })
+
+let chain n =
+  let alias i = Printf.sprintf "t%d" i in
+  let rels = [ "ra"; "rb"; "rc"; "rd" ] in
+  let from = List.init n (fun i -> { Ast.relation = List.nth rels i; alias = alias i }) in
+  let where =
+    List.init (n - 1) (fun i ->
+        Ast.eq_join { Ast.rel = alias i; name = "id" } { Ast.rel = alias (i + 1); name = "id" })
+  in
+  Ast.query ~select:[ Ast.col (alias 0) "val" ] ~from ~where ()
+
+let optimize ?prune q =
+  let env = Estimate.env_of_schema schema q in
+  Dp.optimize ~params ?prune ~env ~base:(scan_base q) q
+
+let test_dp_finds_full_plan () =
+  let q = chain 3 in
+  let r = optimize q in
+  match r.Dp.best with
+  | None -> Alcotest.fail "no plan"
+  | Some best ->
+    Alcotest.(check (list string)) "covers all" [ "t0"; "t1"; "t2" ] best.Dp.subset;
+    Alcotest.(check bool) "cost finite" true (Cost.is_finite best.Dp.cost)
+
+let test_dp_partials_enumerated () =
+  let q = chain 3 in
+  let r = optimize q in
+  let keys = List.map (fun (p : Dp.partial) -> String.concat "," p.Dp.subset) r.Dp.partials in
+  (* Connected subsets of a 3-chain: 3 singletons + 2 pairs + 1 triple. *)
+  List.iter
+    (fun expected ->
+      if not (List.mem expected keys) then Alcotest.failf "missing partial %s" expected)
+    [ "t0"; "t1"; "t2"; "t0,t1"; "t1,t2"; "t0,t1,t2" ];
+  (* The disconnected pair (t0,t2) must NOT be offered. *)
+  Alcotest.(check bool) "no cartesian partial" false (List.mem "t0,t2" keys)
+
+let test_dp_partial_queries_projected () =
+  let q = chain 3 in
+  let r = optimize q in
+  let p01 =
+    List.find (fun (p : Dp.partial) -> p.Dp.subset = [ "t0"; "t1" ]) r.Dp.partials
+  in
+  (* The partial query must carry the crossing join column t1.id. *)
+  let names =
+    List.filter_map
+      (function
+        | Ast.Sel_col a -> Some (a.Ast.rel ^ "." ^ a.Ast.name) | Ast.Sel_agg _ -> None)
+      p01.Dp.query.Ast.select
+  in
+  Alcotest.(check bool) "crossing col kept" true (List.mem "t1.id" names)
+
+(* Exhaustive check: on a 3-relation chain DP must match brute force over
+   all bushy join orders. *)
+let all_plans q =
+  let env = Estimate.env_of_schema schema q in
+  let aliases = Qt_sql.Analysis.aliases q in
+  let join_rows subset = Estimate.subset_rows env q subset in
+  let rec build subset =
+    match subset with
+    | [ a ] -> (
+      match scan_base q a with
+      | Some s ->
+        let rows = Estimate.alias_rows env q a in
+        let preds =
+          List.filter
+            (fun p -> Qt_sql.Analysis.predicate_aliases p = [ a ])
+            q.Ast.where
+        in
+        if preds = [] then [ s ] else [ Plan.Filter { input = s; preds; rows } ]
+      | None -> [])
+    | _ ->
+      let splits =
+        List.filter
+          (fun s -> s <> [] && List.length s < List.length subset)
+          (Qt_util.Listx.nonempty_subsets subset)
+      in
+      List.concat_map
+        (fun left ->
+          let right = List.filter (fun a -> not (List.mem a left)) subset in
+          let preds =
+            List.filter
+              (fun p ->
+                let als = Qt_sql.Analysis.predicate_aliases p in
+                List.length als > 1
+                && List.exists (fun a -> List.mem a left) als
+                && List.exists (fun a -> List.mem a right) als)
+              q.Ast.where
+          in
+          if preds = [] then []
+          else
+            List.concat_map
+              (fun lp ->
+                List.concat_map
+                  (fun rp ->
+                    [
+                      Plan.Join
+                        { algo = Plan.Hash; build = lp; probe = rp; preds;
+                          rows = join_rows subset };
+                      Plan.Join
+                        { algo = Plan.Sort_merge; build = lp; probe = rp; preds;
+                          rows = join_rows subset };
+                    ])
+                  (build right))
+              (build left))
+        splits
+  in
+  build aliases
+
+let test_dp_optimal_vs_bruteforce () =
+  let q = chain 3 in
+  let r = optimize q in
+  let dp_partial =
+    List.find
+      (fun (p : Dp.partial) -> List.length p.Dp.subset = 3)
+      r.Dp.partials
+  in
+  (* Compare the raw join cost (before final projection wrappers brute
+     force doesn't have). *)
+  let brute =
+    List.map (fun p -> Cost.response (Plan.cost params p)) (all_plans q)
+  in
+  let best_brute = List.fold_left Float.min infinity brute in
+  (* The DP partial includes a projection on top; strip its cost influence
+     by comparing against brute + the same projection. *)
+  let dp_join_cost =
+    match dp_partial.Dp.plan with
+    | Plan.Project { input; _ } -> Cost.response (Plan.cost params input)
+    | p -> Cost.response (Plan.cost params p)
+  in
+  Alcotest.(check (float 1e-9)) "dp matches brute force" best_brute dp_join_cost
+
+let test_idp_prunes () =
+  let q = chain 4 in
+  let full = optimize q in
+  let pruned = optimize ~prune:(2, 1) q in
+  let pairs result =
+    List.filter (fun (p : Dp.partial) -> List.length p.Dp.subset = 2) result.Dp.partials
+  in
+  Alcotest.(check int) "all pairs without pruning" 3 (List.length (pairs full));
+  Alcotest.(check int) "one pair with IDP(2,1)" 1 (List.length (pairs pruned));
+  (* Pruned search must still produce some full plan, possibly worse. *)
+  match (full.Dp.best, pruned.Dp.best) with
+  | Some f, Some p ->
+    Alcotest.(check bool) "pruned not better" true
+      (Cost.response p.Dp.cost >= Cost.response f.Dp.cost -. 1e-9)
+  | _ -> Alcotest.fail "missing plans"
+
+let test_missing_base_degrades () =
+  let q = chain 3 in
+  let env = Estimate.env_of_schema schema q in
+  let base alias = if alias = "t1" then None else scan_base q alias in
+  let r = Dp.optimize ~params ~env ~base q in
+  Alcotest.(check bool) "no full plan" true (r.Dp.best = None);
+  (* t0 and t2 singletons survive, but nothing containing t1. *)
+  List.iter
+    (fun (p : Dp.partial) ->
+      if List.mem "t1" p.Dp.subset then Alcotest.fail "t1 partial offered")
+    r.Dp.partials
+
+let test_finalize_semantics () =
+  let q =
+    parse
+      "SELECT t0.val, COUNT(*) FROM ra t0 GROUP BY t0.val ORDER BY t0.val"
+  in
+  let r = optimize q in
+  match r.Dp.best with
+  | None -> Alcotest.fail "no plan"
+  | Some best ->
+    (match best.Dp.plan with
+    | Plan.Sort { input = Plan.Aggregate _; _ } -> ()
+    | p -> Alcotest.failf "expected Sort(Aggregate(_)), got@.%a" Plan.pp p);
+    let distinct_q = parse "SELECT DISTINCT t0.val FROM ra t0" in
+    let r2 = optimize distinct_q in
+    (match r2.Dp.best with
+    | Some { Dp.plan = Plan.Distinct _; _ } -> ()
+    | Some { Dp.plan = p; _ } -> Alcotest.failf "expected Distinct, got@.%a" Plan.pp p
+    | None -> Alcotest.fail "no plan")
+
+let test_plan_cost_remote_parallel () =
+  let remote cost rows =
+    Plan.Remote
+      {
+        Plan.seller = 1;
+        query = parse "SELECT t0.val FROM ra t0";
+        remote_rows = rows;
+        remote_row_bytes = 8;
+        delivered_cost = Cost.make ~net:cost ();
+        rename = None;
+        imports = [];
+      }
+  in
+  let u = Plan.Union { inputs = [ remote 3. 10.; remote 5. 10. ]; rows = 20. } in
+  let c = Cost.response (Plan.cost params u) in
+  (* Remote legs are fetched in parallel: total ~ max(3,5) + union CPU. *)
+  Alcotest.(check bool) "parallel remotes" true (c >= 5. && c < 5.1);
+  let j =
+    Plan.Join
+      {
+        algo = Plan.Hash;
+        build = remote 3. 10.;
+        probe = remote 5. 10.;
+        preds = [ Ast.eq_join (Ast.attr "t0" "val") (Ast.attr "t1" "val") ];
+        rows = 10.;
+      }
+  in
+  let cj = Cost.response (Plan.cost params j) in
+  Alcotest.(check bool) "join remotes parallel" true (cj >= 5. && cj < 5.1)
+
+let test_output_order () =
+  let scan = Option.get (scan_base (chain 1) "t0") in
+  Alcotest.(check int) "scan unordered" 0 (List.length (Plan.output_order scan));
+  let sorted =
+    Plan.Sort { input = scan; keys = [ (Ast.attr "t0" "id", Ast.Asc) ]; rows = 100. }
+  in
+  (match Plan.output_order sorted with
+  | [ a ] -> Alcotest.(check string) "sort key" "id" a.Ast.name
+  | _ -> Alcotest.fail "sort order lost");
+  Alcotest.(check bool) "satisfies" true
+    (Plan.satisfies_order sorted [ (Ast.attr "t0" "id", Ast.Asc) ]);
+  Alcotest.(check bool) "desc not satisfied" false
+    (Plan.satisfies_order sorted [ (Ast.attr "t0" "id", Ast.Desc) ]);
+  (* Merge joins order by the key; both sides count as equivalents. *)
+  let q2 = chain 2 in
+  let b = Option.get (scan_base q2 "t0") and p = Option.get (scan_base q2 "t1") in
+  let preds = [ Ast.eq_join (Ast.attr "t0" "id") (Ast.attr "t1" "id") ] in
+  let mj = Plan.Join { algo = Plan.Sort_merge; build = b; probe = p; preds; rows = 50. } in
+  Alcotest.(check bool) "left key" true
+    (Plan.satisfies_order mj [ (Ast.attr "t0" "id", Ast.Asc) ]);
+  Alcotest.(check bool) "right key" true
+    (Plan.satisfies_order mj [ (Ast.attr "t1" "id", Ast.Asc) ]);
+  let hj = Plan.Join { algo = Plan.Hash; build = b; probe = p; preds; rows = 50. } in
+  Alcotest.(check bool) "hash unordered" false
+    (Plan.satisfies_order hj [ (Ast.attr "t0" "id", Ast.Asc) ]);
+  (* Projection keeps the order only while the key column survives. *)
+  let proj_keep = Plan.Project { input = mj; select = [ Ast.col "t0" "id" ]; rows = 50. } in
+  Alcotest.(check bool) "projection keeps key" true
+    (Plan.satisfies_order proj_keep [ (Ast.attr "t0" "id", Ast.Asc) ]);
+  let proj_drop = Plan.Project { input = mj; select = [ Ast.col "t0" "val" ]; rows = 50. } in
+  Alcotest.(check bool) "projection drops key" false
+    (Plan.satisfies_order proj_drop [ (Ast.attr "t0" "id", Ast.Asc) ])
+
+let test_dp_exploits_interesting_order () =
+  (* A many-to-many join (few distinct keys) ordered by the join key: the
+     output is much larger than the inputs, so sorting the inputs (merge
+     join) and skipping the final sort must beat hash join + big sort. *)
+  let low_distinct =
+    Schema.mk_relation ~partition_key:(Some "id") ~cardinality:2000
+      ~attrs:
+        [
+          Schema.mk_attr ~domain:(Schema.D_int (Interval.make 0 999)) ~distinct:20 "id";
+          Schema.mk_attr ~domain:(Schema.D_int (Interval.make 0 9)) ~distinct:10 "val";
+        ]
+      "fat"
+  in
+  let schema2 = Schema.create [ low_distinct ] in
+  let q =
+    Qt_sql.Parser.parse
+      "SELECT a.id, b.val FROM fat a, fat b WHERE a.id = b.id ORDER BY a.id"
+  in
+  let env = Estimate.env_of_schema schema2 q in
+  let base alias =
+    Some
+      (Plan.Scan
+         {
+           Plan.alias;
+           rel = "fat";
+           range = Interval.full;
+           scan_rows = 2000.;
+           row_bytes = 100;
+           node = 0;
+         })
+  in
+  let r = Dp.optimize ~params ~env ~base q in
+  match r.Dp.best with
+  | None -> Alcotest.fail "no plan"
+  | Some best ->
+    let rec has_merge = function
+      | Plan.Join { algo = Plan.Sort_merge; _ } -> true
+      | Plan.Join { build; probe; _ } -> has_merge build || has_merge probe
+      | Plan.Filter { input; _ } | Plan.Project { input; _ } | Plan.Sort { input; _ }
+      | Plan.Aggregate { input; _ } | Plan.Distinct { input; _ } ->
+        has_merge input
+      | Plan.Union { inputs; _ } -> List.exists has_merge inputs
+      | Plan.Scan _ | Plan.Remote _ -> false
+    in
+    let rec has_top_sort = function
+      | Plan.Sort _ -> true
+      | Plan.Project { input; _ } -> has_top_sort input
+      | _ -> false
+    in
+    Alcotest.(check bool) "merge join chosen" true (has_merge best.Dp.plan);
+    Alcotest.(check bool) "final sort absorbed" false (has_top_sort best.Dp.plan)
+
+let test_hash_join_spills () =
+  (* A build side far beyond work_mem must make the hash join pay IO. *)
+  let small =
+    Qt_cost.Model.hash_join params ~row_bytes:100 ~build_rows:100. ~probe_rows:100.
+      ~out_rows:100. ()
+  in
+  let big =
+    Qt_cost.Model.hash_join params ~row_bytes:100 ~build_rows:1_000_000.
+      ~probe_rows:100. ~out_rows:100. ()
+  in
+  Alcotest.(check (float 1e-9)) "in-memory join has no IO" 0. small.Qt_cost.Cost.io;
+  Alcotest.(check bool) "grace hash pays IO" true (big.Qt_cost.Cost.io > 0.)
+
+let test_plan_helpers () =
+  let q = chain 3 in
+  let r = optimize q in
+  let best = Option.get r.Dp.best in
+  Alcotest.(check int) "three scans" 3 (List.length (Plan.scan_leaves best.Dp.plan));
+  Alcotest.(check int) "no remotes" 0 (List.length (Plan.remote_leaves best.Dp.plan));
+  Alcotest.(check bool) "depth sane" true (Plan.depth best.Dp.plan >= 3);
+  Alcotest.(check bool) "ops sane" true (Plan.operator_count best.Dp.plan >= 5);
+  Alcotest.(check bool) "rows positive" true (Plan.rows best.Dp.plan >= 0.)
+
+let suite =
+  ( "optimizer",
+    [
+      quick "dp finds full plan" test_dp_finds_full_plan;
+      quick "dp partials enumerated" test_dp_partials_enumerated;
+      quick "dp partial projected" test_dp_partial_queries_projected;
+      quick "dp optimal vs brute force" test_dp_optimal_vs_bruteforce;
+      quick "idp prunes" test_idp_prunes;
+      quick "missing base degrades" test_missing_base_degrades;
+      quick "finalize semantics" test_finalize_semantics;
+      quick "remote legs parallel" test_plan_cost_remote_parallel;
+      quick "output order" test_output_order;
+      quick "dp exploits interesting order" test_dp_exploits_interesting_order;
+      quick "hash join spills" test_hash_join_spills;
+      quick "plan helpers" test_plan_helpers;
+    ] )

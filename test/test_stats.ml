@@ -1,0 +1,192 @@
+module Ast = Qt_sql.Ast
+module Estimate = Qt_stats.Estimate
+module Interval = Qt_util.Interval
+
+let quick = Helpers.quick
+let parse = Helpers.parse
+
+let federation = Helpers.telecom_federation ~nodes:4 ~partitions:2 ()
+let schema = federation.Qt_catalog.Federation.schema
+
+let join_query =
+  parse
+    "SELECT c.office, il.charge FROM customer c, invoiceline il \
+     WHERE c.custid = il.custid"
+
+let env = Estimate.env_of_schema schema join_query
+
+let test_selectivity_bounds () =
+  List.iter
+    (fun sql ->
+      let q = parse sql in
+      let e = Estimate.env_of_schema schema q in
+      List.iter
+        (fun p ->
+          let s = Estimate.selectivity e q p in
+          if s <= 0. || s > 1. then
+            Alcotest.failf "selectivity %f out of (0,1] for %s" s sql)
+        q.Ast.where)
+    [
+      "SELECT c.custid FROM customer c WHERE c.custid = 5";
+      "SELECT c.custid FROM customer c WHERE c.custid <> 5";
+      "SELECT c.custid FROM customer c WHERE c.custid BETWEEN 0 AND 99";
+      "SELECT c.custid FROM customer c WHERE c.custid > 700";
+      "SELECT c.custid FROM customer c WHERE c.custname = 'bob'";
+      "SELECT c.custid FROM customer c, invoiceline il WHERE c.custid = il.custid";
+      "SELECT c.custid FROM customer c, invoiceline il WHERE c.custid < il.custid";
+    ]
+
+let test_range_selectivity_proportional () =
+  let q10 = parse "SELECT c.custid FROM customer c WHERE c.custid BETWEEN 0 AND 79" in
+  let q50 = parse "SELECT c.custid FROM customer c WHERE c.custid BETWEEN 0 AND 399" in
+  let e10 = Estimate.env_of_schema schema q10
+  and e50 = Estimate.env_of_schema schema q50 in
+  let s10 = Estimate.selectivity e10 q10 (List.hd q10.Ast.where) in
+  let s50 = Estimate.selectivity e50 q50 (List.hd q50.Ast.where) in
+  Alcotest.(check (float 0.001)) "10%" 0.1 s10;
+  Alcotest.(check (float 0.001)) "50%" 0.5 s50
+
+let test_eq_selectivity_is_inverse_distinct () =
+  let q = parse "SELECT c.custid FROM customer c WHERE c.custid = 5" in
+  let e = Estimate.env_of_schema schema q in
+  let s = Estimate.selectivity e q (List.hd q.Ast.where) in
+  (* key domain is 800 distinct values *)
+  Alcotest.(check (float 1e-6)) "1/800" (1. /. 800.) s
+
+let test_alias_and_subset_rows () =
+  let base_c = Estimate.alias_rows env join_query "c" in
+  Alcotest.(check (float 1.)) "c unfiltered" 800. base_c;
+  let joined = Estimate.subset_rows env join_query [ "c"; "il" ] in
+  (* 800 x 4000 / 800 distinct = 4000: every invoice line matches one
+     customer. *)
+  Alcotest.(check (float 10.)) "join rows" 4000. joined
+
+let test_filter_reduces_rows () =
+  let q =
+    parse
+      "SELECT c.office FROM customer c, invoiceline il \
+       WHERE c.custid = il.custid AND c.custid BETWEEN 0 AND 399"
+  in
+  let e = Estimate.env_of_schema schema q in
+  let c_rows = Estimate.alias_rows e q "c" in
+  Alcotest.(check (float 5.)) "half of customers" 400. c_rows;
+  let joined = Estimate.subset_rows e q [ "c"; "il" ] in
+  if joined >= 4000. then Alcotest.failf "filter did not reduce join: %f" joined
+
+let test_key_ranges_avoid_double_count () =
+  (* A fragment already restricted to custid in [0,399] must not have the
+     matching Between conjunct charged again. *)
+  let q =
+    parse
+      "SELECT c.office FROM customer c WHERE c.custid BETWEEN 0 AND 399"
+  in
+  let with_ranges =
+    Estimate.env_of_fragments
+      ~key_ranges:[ ("c", ("custid", Interval.make 0 399)) ]
+      schema q
+      [ ("c", 400.) ]
+  in
+  let rows = Estimate.alias_rows with_ranges q "c" in
+  Alcotest.(check (float 1.)) "no double count" 400. rows;
+  (* Without key ranges the 50% selectivity is (wrongly) applied again —
+     the situation the env feature exists to prevent. *)
+  let without = Estimate.env_of_fragments schema q [ ("c", 400.) ] in
+  let naive_rows = Estimate.alias_rows without q "c" in
+  Alcotest.(check (float 1.)) "double counted" 200. naive_rows
+
+let test_distinct_scaled_by_fragment () =
+  let q = parse "SELECT c.custid FROM customer c" in
+  let env_frag =
+    Estimate.env_of_fragments
+      ~key_ranges:[ ("c", ("custid", Interval.make 0 199)) ]
+      schema q
+      [ ("c", 200.) ]
+  in
+  let d = Estimate.distinct_of env_frag q { Ast.rel = "c"; name = "custid" } in
+  Alcotest.(check (float 1.)) "fragment distincts" 200. d
+
+let test_output_rows_group_and_agg () =
+  let agg =
+    parse "SELECT SUM(il.charge) FROM invoiceline il"
+  in
+  let e = Estimate.env_of_schema schema agg in
+  Alcotest.(check (float 0.001)) "global agg" 1. (Estimate.output_rows e agg);
+  let grouped =
+    parse "SELECT c.office, COUNT(*) FROM customer c GROUP BY c.office"
+  in
+  let e2 = Estimate.env_of_schema schema grouped in
+  Alcotest.(check (float 0.001)) "groups" 100. (Estimate.output_rows e2 grouped);
+  let plain = parse "SELECT c.office FROM customer c" in
+  let e3 = Estimate.env_of_schema schema plain in
+  Alcotest.(check (float 0.001)) "plain" 800. (Estimate.output_rows e3 plain);
+  let distinct = parse "SELECT DISTINCT c.office FROM customer c" in
+  let e4 = Estimate.env_of_schema schema distinct in
+  Alcotest.(check (float 0.001)) "distinct collapse" 100.
+    (Estimate.output_rows e4 distinct)
+
+let test_histogram_selectivity () =
+  (* On skewed data, the same range width selects very different masses;
+     the histogram-aware estimator must see that, the uniform one cannot. *)
+  let skewed = Qt_sim.Generator.telecom ~skew:1.0 ~nodes:4 () in
+  let sschema = skewed.Qt_catalog.Federation.schema in
+  let hot = parse "SELECT c.custname FROM customer c WHERE c.custid BETWEEN 0 AND 399" in
+  let cold =
+    parse "SELECT c.custname FROM customer c WHERE c.custid BETWEEN 3600 AND 3999"
+  in
+  let e_hot = Estimate.env_of_schema sschema hot in
+  let e_cold = Estimate.env_of_schema sschema cold in
+  let s_hot = Estimate.selectivity e_hot hot (List.hd hot.Ast.where) in
+  let s_cold = Estimate.selectivity e_cold cold (List.hd cold.Ast.where) in
+  Alcotest.(check bool) "hot range selects much more" true (s_hot > 5. *. s_cold);
+  (* Uniform schema: identical widths give identical selectivities. *)
+  let u_hot = Estimate.selectivity env hot (List.hd hot.Ast.where) in
+  ignore u_hot
+
+let test_histogram_matches_data () =
+  (* The estimator's row count for a hot range must be close to the rows
+     the skew-aware data generator actually produces. *)
+  let skewed =
+    Qt_sim.Generator.telecom ~skew:1.0 ~customers:2000 ~invoice_lines:2000
+      ~key_domain:2000 ~nodes:4 ()
+  in
+  let sschema = skewed.Qt_catalog.Federation.schema in
+  let store = Qt_exec.Store.generate ~seed:21 skewed in
+  let q = parse "SELECT c.custname FROM customer c WHERE c.custid BETWEEN 0 AND 199" in
+  let env_skew = Estimate.env_of_schema sschema q in
+  let estimated = Estimate.alias_rows env_skew q "c" in
+  let actual =
+    float_of_int
+      (Qt_exec.Table.cardinality
+         (Qt_exec.Store.fragment_table store ~rel:"customer"
+            ~range:(Interval.make 0 199)))
+  in
+  let uniform_guess = 2000. *. 200. /. 2000. in
+  let err est = Float.abs (est -. actual) /. actual in
+  Alcotest.(check bool) "histogram estimate beats uniform" true
+    (err estimated < err uniform_guess);
+  Alcotest.(check bool) "histogram estimate within 40%" true (err estimated < 0.4)
+
+let test_select_width () =
+  let q = parse "SELECT c.custid, c.custname FROM customer c" in
+  let e = Estimate.env_of_schema schema q in
+  (* int (8) + string (20) *)
+  Alcotest.(check int) "width" 28 (Estimate.select_width e q);
+  let star = parse "SELECT c.* FROM customer c" in
+  let es = Estimate.env_of_schema schema star in
+  Alcotest.(check int) "star width = row bytes" 64 (Estimate.select_width es star)
+
+let suite =
+  ( "stats",
+    [
+      quick "selectivity bounds" test_selectivity_bounds;
+      quick "range selectivity proportional" test_range_selectivity_proportional;
+      quick "eq selectivity" test_eq_selectivity_is_inverse_distinct;
+      quick "alias and subset rows" test_alias_and_subset_rows;
+      quick "filter reduces rows" test_filter_reduces_rows;
+      quick "key ranges avoid double count" test_key_ranges_avoid_double_count;
+      quick "distinct scaled by fragment" test_distinct_scaled_by_fragment;
+      quick "output rows" test_output_rows_group_and_agg;
+      quick "histogram selectivity" test_histogram_selectivity;
+      quick "histogram matches data" test_histogram_matches_data;
+      quick "select width" test_select_width;
+    ] )

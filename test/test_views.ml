@@ -1,0 +1,188 @@
+module Ast = Qt_sql.Ast
+module View = Qt_catalog.View
+module Containment = Qt_views.Containment
+module View_match = Qt_views.View_match
+
+let quick = Helpers.quick
+let parse = Helpers.parse
+
+let federation = Helpers.telecom_federation ()
+let schema = federation.Qt_catalog.Federation.schema
+
+(* ------------------------------------------------------------------ *)
+(* Containment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_where_implies_ranges () =
+  let narrow = parse "SELECT c.custid FROM customer c WHERE c.custid BETWEEN 10 AND 20" in
+  let wide = parse "SELECT c.custid FROM customer c WHERE c.custid BETWEEN 0 AND 99" in
+  Alcotest.(check bool) "narrow implies wide" true (Containment.where_implies narrow wide);
+  Alcotest.(check bool) "wide does not imply narrow" false
+    (Containment.where_implies wide narrow)
+
+let test_where_implies_syntactic () =
+  let a =
+    parse "SELECT c.custid FROM customer c WHERE c.custname = 'bob' AND c.custid = 5"
+  in
+  let b = parse "SELECT c.custid FROM customer c WHERE c.custname = 'bob'" in
+  Alcotest.(check bool) "subset of conjuncts" true (Containment.where_implies a b);
+  Alcotest.(check bool) "missing conjunct" false (Containment.where_implies b a)
+
+let test_residual () =
+  let req =
+    parse
+      "SELECT c.custid FROM customer c WHERE c.custid BETWEEN 10 AND 20 AND \
+       c.custname = 'bob'"
+  in
+  let given = parse "SELECT c.custid FROM customer c WHERE c.custid BETWEEN 0 AND 99" in
+  let residual = Containment.residual ~of_:req ~given in
+  (* The name filter and the narrower range must both remain. *)
+  Alcotest.(check int) "two residuals" 2 (List.length residual);
+  let given2 = parse "SELECT c.custid FROM customer c WHERE c.custid BETWEEN 10 AND 20" in
+  Alcotest.(check int) "range absorbed" 1
+    (List.length (Containment.residual ~of_:req ~given:given2))
+
+(* ------------------------------------------------------------------ *)
+(* View matching                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let spj_view =
+  View.make ~name:"v_lines"
+    ~definition:
+      (parse
+         "SELECT il.custid, il.charge FROM invoiceline il WHERE il.custid BETWEEN 0 \
+          AND 399")
+    ~rows:2000 ()
+
+let agg_view =
+  View.make ~name:"v_rev"
+    ~definition:
+      (parse
+         "SELECT il.custid, SUM(il.charge), COUNT(*) FROM invoiceline il \
+          GROUP BY il.custid")
+    ~rows:800 ()
+
+let test_spj_view_answers_contained_request () =
+  let req =
+    parse
+      "SELECT il.charge FROM invoiceline il WHERE il.custid BETWEEN 100 AND 199"
+  in
+  match View_match.rewrite schema spj_view req with
+  | None -> Alcotest.fail "expected a rewriting"
+  | Some rw ->
+    Alcotest.(check int) "single table over view" 1
+      (List.length rw.query_over_view.Ast.from);
+    (match rw.query_over_view.Ast.from with
+    | [ { Ast.relation; _ } ] -> Alcotest.(check string) "from view" "v_lines" relation
+    | _ -> Alcotest.fail "from shape");
+    (* The residual range restriction must survive, mapped to the view
+       column namespace. *)
+    Alcotest.(check int) "residual kept" 1 (List.length rw.query_over_view.Ast.where)
+
+let test_spj_view_rejects_uncovered_request () =
+  (* Request range outside the view's slice. *)
+  let req =
+    parse "SELECT il.charge FROM invoiceline il WHERE il.custid BETWEEN 500 AND 599"
+  in
+  Alcotest.(check bool) "rejected" true (View_match.rewrite schema spj_view req = None);
+  (* Request needs a column the view does not carry. *)
+  let req2 =
+    parse "SELECT il.invid FROM invoiceline il WHERE il.custid BETWEEN 0 AND 99"
+  in
+  Alcotest.(check bool) "missing column" true
+    (View_match.rewrite schema spj_view req2 = None)
+
+let test_agg_view_rollup () =
+  (* Coarser regrouping: total per customer -> global total.  SUM rolls up
+     as SUM of partial SUMs, COUNT as SUM of partial COUNTs. *)
+  let req = parse "SELECT SUM(il.charge), COUNT(*) FROM invoiceline il" in
+  match View_match.rewrite schema agg_view req with
+  | None -> Alcotest.fail "expected a rollup rewriting"
+  | Some rw ->
+    (match rw.query_over_view.Ast.select with
+    | [ Ast.Sel_agg (Ast.Sum, Some a); Ast.Sel_agg (Ast.Sum, Some b) ] ->
+      Alcotest.(check string) "sum source" "sum_il_charge" a.Ast.name;
+      Alcotest.(check string) "count source" "count_star" b.Ast.name
+    | _ -> Alcotest.fail "rollup select shape");
+    Alcotest.(check int) "no grouping" 0 (List.length rw.query_over_view.Ast.group_by)
+
+let test_agg_view_same_grouping () =
+  let req = parse "SELECT il.custid, SUM(il.charge) FROM invoiceline il GROUP BY il.custid" in
+  match View_match.rewrite schema agg_view req with
+  | None -> Alcotest.fail "expected a rewriting"
+  | Some rw ->
+    Alcotest.(check int) "grouped by view col" 1
+      (List.length rw.query_over_view.Ast.group_by)
+
+let test_agg_view_rejects_avg () =
+  let req = parse "SELECT AVG(il.charge) FROM invoiceline il" in
+  Alcotest.(check bool) "AVG does not roll up" true
+    (View_match.rewrite schema agg_view req = None)
+
+let test_agg_view_rejects_finer_grouping () =
+  (* The request groups by a column the view aggregated away. *)
+  let req =
+    parse "SELECT il.invid, SUM(il.charge) FROM invoiceline il GROUP BY il.invid"
+  in
+  Alcotest.(check bool) "finer grouping rejected" true
+    (View_match.rewrite schema agg_view req = None)
+
+let test_agg_view_residual_on_group_col () =
+  let req =
+    parse
+      "SELECT il.custid, SUM(il.charge) FROM invoiceline il \
+       WHERE il.custid BETWEEN 0 AND 99 GROUP BY il.custid"
+  in
+  (match View_match.rewrite schema agg_view req with
+  | None -> Alcotest.fail "group-column filter should be allowed"
+  | Some rw ->
+    Alcotest.(check int) "residual mapped" 1 (List.length rw.query_over_view.Ast.where));
+  (* Filtering on an aggregated-away column is not answerable. *)
+  let req2 =
+    parse
+      "SELECT il.custid, SUM(il.charge) FROM invoiceline il \
+       WHERE il.linenum = 1 GROUP BY il.custid"
+  in
+  Alcotest.(check bool) "non-group filter rejected" true
+    (View_match.rewrite schema agg_view req2 = None)
+
+let test_view_rejects_different_relations () =
+  let req = parse "SELECT c.custid FROM customer c" in
+  Alcotest.(check bool) "different relation" true
+    (View_match.rewrite schema agg_view req = None)
+
+let test_view_schema_shape () =
+  let rel = View_match.view_schema schema agg_view in
+  Alcotest.(check int) "three columns" 3 (List.length rel.Qt_catalog.Schema.attributes);
+  Alcotest.(check int) "cardinality" 800 rel.Qt_catalog.Schema.cardinality;
+  let names = List.map (fun a -> a.Qt_catalog.Schema.attr_name) rel.attributes in
+  Alcotest.(check (list string)) "output names"
+    [ "il_custid"; "sum_il_charge"; "count_star" ]
+    names
+
+let test_output_name () =
+  Alcotest.(check string) "col" "il_custid"
+    (View_match.output_name (Ast.Sel_col { Ast.rel = "il"; name = "custid" }));
+  Alcotest.(check string) "agg" "sum_il_charge"
+    (View_match.output_name
+       (Ast.Sel_agg (Ast.Sum, Some { Ast.rel = "il"; name = "charge" })));
+  Alcotest.(check string) "count star" "count_star"
+    (View_match.output_name (Ast.Sel_agg (Ast.Count, None)))
+
+let suite =
+  ( "views",
+    [
+      quick "where_implies ranges" test_where_implies_ranges;
+      quick "where_implies syntactic" test_where_implies_syntactic;
+      quick "residual" test_residual;
+      quick "spj view answers contained request" test_spj_view_answers_contained_request;
+      quick "spj view rejections" test_spj_view_rejects_uncovered_request;
+      quick "agg view rollup" test_agg_view_rollup;
+      quick "agg view same grouping" test_agg_view_same_grouping;
+      quick "agg view rejects AVG" test_agg_view_rejects_avg;
+      quick "agg view rejects finer grouping" test_agg_view_rejects_finer_grouping;
+      quick "agg view residual rules" test_agg_view_residual_on_group_col;
+      quick "view rejects different relations" test_view_rejects_different_relations;
+      quick "view schema shape" test_view_schema_shape;
+      quick "output name" test_output_name;
+    ] )
