@@ -717,6 +717,63 @@ let r_f15 () =
     Texttable.print t
 
 (* ------------------------------------------------------------------ *)
+(* R-fault: trading on the event runtime under crashes and stragglers   *)
+(* ------------------------------------------------------------------ *)
+
+let r_fault () =
+  heading "R-fault"
+    "event runtime: k sellers crash mid-trade (12 nodes, 4x3 placement, seed 42)";
+  let federation =
+    Generator.telecom ~nodes:12
+      ~placement:{ Generator.partitions = 4; replicas = 3 }
+      ()
+  in
+  let q = Workload.telecom_revenue_by_office () in
+  let rpc = { Qt_runtime.Runtime.timeout = 0.05; max_retries = 1; backoff = 2. } in
+  (* The omniscient baseline prices the same plan regardless of faults;
+     its remote pieces placed on nodes that die before the crash time are
+     "broken" — the plan cannot execute without re-optimizing. *)
+  let dp_remotes =
+    match Qt_baseline.Omniscient.global_dp ~params federation q with
+    | Ok r -> Qt_optimizer.Plan.remote_leaves r.Qt_baseline.Common.plan
+    | Error _ -> []
+  in
+  let t =
+    Texttable.create
+      [
+        "crashed"; "QT plan cost"; "msgs"; "retries"; "gave-up"; "opt time";
+        "DP broken pieces";
+      ]
+  in
+  List.iter
+    (fun k ->
+      let crashes =
+        List.init k (fun i -> Qt_runtime.Fault_plan.crash ~node:i ~at:0.001)
+      in
+      let faults = Qt_runtime.Fault_plan.make ~crashes ~jitter:0.002 () in
+      let broken =
+        List.length
+          (List.filter
+             (fun (r : Qt_optimizer.Plan.remote) -> r.seller < k)
+             dp_remotes)
+      in
+      match Experiment.run_qt_faulty ~rpc ~faults ~params ~seed:42 federation q with
+      | Error e -> Texttable.add_row t [ string_of_int k; "fail: " ^ e ]
+      | Ok (m, _, rs) ->
+        Texttable.add_row t
+          [
+            string_of_int k;
+            fmt_cost m.plan_cost;
+            string_of_int m.messages;
+            string_of_int rs.Qt_runtime.Runtime.retries;
+            string_of_int rs.Qt_runtime.Runtime.gave_up;
+            fmt_cost m.sim_time;
+            string_of_int broken;
+          ])
+    [ 0; 1; 2; 3 ];
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -803,6 +860,7 @@ let all =
     ("f13", r_f13);
     ("f14", r_f14);
     ("f15", r_f15);
+    ("fault", r_fault);
     ("micro", micro);
   ]
 

@@ -87,6 +87,37 @@ let price_arg =
     & info [ "price" ] ~docv:"PER_MB"
         ~doc:"Monetary charge sellers apply per delivered megabyte.")
 
+let faults_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault plan for the discrete-event runtime, comma-separated: \
+           crash:NODE\\@TIME[s] kills a node at a virtual time, drop:P loses \
+           each message with probability P, jitter:T[s] adds uniform extra \
+           latency.  Example: crash:2\\@0.5s,drop:0.05.  Implies the \
+           asynchronous runtime.")
+
+let timeout_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "RPC timeout before a request-for-bids attempt is retried.  \
+           Implies the asynchronous runtime.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Resends after the first RPC attempt (runtime mode).")
+
+let backoff_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "backoff" ] ~docv:"FACTOR"
+        ~doc:"Timeout multiplier applied per retry (runtime mode).")
+
 let build_federation schema nodes partitions replicas views =
   match String.split_on_char ':' schema with
   | [ "telecom" ] ->
@@ -128,12 +159,30 @@ let build_config ?(subcontracting = false) ?(price = 0.) params competitive auct
 (* ------------------------------------------------------------------ *)
 
 let run_optimize sql schema nodes partitions replicas views profile execute
-    competitive auction seed subcontracting price =
+    competitive auction seed subcontracting price faults timeout retries backoff =
   let params = params_of_profile profile in
   let federation = build_federation schema nodes partitions replicas views in
   let query = Qt_sql.Parser.parse sql in
   let config = build_config ~subcontracting ~price params competitive auction in
-  match Qt_core.Trader.optimize config federation query with
+  let fault_plan =
+    if faults = "" then Qt_runtime.Fault_plan.none
+    else Qt_runtime.Fault_plan.of_spec faults
+  in
+  let runtime =
+    if faults = "" && timeout = None then None
+    else
+      let rpc =
+        {
+          Qt_runtime.Runtime.timeout =
+            Option.value timeout
+              ~default:Qt_runtime.Runtime.default_rpc.Qt_runtime.Runtime.timeout;
+          max_retries = retries;
+          backoff;
+        }
+      in
+      Some (Qt_runtime.Runtime.create ~rpc ~faults:fault_plan ~params ~seed ())
+  in
+  match Qt_core.Trader.optimize ?runtime config federation query with
   | Error e ->
     Printf.eprintf "optimization failed: %s\n" e;
     1
@@ -143,13 +192,37 @@ let run_optimize sql schema nodes partitions replicas views profile execute
     Printf.printf "\nPlan (estimated %s):\n%s\n"
       (Format.asprintf "%a" Qt_cost.Cost.pp outcome.cost)
       (Format.asprintf "%a" Qt_optimizer.Plan.pp outcome.plan);
-    Printf.printf
-      "Optimization: %d iterations, %d messages, %.1f KiB, %.4fs simulated, %.1fms \
-       wall\n"
-      outcome.stats.iterations outcome.stats.messages
-      (float_of_int outcome.stats.bytes /. 1024.)
-      outcome.stats.sim_time
-      (1000. *. outcome.stats.wall_time);
+    (match runtime with
+    | None ->
+      Printf.printf
+        "Optimization: %d iterations, %d messages, %.1f KiB, %.4fs simulated, \
+         %.1fms wall\n"
+        outcome.stats.iterations outcome.stats.messages
+        (float_of_int outcome.stats.bytes /. 1024.)
+        outcome.stats.sim_time
+        (1000. *. outcome.stats.wall_time)
+    | Some rt ->
+      (* Runtime mode prints no wall-clock figure: a seeded faulty run is
+         byte-for-byte reproducible. *)
+      let s = Qt_runtime.Runtime.stats rt in
+      Printf.printf
+        "Optimization: %d iterations, %d messages, %.1f KiB, %.4fs simulated\n"
+        outcome.stats.iterations outcome.stats.messages
+        (float_of_int outcome.stats.bytes /. 1024.)
+        outcome.stats.sim_time;
+      Printf.printf
+        "Runtime: %d events, %d drops, %d retries, %d gave-up, %d crashed \
+         (faults %s)\n"
+        s.Qt_runtime.Runtime.events s.Qt_runtime.Runtime.drops
+        s.Qt_runtime.Runtime.retries s.Qt_runtime.Runtime.gave_up
+        s.Qt_runtime.Runtime.crashes
+        (Format.asprintf "%a" Qt_runtime.Fault_plan.pp fault_plan);
+      let sellers =
+        Qt_util.Listx.dedup ( = )
+          (List.map (fun (o : Qt_core.Offer.t) -> o.seller) outcome.purchased)
+      in
+      Printf.printf "Plan bought from surviving nodes: [%s]\n"
+        (String.concat "; " (List.map string_of_int (List.sort compare sellers))));
     if outcome.stats.seller_surplus > 0. then
       Printf.printf "Seller surplus extracted: %.4fs\n" outcome.stats.seller_surplus;
     if execute then begin
@@ -179,7 +252,8 @@ let optimize_cmd =
     Term.(
       const run_optimize $ sql_arg $ schema_arg $ nodes_arg $ partitions_arg
       $ replicas_arg $ views_arg $ profile_arg $ execute_arg $ competitive_arg
-      $ auction_arg $ seed_arg $ subcontracting_arg $ price_arg)
+      $ auction_arg $ seed_arg $ subcontracting_arg $ price_arg $ faults_arg
+      $ timeout_arg $ retries_arg $ backoff_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                              *)

@@ -43,6 +43,13 @@ let valuation w t =
 
 let wire_bytes t = 64 + String.length (Analysis.to_string t.query)
 
+let surviving ~failed offers =
+  List.filter
+    (fun o ->
+      (not (List.mem o.seller failed))
+      && List.for_all (fun (_, source, _) -> not (List.mem source failed)) o.imports)
+    offers
+
 let pp ppf t =
   Format.fprintf ppf
     "offer@@node%d%s: %a | t=%.4gs rows=%.0f complete=%.0f%% quoted=%.4g" t.seller

@@ -80,4 +80,11 @@ val wire_bytes : t -> int
 (** Approximate size of the offer message (SQL text plus fixed fields),
     for network accounting. *)
 
+val surviving : failed:int list -> t list -> t list
+(** The offers that remain honourable after [failed] nodes die: their
+    seller is alive and none of their subcontracted imports reference a
+    failed node.  Shared by {!Recovery} (between optimizations) and the
+    trading loop's mid-trade crash handling (during one, under the
+    discrete-event runtime). *)
+
 val pp : Format.formatter -> t -> unit

@@ -2,11 +2,7 @@ module Federation = Qt_catalog.Federation
 module Node = Qt_catalog.Node
 
 let surviving_contracts ~failed (previous : Trader.outcome) =
-  List.filter
-    (fun (o : Offer.t) ->
-      (not (List.mem o.seller failed))
-      && List.for_all (fun (_, source, _) -> not (List.mem source failed)) o.imports)
-    previous.Trader.purchased
+  Offer.surviving ~failed previous.Trader.purchased
 
 let failover ?config ~params ~failed ~previous (federation : Federation.t) q =
   let survivors =
@@ -19,13 +15,15 @@ let failover ?config ~params ~failed ~previous (federation : Federation.t) q =
     let reduced = Federation.create federation.schema survivors in
     let config = Option.value config ~default:(Trader.default_config params) in
     let standing = surviving_contracts ~failed previous in
-    (* Re-trade exactly what the dead sellers were providing. *)
+    (* Re-trade exactly what the failures took away: contracts of dead
+       sellers, and contracts whose subcontracted imports came from a
+       dead node (the seller is alive but can no longer deliver). *)
     let lost =
       Qt_util.Listx.dedup
         (fun a b -> Qt_sql.Analysis.equal_semantic a b)
         (List.filter_map
            (fun (o : Offer.t) ->
-             if List.mem o.seller failed then Some o.answers else None)
+             if List.memq o standing then None else Some o.answers)
            previous.Trader.purchased)
     in
     let requests = if lost = [] then None else Some lost in

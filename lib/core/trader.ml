@@ -5,6 +5,7 @@ module Node = Qt_catalog.Node
 module Cost = Qt_cost.Cost
 module Plan = Qt_optimizer.Plan
 module Network = Qt_net.Network
+module Runtime = Qt_runtime.Runtime
 module Protocol = Qt_trading.Protocol
 module Strategy = Qt_trading.Strategy
 module Listx = Qt_util.Listx
@@ -66,10 +67,15 @@ let request_bytes requests =
     requests
   |> int_of_float
 
+(* The buyer's own id on the discrete-event runtime: sellers are the
+   federation's node ids (>= 0), so the buyer sits below them. *)
+let buyer_id = -1
+
 (* Step B3/S3: one nested negotiation per lot.  Offers compete only when
    they promise the same answer (same offered query), otherwise they are
-   complementary goods and all survive to the plan generator. *)
-let negotiate config net offers =
+   complementary goods and all survive to the plan generator.  [account]
+   books the negotiation chatter: count messages, deepest lot's rounds. *)
+let negotiate config ~account offers =
   let lots =
     Listx.group_by (fun (o : Offer.t) -> Analysis.signature o.query) offers
   in
@@ -102,15 +108,49 @@ let negotiate config net offers =
       lots
   in
   (* Lots are negotiated in parallel: clock advances by the deepest lot. *)
-  Network.account_messages net ~count:!total_messages ~bytes_each:64
-    ~elapsed:
-      (float_of_int !max_rounds_any_lot *. 2. *. Network.one_way net ~bytes:64);
+  account ~count:!total_messages ~deepest_rounds:!max_rounds_any_lot;
   (winners, !total_rounds)
 
-let optimize ?(standing = []) ?requests:initial_requests config
+let optimize ?(standing = []) ?requests:initial_requests ?runtime config
     (federation : Federation.t) (q : Ast.t) =
   let wall_start = Sys.time () in
   let net = Network.create config.params in
+  (* Accounting is polymorphic over the two execution models: the legacy
+     lock-step network (one global clock) or the discrete-event runtime
+     (per-node clocks, timeouts, faults).  [net] stays the authority for
+     pure transit-time math in both. *)
+  (match runtime with
+  | None -> ()
+  | Some rt ->
+    Runtime.register rt buyer_id;
+    List.iter (fun (n : Node.t) -> Runtime.register rt n.node_id) federation.nodes);
+  let local_work dt =
+    match runtime with
+    | None -> Network.local_work net dt
+    | Some rt -> Runtime.advance rt ~node:buyer_id dt
+  in
+  let account_nego ~count ~deepest_rounds =
+    let elapsed =
+      float_of_int deepest_rounds *. 2. *. Network.one_way net ~bytes:64
+    in
+    match runtime with
+    | None -> Network.account_messages net ~count ~bytes_each:64 ~elapsed
+    | Some rt -> Runtime.chatter rt ~node:buyer_id ~count ~bytes_each:64 ~elapsed
+  in
+  let account_sub ~count ~elapsed =
+    match runtime with
+    | None -> Network.account_messages net ~count ~bytes_each:300 ~elapsed
+    | Some rt -> Runtime.chatter rt ~node:buyer_id ~count ~bytes_each:300 ~elapsed
+  in
+  let peer_alive (n : Node.t) =
+    match runtime with None -> true | Some rt -> Runtime.alive rt n.node_id
+  in
+  (* Sellers the buyer has written off: their RPCs timed out or their
+     crash fired mid-trade.  They get no further requests and their
+     standing offers are filtered through {!Offer.surviving} — the same
+     honourability rule {!Recovery.surviving_contracts} applies between
+     optimizations. *)
+  let failed_nodes : int list ref = ref [] in
   let schema = federation.schema in
   let asked : (string, unit) Hashtbl.t = Hashtbl.create 32 in
   let pool : Offer.t list ref = ref standing in
@@ -155,7 +195,7 @@ let optimize ?(standing = []) ?requests:initial_requests config
             (fun sub_query ->
               let others =
                 List.filter
-                  (fun (n : Node.t) -> n.node_id <> self.node_id)
+                  (fun (n : Node.t) -> n.node_id <> self.node_id && peer_alive n)
                   federation.nodes
               in
               sub_messages := !sub_messages + (2 * List.length others);
@@ -189,40 +229,80 @@ let optimize ?(standing = []) ?requests:initial_requests config
               in
               offers)
       in
-      let responses =
-        List.map
-          (fun (node : Node.t) ->
-            let seller_config =
-              {
-                config.seller_template with
-                Seller.strategy = config.strategy_of node.node_id;
-                load = config.load_of node.node_id;
-                market = market_for node;
-              }
-            in
-            Seller.respond seller_config schema node ~requests)
-          federation.nodes
+      let seller_config_for (node : Node.t) =
+        {
+          config.seller_template with
+          Seller.strategy = config.strategy_of node.node_id;
+          load = config.load_of node.node_id;
+          market = market_for node;
+        }
+      in
+      let reply_bytes_of (r : Seller.response) =
+        int_of_float
+          (Listx.sum_by (fun o -> float_of_int (Offer.wire_bytes o)) r.offers)
+      in
+      let fresh =
+        match runtime with
+        | None ->
+          (* Legacy lock-step round: every seller answers, the global
+             clock advances by the slowest round trip. *)
+          let responses =
+            List.map
+              (fun (node : Node.t) ->
+                Seller.respond (seller_config_for node) schema node ~requests)
+              federation.nodes
+          in
+          let participants =
+            List.map
+              (fun (r : Seller.response) ->
+                (req_bytes, reply_bytes_of r, r.processing_time))
+              responses
+          in
+          ignore (Network.parallel_round net participants);
+          List.concat_map (fun (r : Seller.response) -> r.offers) responses
+        | Some rt ->
+          (* Asynchronous round on the discrete-event runtime: RPCs with
+             timeout/retry/backoff; the buyer proceeds with whichever
+             sellers answered, and sellers that stayed silent (crashed,
+             partitioned, drops) are written off. *)
+          let targets =
+            List.filter_map
+              (fun (n : Node.t) ->
+                if List.mem n.node_id !failed_nodes then None else Some n.node_id)
+              federation.nodes
+          in
+          let round =
+            Runtime.gather_round rt ~src:buyer_id ~targets ~request_bytes:req_bytes
+              ~serve:(fun id ->
+                let node = Federation.node federation id in
+                let r = Seller.respond (seller_config_for node) schema node ~requests in
+                (r, r.Seller.processing_time, reply_bytes_of r))
+          in
+          let discovered =
+            Listx.dedup ( = )
+              (!failed_nodes @ Runtime.crashed rt @ round.Runtime.unresponsive)
+          in
+          if List.length discovered > List.length !failed_nodes then begin
+            failed_nodes := discovered;
+            (* Mid-trade crash: keep only honourable contracts and drop
+               the incumbent best, which may lean on a dead seller. *)
+            pool := Offer.surviving ~failed:discovered !pool;
+            best := None
+          end;
+          Offer.surviving ~failed:discovered
+            (List.concat_map
+               (fun (_, (r : Seller.response)) -> r.offers)
+               round.Runtime.replies)
       in
       if !sub_messages > 0 then
-        Network.account_messages net ~count:!sub_messages ~bytes_each:300
-          ~elapsed:!sub_elapsed;
-      let participants =
-        List.map
-          (fun (r : Seller.response) ->
-            let reply_bytes = Listx.sum_by (fun o -> float_of_int (Offer.wire_bytes o)) r.offers in
-            (req_bytes, int_of_float reply_bytes, r.processing_time))
-          responses
-      in
-      ignore (Network.parallel_round net participants);
-      let fresh = List.concat_map (fun (r : Seller.response) -> r.offers) responses in
+        account_sub ~count:!sub_messages ~elapsed:!sub_elapsed;
       offers_received := !offers_received + List.length fresh;
       (* B3: nested trading negotiation selects the winning offers. *)
-      let winners, rounds = negotiate config net fresh in
+      let winners, rounds = negotiate config ~account:account_nego fresh in
       negotiation_rounds := !negotiation_rounds + rounds;
       pool := !pool @ winners;
       (* B4: combine winning offers into candidate plans. *)
-      Network.local_work net
-        (config.plan_overhead *. float_of_int (List.length !pool));
+      local_work (config.plan_overhead *. float_of_int (List.length !pool));
       let candidates =
         Plan_generator.generate ~params:config.params ~weights:config.weights
           ~mode:config.mode ~schema ~offers:!pool q
@@ -288,6 +368,13 @@ let optimize ?(standing = []) ?requests:initial_requests config
         (fun (o : Offer.t) -> Strategy.surplus ~quoted:o.quoted ~true_cost:o.true_cost)
         purchased
     in
+    let messages, bytes, sim_time =
+      match runtime with
+      | None -> (Network.messages net, Network.bytes_sent net, Network.clock net)
+      | Some rt ->
+        let s = Runtime.stats rt in
+        (s.Runtime.messages, s.Runtime.bytes, Runtime.node_clock rt buyer_id)
+    in
     Ok
       {
         plan = c.plan;
@@ -295,9 +382,9 @@ let optimize ?(standing = []) ?requests:initial_requests config
         stats =
           {
             iterations = !iterations;
-            messages = Network.messages net;
-            bytes = Network.bytes_sent net;
-            sim_time = Network.clock net;
+            messages;
+            bytes;
+            sim_time;
             wall_time = Sys.time () -. wall_start;
             offers_received = !offers_received;
             negotiation_rounds = !negotiation_rounds;

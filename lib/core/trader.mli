@@ -69,9 +69,14 @@ type outcome = {
           R-F7. *)
 }
 
+val buyer_id : int
+(** The buyer's node id on the discrete-event runtime ([-1]; sellers use
+    the federation's non-negative node ids). *)
+
 val optimize :
   ?standing:Offer.t list ->
   ?requests:Qt_sql.Ast.t list ->
+  ?runtime:Qt_runtime.Runtime.t ->
   config ->
   Qt_catalog.Federation.t ->
   Qt_sql.Ast.t ->
@@ -83,5 +88,17 @@ val optimize :
     request for bids, so unchanged pieces need not be re-traded.
     [requests] overrides the first round's request-for-bids content
     (default [[q]]): a recovering buyer asks only for the pieces it lost
-    — see {!Recovery}.  [Error _] reproduces the paper's abort condition: the
-    loop ended with no candidate execution plan. *)
+    — see {!Recovery}.
+
+    [runtime] switches the request-for-bids rounds from the legacy
+    lock-step network onto a discrete-event runtime with per-node clocks,
+    RPC timeout/retry/backoff and injectable faults: each round completes
+    when every live seller replied or the (backed-off) timeout fired for
+    the rest; unresponsive or crashed sellers are written off, and their
+    standing offers are invalidated mid-trade by the same honourability
+    rule {!Recovery.surviving_contracts} applies between optimizations.
+    Without [runtime] the behaviour (and every reported number) is
+    bit-identical to previous releases.
+
+    [Error _] reproduces the paper's abort condition: the loop ended with
+    no candidate execution plan. *)

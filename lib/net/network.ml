@@ -34,16 +34,26 @@ let send t ~bytes =
   t.clock <- t.clock +. dt;
   dt
 
+let broadcast t ~count ~bytes =
+  if count < 0 then invalid_arg "Network.broadcast: negative count";
+  t.messages <- t.messages + count;
+  t.bytes_sent <- t.bytes_sent + (count * payload t bytes);
+  one_way t ~bytes
+
+let gather t replies =
+  List.fold_left
+    (fun acc (bytes, processing) ->
+      account t ~bytes;
+      Float.max acc (one_way t ~bytes +. processing))
+    0. replies
+
 let parallel_round t participants =
   let elapsed =
     List.fold_left
       (fun acc (request_bytes, reply_bytes, processing) ->
-        account t ~bytes:request_bytes;
-        account t ~bytes:reply_bytes;
-        let rtt =
-          one_way t ~bytes:request_bytes +. processing +. one_way t ~bytes:reply_bytes
-        in
-        Float.max acc rtt)
+        let send = broadcast t ~count:1 ~bytes:request_bytes in
+        let reply = gather t [ (reply_bytes, processing) ] in
+        Float.max acc (send +. reply))
       0. participants
   in
   t.clock <- t.clock +. elapsed;
@@ -52,7 +62,5 @@ let parallel_round t participants =
 let local_work t dt = t.clock <- t.clock +. Float.max 0. dt
 
 let account_messages t ~count ~bytes_each ~elapsed =
-  for _ = 1 to count do
-    account t ~bytes:bytes_each
-  done;
+  ignore (broadcast t ~count ~bytes:bytes_each : float);
   t.clock <- t.clock +. Float.max 0. elapsed

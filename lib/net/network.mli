@@ -33,6 +33,19 @@ val send : t -> bytes:int -> float
 (** Account one message and advance the clock by its transit time
     (a sequential point-to-point exchange).  Returns the transit time. *)
 
+val broadcast : t -> count:int -> bytes:int -> float
+(** Account [count] copies of a [bytes]-byte message (the fan-out leg of a
+    request round) in O(1), and return the one-way transit time of one
+    copy.  The clock is {e not} advanced: the caller owns round timing —
+    the legacy path folds the transit into {!parallel_round}'s maximum,
+    while the discrete-event runtime schedules one delivery event per
+    copy. *)
+
+val gather : t -> (int * float) list -> float
+(** Account one reply per participant [(reply_bytes, remote processing
+    seconds)] (the fan-in leg) and return the slowest [processing +
+    transit].  Like {!broadcast}, counters only — no clock movement. *)
+
 val parallel_round : t -> (int * int * float) list -> float
 (** [parallel_round t participants] performs one parallel request/reply
     round.  Each participant is [(request_bytes, reply_bytes,

@@ -1,0 +1,21 @@
+(** Deterministic event queue for the discrete-event runtime.
+
+    A binary min-heap keyed on [(virtual time, insertion sequence)]: ties
+    on time dequeue in scheduling order, so a simulation driven off this
+    queue is reproducible regardless of how many events coincide. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Schedule [payload] at [time].  [time] may be in the past relative to
+    previously popped events; the caller decides how to clamp. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, FIFO among equal times. *)
+
+val peek_time : 'a t -> float option
+(** Virtual time of the next event, if any. *)

@@ -1,0 +1,87 @@
+type crash = { node : int; at : float }
+
+type t = {
+  crashes : crash list;
+  drop_prob : float;
+  jitter : float;
+}
+
+let none = { crashes = []; drop_prob = 0.; jitter = 0. }
+
+let is_none t = t.crashes = [] && t.drop_prob = 0. && t.jitter = 0.
+
+let crash ~node ~at =
+  if at < 0. then invalid_arg "Fault_plan.crash: negative time";
+  { node; at }
+
+let make ?(crashes = []) ?(drop_prob = 0.) ?(jitter = 0.) () =
+  if drop_prob < 0. || drop_prob > 1. then
+    invalid_arg "Fault_plan.make: drop probability must be in [0, 1]";
+  if jitter < 0. then invalid_arg "Fault_plan.make: negative jitter";
+  { crashes; drop_prob; jitter }
+
+let crash_time t node =
+  List.fold_left
+    (fun acc (c : crash) ->
+      if c.node <> node then acc
+      else
+        match acc with
+        | None -> Some c.at
+        | Some earlier -> Some (Float.min earlier c.at))
+    None t.crashes
+
+(* Strip an optional trailing unit suffix from a duration literal. *)
+let seconds_of_string s =
+  let s =
+    if String.length s > 1 && s.[String.length s - 1] = 's' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  match float_of_string_opt s with
+  | Some v when v >= 0. -> v
+  | Some _ | None -> failwith (Printf.sprintf "bad duration %S in fault spec" s)
+
+(* Grammar (comma-separated items):
+     crash:<node>@<time>[s]   kill node <node> at virtual time <time>
+     drop:<p>                 drop each message with probability <p>
+     jitter:<time>[s]         add uniform extra latency in [0, <time>] *)
+let of_spec spec =
+  let item acc s =
+    match String.index_opt s ':' with
+    | None -> failwith (Printf.sprintf "bad fault item %S (want kind:value)" s)
+    | Some i -> (
+      let kind = String.sub s 0 i in
+      let value = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "crash" -> (
+        match String.split_on_char '@' value with
+        | [ node; at ] -> (
+          match int_of_string_opt node with
+          | Some node ->
+            { acc with crashes = acc.crashes @ [ crash ~node ~at:(seconds_of_string at) ] }
+          | None -> failwith (Printf.sprintf "bad crash node %S" node))
+        | _ -> failwith (Printf.sprintf "bad crash spec %S (want crash:node@time)" value))
+      | "drop" -> (
+        match float_of_string_opt value with
+        | Some p when p >= 0. && p <= 1. -> { acc with drop_prob = p }
+        | Some _ | None -> failwith (Printf.sprintf "bad drop probability %S" value))
+      | "jitter" -> { acc with jitter = seconds_of_string value }
+      | other -> failwith (Printf.sprintf "unknown fault kind %S" other))
+  in
+  spec |> String.split_on_char ','
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.map String.trim
+  |> List.fold_left item none
+
+let pp ppf t =
+  if is_none t then Format.pp_print_string ppf "none"
+  else begin
+    let items =
+      List.map
+        (fun (c : crash) -> Printf.sprintf "crash:%d@%gs" c.node c.at)
+        t.crashes
+      @ (if t.drop_prob > 0. then [ Printf.sprintf "drop:%g" t.drop_prob ] else [])
+      @ if t.jitter > 0. then [ Printf.sprintf "jitter:%gs" t.jitter ] else []
+    in
+    Format.pp_print_string ppf (String.concat "," items)
+  end

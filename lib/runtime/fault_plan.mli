@@ -1,0 +1,32 @@
+(** Injectable faults for the discrete-event federation runtime.
+
+    A fault plan is data, not behaviour: it lists node crashes at fixed
+    virtual times, a per-message drop probability, and a latency-jitter
+    bound.  {!Runtime} samples the probabilistic parts from its own seeded
+    generator, so a given (plan, seed) pair replays identically. *)
+
+type crash = { node : int; at : float }
+
+type t = {
+  crashes : crash list;  (** Nodes killed at fixed virtual times. *)
+  drop_prob : float;  (** Probability each message transmission is lost. *)
+  jitter : float;
+      (** Extra per-message latency drawn uniformly from [0, jitter]
+          seconds. *)
+}
+
+val none : t
+val is_none : t -> bool
+
+val crash : node:int -> at:float -> crash
+val make : ?crashes:crash list -> ?drop_prob:float -> ?jitter:float -> unit -> t
+
+val crash_time : t -> int -> float option
+(** Earliest scheduled crash of a node, if any. *)
+
+val of_spec : string -> t
+(** Parse a comma-separated spec, e.g. ["crash:2@0.5s,drop:0.05,jitter:0.01"].
+    Items: [crash:<node>@<time>[s]], [drop:<probability>],
+    [jitter:<time>[s]].  Raises [Failure] on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

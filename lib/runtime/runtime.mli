@@ -1,0 +1,104 @@
+(** Deterministic discrete-event federation runtime.
+
+    The legacy {!Qt_net.Network} models every request round as a lock-step
+    barrier on one global clock, so a slow or dead seller is invisible to
+    the buyer.  This runtime gives each node its own virtual clock and a
+    FIFO mailbox, moves every message through a binary-heap event queue
+    ({!Event_queue}), and layers an RPC discipline on top — per-attempt
+    timeout, bounded retries with exponential backoff — so the trading
+    loop can proceed with whichever sellers actually answer, as the
+    paper's asynchronous protocol intends.
+
+    Faults come from a declarative {!Fault_plan}: node crashes at fixed
+    virtual times, per-message drop probability, and latency jitter.  All
+    randomness (drops, jitter) is drawn from one seeded {!Qt_util.Rng}
+    consumed in event order, and ties in the event queue break by
+    scheduling sequence, so a given (plan, seed) replays identically. *)
+
+type t
+
+type rpc_config = {
+  timeout : float;  (** Seconds before an unanswered attempt is retried. *)
+  max_retries : int;  (** Resends after the first attempt. *)
+  backoff : float;  (** Timeout multiplier per retry (>= 1). *)
+}
+
+val default_rpc : rpc_config
+(** 0.5 s timeout, 2 retries, doubling backoff. *)
+
+type stats = {
+  messages : int;  (** All transmissions, dropped ones included. *)
+  bytes : int;
+  events : int;  (** Events dispatched by the scheduler. *)
+  drops : int;  (** Messages lost to [drop_prob]. *)
+  retries : int;  (** Resends triggered by timeouts. *)
+  gave_up : int;  (** RPCs abandoned after the last retry. *)
+  crashes : int;  (** Crash events that have fired. *)
+}
+
+val create :
+  ?rpc:rpc_config ->
+  ?faults:Fault_plan.t ->
+  params:Qt_cost.Params.t ->
+  seed:int ->
+  unit ->
+  t
+
+val rpc : t -> rpc_config
+val now : t -> float
+(** Virtual time of the last dispatched event. *)
+
+val one_way : t -> bytes:int -> float
+(** Base transit time (before jitter) of a [bytes]-byte message. *)
+
+val stats : t -> stats
+
+val register : t -> int -> unit
+(** Ensure a node's state exists (arming its crash timer, if planned).
+    Nodes also materialize lazily on first contact. *)
+
+val alive : t -> int -> bool
+val node_clock : t -> int -> float
+val crashed : t -> int list
+(** Nodes whose crash event has fired, sorted.  A crash scheduled beyond
+    the current virtual time has not happened yet. *)
+
+val advance : t -> node:int -> float -> unit
+(** Local work: advance one node's clock (negative durations ignored). *)
+
+val chatter : t -> node:int -> count:int -> bytes_each:int -> elapsed:float -> unit
+(** Bulk-account overlapping negotiation traffic against [node]'s clock —
+    the runtime analogue of {!Qt_net.Network.account_messages}. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** Schedule a raw event ([at] clamped to the current virtual time). *)
+
+val step : t -> bool
+(** Dispatch the earliest pending event; [false] when the queue is idle. *)
+
+val run_until_idle : t -> unit
+
+type 'reply gather_result = {
+  replies : (int * 'reply) list;
+      (** Target order preserved; only targets whose reply arrived. *)
+  unresponsive : int list;
+      (** Targets that exhausted their retries (dead, partitioned, or
+          every transmission dropped). *)
+  elapsed : float;  (** Virtual seconds from round start to resolution. *)
+}
+
+val gather_round :
+  t ->
+  src:int ->
+  targets:int list ->
+  request_bytes:int ->
+  serve:(int -> 'reply * float * int) ->
+  'reply gather_result
+(** One asynchronous request/reply round: send an RPC to every target,
+    pump the event loop until each has replied or been given up on, and
+    advance [src]'s clock to the round's resolution time.  [serve target]
+    runs at delivery time on the target's clock and returns [(reply,
+    processing seconds, reply bytes)]; a target that crashes before its
+    reply leaves never answers and is discovered by timeout.  Quorum
+    semantics: the round completes when every live target replied {e or}
+    the (final, backed-off) timeout fired for the rest. *)

@@ -53,6 +53,18 @@ let run_qt ?config ~params federation q =
   | Ok outcome -> Ok (of_trader "QT" outcome.Trader.stats, outcome)
   | Error e -> Error e
 
+let run_qt_faulty ?config ?rpc ?(faults = Qt_runtime.Fault_plan.none) ~params
+    ~seed federation q =
+  let runtime = Qt_runtime.Runtime.create ?rpc ~faults ~params ~seed () in
+  let config = Option.value config ~default:(Trader.default_config params) in
+  match Trader.optimize ~runtime config federation q with
+  | Ok outcome ->
+    Ok
+      ( of_trader "QT-faulty" outcome.Trader.stats,
+        outcome,
+        Qt_runtime.Runtime.stats runtime )
+  | Error e -> Error e
+
 let run_qt_idp ~params federation q =
   let config =
     { (Trader.default_config params) with Trader.mode = Plan_generator.Mode_idp (2, 5) }

@@ -31,6 +31,20 @@ val run_qt_idp :
 (** QT with the IDP-M(2,5) buyer plan generator (Section 3.6's scalable
     variant). *)
 
+val run_qt_faulty :
+  ?config:Qt_core.Trader.config ->
+  ?rpc:Qt_runtime.Runtime.rpc_config ->
+  ?faults:Qt_runtime.Fault_plan.t ->
+  params:Qt_cost.Params.t ->
+  seed:int ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t ->
+  (metrics * Qt_core.Trader.outcome * Qt_runtime.Runtime.stats, string) result
+(** QT on the discrete-event runtime: asynchronous request rounds with
+    timeout/retry and the given fault plan.  Deterministic for a fixed
+    [(faults, seed)] pair.  The extra {!Qt_runtime.Runtime.stats} expose
+    drops, retries, gave-up RPCs and fired crashes. *)
+
 val run_global_dp :
   ?staleness:float ->
   params:Qt_cost.Params.t ->

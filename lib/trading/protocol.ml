@@ -54,12 +54,17 @@ let run_auction ~max_rounds quotes =
       if round >= max_rounds then
         { winner = Some leader; rounds = round; exchanged_messages = !messages + 1 }
       else begin
-        (* Every trailing seller may undercut the standing best. *)
+        (* Every trailing seller may undercut the standing best.  The
+           leader is identified by seller id against the quote [best]
+           returned — never by float equality on the value, which would
+           let a rival's exact tie masquerade as the leader (or, with
+           several quotes per seller, ask the leader to undercut
+           itself). *)
         let changed = ref false in
         let next =
           List.map
             (fun q ->
-              if q.seller = leader.seller && q.value = leader.value then q
+              if q.seller = leader.seller then q
               else
                 let ceiling = Float.min q.value leader.value in
                 match

@@ -522,8 +522,10 @@ let test_qt_correct_on_skewed_data () =
 
 (* A federation with a coverage gap that only subcontracting can close
    cheaply: node 0 holds all invoice lines but only half the customers;
-   node 1 holds the other half of the customers and nothing else. *)
-let gap_federation () =
+   node 1 holds the other half of the customers and nothing else.
+   [replicated] adds node 2 carrying a copy of node 1's slice, so a
+   failure of the import source is survivable. *)
+let gap_federation ?(replicated = false) () =
   let module Schema = Qt_catalog.Schema in
   let module Fragment = Qt_catalog.Fragment in
   let module Node = Qt_catalog.Node in
@@ -551,7 +553,7 @@ let gap_federation () =
   in
   let schema = Schema.create [ customer; invoiceline ] in
   let frag rel lo hi rows = Fragment.make ~rel ~range:(Interval.make lo hi) ~rows in
-  Qt_catalog.Federation.create schema
+  let nodes =
     [
       (* A beefy regional server: local joins are much cheaper here than
          at the buyer, so completing its coverage by subcontracting beats
@@ -561,6 +563,16 @@ let gap_federation () =
         ();
       Node.make ~id:1 ~name:"cust-only" ~fragments:[ frag "customer" 400 799 400 ] ();
     ]
+    @
+    if replicated then
+      [
+        Node.make ~id:2 ~name:"cust-replica"
+          ~fragments:[ frag "customer" 400 799 400 ]
+          ();
+      ]
+    else []
+  in
+  Qt_catalog.Federation.create schema nodes
 
 let gap_query =
   parse
@@ -737,6 +749,86 @@ let test_failover_total_loss_aborts () =
     | Error _ -> ()
     | Ok _ -> Alcotest.fail "optimized with zero nodes")
 
+let test_failover_multiple_simultaneous_failures () =
+  (* Two purchased sellers die at once: with three replicas per partition
+     the patched plan must avoid both and still compute the exact answer. *)
+  let fed = Helpers.telecom_federation ~nodes:9 ~partitions:3 ~replicas:3 () in
+  let config = Trader.default_config params in
+  match Trader.optimize config fed revenue with
+  | Error e -> Alcotest.fail e
+  | Ok previous ->
+    let sellers =
+      Qt_util.Listx.dedup ( = )
+        (List.map (fun (o : Offer.t) -> o.seller) previous.Trader.purchased)
+    in
+    if List.length sellers < 2 then
+      Alcotest.fail "fixture bought from fewer than two sellers";
+    let failed = [ List.nth sellers 0; List.nth sellers 1 ] in
+    (match Qt_core.Recovery.failover ~params ~failed ~previous fed revenue with
+    | Error e -> Alcotest.fail e
+    | Ok patched ->
+      List.iter
+        (fun (r : Plan.remote) ->
+          Alcotest.(check bool) "leaf avoids every dead node" true
+            (not (List.mem r.Plan.seller failed)))
+        (Plan.remote_leaves patched.Trader.plan);
+      let survivors =
+        List.filter
+          (fun (n : Qt_catalog.Node.t) -> not (List.mem n.node_id failed))
+          fed.Qt_catalog.Federation.nodes
+      in
+      let reduced = Qt_catalog.Federation.create fed.schema survivors in
+      let store = Qt_exec.Store.generate ~seed:23 reduced in
+      let result = Qt_exec.Engine.run store reduced patched.Trader.plan in
+      let oracle = Qt_exec.Naive.run_global store revenue in
+      Alcotest.(check bool) "patched plan exact after double failure" true
+        (Helpers.tables_equal_po result oracle))
+
+let test_failover_import_chain_invalidated () =
+  (* A failure that kills the *source* of a subcontracted import: the
+     importing seller is alive, but its contract can no longer be
+     delivered and must be dropped and re-traded via the replica. *)
+  let fed = gap_federation ~replicated:true () in
+  let config =
+    { (Trader.default_config params) with Trader.allow_subcontracting = true }
+  in
+  match Trader.optimize config fed gap_query with
+  | Error e -> Alcotest.fail e
+  | Ok previous ->
+    let imported =
+      List.filter (fun (o : Offer.t) -> o.imports <> []) previous.Trader.purchased
+    in
+    Alcotest.(check bool) "fixture plan subcontracts" true (imported <> []);
+    let source =
+      match (List.hd imported).Offer.imports with
+      | (_, s, _) :: _ -> s
+      | [] -> assert false
+    in
+    let kept = Qt_core.Recovery.surviving_contracts ~failed:[ source ] previous in
+    List.iter
+      (fun (o : Offer.t) ->
+        Alcotest.(check bool) "no kept contract depends on the dead source" true
+          (o.seller <> source
+          && List.for_all (fun (_, s, _) -> s <> source) o.imports))
+      kept;
+    Alcotest.(check bool) "the importing contract was invalidated" true
+      (List.length kept < List.length previous.Trader.purchased);
+    (match
+       Qt_core.Recovery.failover ~config ~params ~failed:[ source ] ~previous fed
+         gap_query
+     with
+    | Error e -> Alcotest.fail e
+    | Ok patched ->
+      List.iter
+        (fun (r : Plan.remote) ->
+          Alcotest.(check bool) "leaf avoids the dead source" true
+            (r.Plan.seller <> source);
+          List.iter
+            (fun (_, s, _) ->
+              Alcotest.(check bool) "imports avoid the dead source" true (s <> source))
+            r.Plan.imports)
+        (Plan.remote_leaves patched.Trader.plan))
+
 let suite =
   ( "core",
     [
@@ -777,4 +869,8 @@ let suite =
       quick "failover contracts cut messages" test_failover_contracts_cut_messages;
       quick "failover contract filter" test_failover_surviving_contract_filter;
       quick "failover total loss aborts" test_failover_total_loss_aborts;
+      quick "failover multiple simultaneous failures"
+        test_failover_multiple_simultaneous_failures;
+      quick "failover import chain invalidated"
+        test_failover_import_chain_invalidated;
     ] )

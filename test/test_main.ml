@@ -11,6 +11,7 @@ let () =
       Test_views.suite;
       Test_trading.suite;
       Test_net.suite;
+      Test_runtime.suite;
       Test_exec.suite;
       Test_core.suite;
       Test_baseline.suite;

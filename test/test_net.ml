@@ -46,6 +46,49 @@ let test_account_messages () =
   Alcotest.(check int) "bytes" (5 * (64 + 200)) (Network.bytes_sent net);
   Alcotest.(check (float 1e-9)) "elapsed" 0.3 (Network.clock net)
 
+let test_broadcast_counts_without_clock () =
+  let net = Network.create Params.default in
+  let transit = Network.broadcast net ~count:5 ~bytes:100 in
+  Alcotest.(check int) "five copies accounted" 5 (Network.messages net);
+  Alcotest.(check int) "bytes include envelope" (5 * (100 + 200))
+    (Network.bytes_sent net);
+  Alcotest.(check (float 1e-9)) "clock untouched" 0. (Network.clock net);
+  Alcotest.(check (float 1e-9)) "one-way transit returned"
+    (Network.one_way net ~bytes:100) transit;
+  Alcotest.check_raises "negative count rejected"
+    (Invalid_argument "Network.broadcast: negative count") (fun () ->
+      ignore (Network.broadcast net ~count:(-1) ~bytes:1 : float))
+
+let test_gather_slowest_reply () =
+  let net = Network.create Params.default in
+  let delay = Network.gather net [ (100, 0.010); (100, 0.050); (100, 0.020) ] in
+  Alcotest.(check int) "one reply per participant" 3 (Network.messages net);
+  let one_way = Network.one_way net ~bytes:100 in
+  Alcotest.(check (float 1e-9)) "slowest processing + transit"
+    (0.050 +. one_way) delay;
+  Alcotest.(check (float 1e-9)) "clock untouched" 0. (Network.clock net);
+  Alcotest.(check (float 1e-9)) "empty gather free" 0. (Network.gather net [])
+
+let test_parallel_round_matches_broadcast_gather () =
+  (* parallel_round is the broadcast + gather pair with the clock
+     advanced; the decomposed helpers must account identically. *)
+  let participants = [ (100, 300, 0.010); (100, 500, 0.040) ] in
+  let composed = Network.create Params.default in
+  let legacy = Network.create Params.default in
+  let elapsed_legacy = Network.parallel_round legacy participants in
+  let request = Network.broadcast composed ~count:2 ~bytes:100 in
+  let reply =
+    List.fold_left
+      (fun acc (_, reply_bytes, processing) ->
+        Float.max acc (Network.gather composed [ (reply_bytes, processing) ]))
+      0. participants
+  in
+  Alcotest.(check int) "same messages" (Network.messages legacy)
+    (Network.messages composed);
+  Alcotest.(check int) "same bytes" (Network.bytes_sent legacy)
+    (Network.bytes_sent composed);
+  Alcotest.(check (float 1e-9)) "same elapsed" elapsed_legacy (request +. reply)
+
 let test_bandwidth_matters () =
   let lan = Network.create Params.lan and wan = Network.create Params.wan in
   let big = 10_000_000 in
@@ -60,5 +103,8 @@ let suite =
       quick "parallel round empty" test_parallel_round_empty;
       quick "local work and reset" test_local_work_and_reset;
       quick "account messages" test_account_messages;
+      quick "broadcast counts without clock" test_broadcast_counts_without_clock;
+      quick "gather slowest reply" test_gather_slowest_reply;
+      quick "parallel round = broadcast + gather" test_parallel_round_matches_broadcast_gather;
       quick "bandwidth matters" test_bandwidth_matters;
     ] )
