@@ -118,6 +118,15 @@ let backoff_arg =
     & info [ "backoff" ] ~docv:"FACTOR"
         ~doc:"Timeout multiplier applied per retry (runtime mode).")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print per-phase trading statistics: messages, bytes, bid-cache \
+           hits and simulated/wall time for the RFB, pricing, negotiation \
+           and plan-generation phases.")
+
 let build_federation schema nodes partitions replicas views =
   match String.split_on_char ':' schema with
   | [ "telecom" ] ->
@@ -158,8 +167,25 @@ let build_config ?(subcontracting = false) ?(price = 0.) params competitive auct
 (* optimize                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let print_phase_stats (ph : Qt_core.Trader.phase_stats) =
+  Printf.printf "\nPhases:\n";
+  Printf.printf "  %-12s %9s %9s %6s %7s %11s %9s\n" "phase" "messages" "KiB"
+    "hits" "misses" "sim (s)" "wall ms";
+  let row name (p : Qt_core.Trader.phase) =
+    Printf.printf "  %-12s %9d %9.1f %6d %7d %11.4f %9.1f\n" name p.messages
+      (float_of_int p.bytes /. 1024.)
+      p.cache_hits p.cache_misses p.sim (1000. *. p.wall)
+  in
+  row "rfb" ph.rfb;
+  row "pricing" ph.pricing;
+  row "negotiation" ph.negotiation;
+  row "plan-gen" ph.plan_gen;
+  Printf.printf "  deduped requests: %d, skipped re-broadcasts: %d\n"
+    ph.requests_deduped ph.rebroadcasts_skipped
+
 let run_optimize sql schema nodes partitions replicas views profile execute
-    competitive auction seed subcontracting price faults timeout retries backoff =
+    competitive auction seed subcontracting price faults timeout retries backoff
+    stats =
   let params = params_of_profile profile in
   let federation = build_federation schema nodes partitions replicas views in
   let query = Qt_sql.Parser.parse sql in
@@ -182,7 +208,17 @@ let run_optimize sql schema nodes partitions replicas views profile execute
       in
       Some (Qt_runtime.Runtime.create ~rpc ~faults:fault_plan ~params ~seed ())
   in
-  match Qt_core.Trader.optimize ?runtime config federation query with
+  let transport =
+    Option.map
+      (fun rt ->
+        Qt_runtime.Transport_des.create rt ~buyer:Qt_core.Trader.buyer_id
+          ~nodes:
+            (List.map
+               (fun (n : Qt_catalog.Node.t) -> n.Qt_catalog.Node.node_id)
+               federation.Qt_catalog.Federation.nodes))
+      runtime
+  in
+  match Qt_core.Trader.optimize ?transport config federation query with
   | Error e ->
     Printf.eprintf "optimization failed: %s\n" e;
     1
@@ -225,6 +261,7 @@ let run_optimize sql schema nodes partitions replicas views profile execute
         (String.concat "; " (List.map string_of_int (List.sort compare sellers))));
     if outcome.stats.seller_surplus > 0. then
       Printf.printf "Seller surplus extracted: %.4fs\n" outcome.stats.seller_surplus;
+    if stats then print_phase_stats outcome.phases;
     if execute then begin
       let store = Qt_exec.Store.generate ~seed federation in
       Qt_exec.Naive.materialize_views store federation;
@@ -253,7 +290,7 @@ let optimize_cmd =
       const run_optimize $ sql_arg $ schema_arg $ nodes_arg $ partitions_arg
       $ replicas_arg $ views_arg $ profile_arg $ execute_arg $ competitive_arg
       $ auction_arg $ seed_arg $ subcontracting_arg $ price_arg $ faults_arg
-      $ timeout_arg $ retries_arg $ backoff_arg)
+      $ timeout_arg $ retries_arg $ backoff_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                              *)
@@ -390,6 +427,10 @@ let run_workload schema nodes partitions replicas profile count feedback competi
     /. float_of_int (max 1 (List.length r.per_query_cost)));
   Printf.printf "makespan: %.4fs   busy CV: %.3f
 " r.makespan r.balance_cv;
+  Printf.printf "bid cache: %d hits, %d misses, %d invalidations
+"
+    r.cache.Qt_core.Seller.hits r.cache.Qt_core.Seller.misses
+    r.cache.Qt_core.Seller.invalidations;
   List.iter
     (fun (node, busy) -> Printf.printf "  node %d: %.4fs purchased work
 " node busy)

@@ -60,7 +60,7 @@ let collect_offers ~params ~(federation : Federation.t) ~rounds q =
         Listx.min_by (fun (o : Offer.t) -> o.Offer.props.total_time) group)
       (Listx.group_by
          (fun (o : Offer.t) ->
-           (o.Offer.seller, Analysis.signature o.Offer.query))
+           (o.Offer.seller, Analysis.Sig.id o.Offer.query_sig))
          !pool)
   in
   (deduped, !processing)

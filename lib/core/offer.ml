@@ -13,8 +13,9 @@ type properties = {
 
 type t = {
   seller : int;
-  request_sig : string;
+  request_sig : Analysis.Sig.t;
   query : Ast.t;
+  query_sig : Analysis.Sig.t;
   answers : Ast.t;
   subset : string list;
   coverage : (string * Qt_util.Interval.t) list;

@@ -25,12 +25,16 @@ type properties = {
 
 type t = {
   seller : int;
-  request_sig : string;
-      (** {!Qt_sql.Analysis.signature} of the RFB query this offer answers
-          (the negotiation lot it belongs to). *)
+  request_sig : Qt_sql.Analysis.Sig.t;
+      (** Interned signature of the RFB query this offer answers (the
+          negotiation lot it belongs to). *)
   query : Qt_sql.Ast.t;
       (** What the seller will {e execute} to produce the answer (for view
           offers, the compensation query over the view). *)
+  query_sig : Qt_sql.Analysis.Sig.t;
+      (** Interned signature of [query], computed once at offer
+          construction — what negotiation lots group by and seller-side
+          dedup compares, instead of re-normalizing the AST. *)
   answers : Qt_sql.Ast.t;
       (** The query this offer {e answers} — the (possibly rewritten or
           partial) request whose result shape the buyer receives.  Equal

@@ -359,14 +359,16 @@ let generate ~params ~weights ~mode ~schema ~offers (q : Ast.t) =
   let by_subset =
     Listx.group_by (fun (o : Offer.t) -> key o.subset) spj_offers
   in
-  let block_table : (string, Plan.t) Hashtbl.t = Hashtbl.create 32 in
+  (* Each block is stored with its cost: enumeration compares and prunes
+     blocks many times, and recosting a whole sub-plan per comparison is
+     where the generator used to spend its time. *)
+  let block_table : (string, Plan.t * Cost.t) Hashtbl.t = Hashtbl.create 32 in
   let consider subset plan =
     let k = key subset in
+    let cost = Plan.cost params plan in
     match Hashtbl.find_opt block_table k with
-    | Some existing
-      when Cost.compare (Plan.cost params existing) (Plan.cost params plan) <= 0 ->
-      ()
-    | Some _ | None -> Hashtbl.replace block_table k plan
+    | Some (_, existing) when Cost.compare existing cost <= 0 -> ()
+    | Some _ | None -> Hashtbl.replace block_table k (plan, cost)
   in
   List.iter
     (fun (_, group) ->
@@ -390,7 +392,7 @@ let generate ~params ~weights ~mode ~schema ~offers (q : Ast.t) =
       List.map
         (fun alias ->
           match Hashtbl.find_opt block_table (key [ alias ]) with
-          | Some plan -> (alias, Plan.rows plan)
+          | Some (plan, _) -> (alias, Plan.rows plan)
           | None -> (
             match Analysis.relation_of_alias q alias with
             | Some rel -> (
@@ -429,7 +431,7 @@ let generate ~params ~weights ~mode ~schema ~offers (q : Ast.t) =
           (* A pre-built block (one offer or a union) for this subset is
              itself a candidate; join splits compete against it. *)
           (match Hashtbl.find_opt block_table (key sorted) with
-          | Some plan -> candidates := [ plan ]
+          | Some block -> candidates := [ block ]
           | None -> ());
           List.iter
             (fun right ->
@@ -439,27 +441,30 @@ let generate ~params ~weights ~mode ~schema ~offers (q : Ast.t) =
                   ( Hashtbl.find_opt block_table (key left),
                     Hashtbl.find_opt block_table (key right) )
                 with
-                | Some lp, Some rp ->
+                | Some (lp, _), Some (rp, _) ->
                   let preds = connecting q left right in
                   if preds <> [] then begin
                     let out_rows = Estimate.subset_rows env q sorted in
                     let hash_build, hash_probe =
                       if Plan.rows lp <= Plan.rows rp then (lp, rp) else (rp, lp)
                     in
+                    let costed plan = (plan, Plan.cost params plan) in
                     candidates :=
-                      Plan.Join
-                        { algo = Plan.Hash; build = hash_build; probe = hash_probe;
-                          preds; rows = out_rows }
-                      :: Plan.Join
-                           { algo = Plan.Sort_merge; build = lp; probe = rp; preds;
-                             rows = out_rows }
+                      costed
+                        (Plan.Join
+                           { algo = Plan.Hash; build = hash_build;
+                             probe = hash_probe; preds; rows = out_rows })
+                      :: costed
+                           (Plan.Join
+                              { algo = Plan.Sort_merge; build = lp; probe = rp;
+                                preds; rows = out_rows })
                       :: !candidates
                   end
                 | None, _ | _, None -> ()
               end)
             (Listx.nonempty_subsets rest);
           match
-            Listx.min_by (fun p -> Cost.response (Plan.cost params p)) !candidates
+            Listx.min_by (fun (_, c) -> Cost.response c) !candidates
           with
           | Some best ->
             Hashtbl.replace block_table (key sorted) best;
@@ -474,8 +479,8 @@ let generate ~params ~weights ~mode ~schema ~offers (q : Ast.t) =
         List.sort
           (fun a b ->
             Cost.compare
-              (Plan.cost params (Hashtbl.find block_table (key a)))
-              (Plan.cost params (Hashtbl.find block_table (key b))))
+              (snd (Hashtbl.find block_table (key a)))
+              (snd (Hashtbl.find block_table (key b))))
           built
       in
       let keep = Listx.take m ranked in
@@ -489,7 +494,7 @@ let generate ~params ~weights ~mode ~schema ~offers (q : Ast.t) =
   let joined_candidate =
     match Hashtbl.find_opt block_table (key full_subset) with
     | None -> []
-    | Some plan ->
+    | Some (plan, _) ->
       let finalized = Dp.finalize ~params ~env q plan in
       [
         {

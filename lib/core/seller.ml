@@ -110,6 +110,7 @@ let offer_of_partial config schema (node : Node.t) ~request ~request_sig
     Offer.seller = node.node_id;
     request_sig;
     query = partial.query;
+    query_sig = Analysis.Sig.of_ast partial.query;
     answers = partial.query;
     subset = partial.subset;
     coverage;
@@ -202,6 +203,7 @@ let view_offers config schema (node : Node.t) ~request ~request_sig =
               Offer.seller = node.node_id;
               request_sig;
               query = cq;
+              query_sig = Analysis.Sig.of_ast cq;
               answers = request;
               subset;
               coverage;
@@ -322,12 +324,15 @@ let subcontract config schema (request : Ast.t) (variant : Localize.t) =
       | [] | _ :: _ :: _ -> None
     end
 
-let respond config schema (node : Node.t) ~requests =
+(* Price one request from scratch: localize, enumerate with the local
+   optimizer, subcontract gaps, match views, filter/dedup/rank.  Returns
+   the ranked offers together with the number of candidate partials the
+   optimizer considered (the unit the seller's processing time is charged
+   in). *)
+let price_request config schema (node : Node.t) ~request ~request_sig
+    ~buyer_estimate =
   let considered = ref 0 in
-  let all_offers =
-    List.concat_map
-      (fun (request, buyer_estimate) ->
-        let request_sig = Analysis.signature request in
+  let offers =
         let caps = node.capabilities in
         let variants = Localize.localize schema node request in
         (* Capability clipping: a node that cannot sort offers the
@@ -462,7 +467,7 @@ let respond config schema (node : Node.t) ~requests =
             (fun (_, group) ->
               Listx.min_by (fun (o : Offer.t) -> o.props.total_time) group)
             (Listx.group_by
-               (fun (o : Offer.t) -> Analysis.signature o.query)
+               (fun (o : Offer.t) -> Analysis.Sig.id o.query_sig)
                offers)
         in
         let ranked =
@@ -472,10 +477,140 @@ let respond config schema (node : Node.t) ~requests =
               if c <> 0 then c else Float.compare a.props.total_time b.props.total_time)
             deduped
         in
-        Listx.take config.max_offers_per_request ranked)
-      requests
+        Listx.take config.max_offers_per_request ranked
   in
+  (offers, !considered)
+
+(* --- seller-side bid cache (tentpole) --------------------------------
+
+   Pricing a request is the expensive seller-side step (a full DP
+   enumeration per localization variant).  Requests are keyed by their
+   interned signature plus the buyer's announced estimate, and the cached
+   offers are replayed only while the conditions they were priced under
+   still hold: same load, strategy, pricing knobs and an unchanged local
+   catalog.  Anything else invalidates the entry — autonomy means a
+   seller must never quote from a stale picture of itself. *)
+
+type cache_entry = {
+  e_offers : Offer.t list;
+  e_considered : int;  (** Candidates the cold pricing run enumerated. *)
+  e_load : float;
+  e_strategy : Strategy.t;
+  e_price_per_mb : float;
+  e_use_views : bool;
+  e_max_offers : int;
+  e_prune : (int * int) option;
+  e_params : Qt_cost.Params.t;
+  e_catalog : int;  (** Catalog fingerprint at pricing time. *)
+}
+
+type cache = {
+  entries : (int * float, cache_entry) Hashtbl.t;
+      (* key: (interned request signature id, buyer estimate) *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+type cache_stats = { hits : int; misses : int; invalidations : int }
+
+let cache_create () =
+  { entries = Hashtbl.create 64; hits = 0; misses = 0; invalidations = 0 }
+
+let cache_stats (c : cache) =
+  { hits = c.hits; misses = c.misses; invalidations = c.invalidations }
+
+(* Structural digest of everything pricing reads from the node's catalog.
+   [hash_param] with large bounds walks the whole value, so any fragment,
+   view, capability or speed-factor change produces a new fingerprint. *)
+let catalog_fingerprint (node : Node.t) =
+  Hashtbl.hash_param 1000 1000
+    (node.fragments, node.views, node.capabilities, node.cpu_factor, node.io_factor)
+
+let entry_valid config ~fingerprint e =
+  e.e_load = config.load
+  && e.e_strategy = config.strategy
+  && e.e_price_per_mb = config.price_per_mb
+  && e.e_use_views = config.use_views
+  && e.e_max_offers = config.max_offers_per_request
+  && e.e_prune = config.local_prune
+  && e.e_params = config.params
+  && e.e_catalog = fingerprint
+
+type cache_pool = (int, cache) Hashtbl.t
+
+let pool_create () : cache_pool = Hashtbl.create 16
+
+let pool_cache pool node_id =
+  match Hashtbl.find_opt pool node_id with
+  | Some c -> c
+  | None ->
+    let c = cache_create () in
+    Hashtbl.replace pool node_id c;
+    c
+
+let pool_stats (pool : cache_pool) =
+  Hashtbl.fold
+    (fun _ (c : cache) (acc : cache_stats) ->
+      {
+        hits = acc.hits + c.hits;
+        misses = acc.misses + c.misses;
+        invalidations = acc.invalidations + c.invalidations;
+      })
+    pool
+    { hits = 0; misses = 0; invalidations = 0 }
+
+let respond ?cache config schema (node : Node.t) ~requests =
+  (* Only cache-miss requests cost pricing work; a batch served entirely
+     from cache still pays the single-request floor, so the cold path is
+     charged exactly as before the cache existed. *)
+  let total_considered = ref 0 in
+  (* Under subcontracting the offers depend on what the rest of the market
+     answers right now, which the key cannot capture — bypass the cache. *)
+  let cacheable = config.market = None in
+  let serve (request, buyer_estimate) =
+    let request_sig = Analysis.Sig.of_ast request in
+    let price () =
+      let offers, considered =
+        price_request config schema node ~request ~request_sig ~buyer_estimate
+      in
+      total_considered := !total_considered + considered;
+      (offers, considered)
+    in
+    match cache with
+    | Some c when cacheable -> (
+      let key = (Analysis.Sig.id request_sig, buyer_estimate) in
+      let fingerprint = catalog_fingerprint node in
+      match Hashtbl.find_opt c.entries key with
+      | Some e when entry_valid config ~fingerprint e ->
+        c.hits <- c.hits + 1;
+        e.e_offers
+      | stale ->
+        (match stale with
+        | Some _ ->
+          Hashtbl.remove c.entries key;
+          c.invalidations <- c.invalidations + 1
+        | None -> ());
+        c.misses <- c.misses + 1;
+        let offers, considered = price () in
+        Hashtbl.replace c.entries key
+          {
+            e_offers = offers;
+            e_considered = considered;
+            e_load = config.load;
+            e_strategy = config.strategy;
+            e_price_per_mb = config.price_per_mb;
+            e_use_views = config.use_views;
+            e_max_offers = config.max_offers_per_request;
+            e_prune = config.local_prune;
+            e_params = config.params;
+            e_catalog = fingerprint;
+          };
+        offers)
+    | _ -> fst (price ())
+  in
+  let all_offers = List.concat_map serve requests in
   {
     offers = all_offers;
-    processing_time = config.offer_overhead *. float_of_int (max 1 !considered);
+    processing_time = config.offer_overhead *. float_of_int (max 1 !total_considered);
   }

@@ -53,7 +53,35 @@ type response = {
           batch. *)
 }
 
+type cache
+(** A per-node bid cache: priced offers keyed by the request's interned
+    signature and the buyer's announced estimate.  Entries are replayed
+    only while everything the pricing run read still holds — same load,
+    strategy, pricing knobs and an unchanged local catalog; a mismatch
+    invalidates the entry and re-prices.  Requests arriving while
+    subcontracting is enabled bypass the cache entirely (their offers
+    depend on the live market, which the key cannot capture). *)
+
+type cache_stats = { hits : int; misses : int; invalidations : int }
+
+val cache_create : unit -> cache
+val cache_stats : cache -> cache_stats
+
+type cache_pool
+(** One cache per seller node, created on demand — what a trading session
+    (or a whole workload run) threads through so repeated trades share
+    priced bids. *)
+
+val pool_create : unit -> cache_pool
+
+val pool_cache : cache_pool -> int -> cache
+(** The cache for the given node id, created on first use. *)
+
+val pool_stats : cache_pool -> cache_stats
+(** Aggregated counters over every per-node cache in the pool. *)
+
 val respond :
+  ?cache:cache ->
   config ->
   Qt_catalog.Schema.t ->
   Qt_catalog.Node.t ->
@@ -62,4 +90,9 @@ val respond :
 (** [respond config schema node ~requests] builds this node's offers for
     each [(query, buyer_estimate)] in the RFB.  The buyer estimate is the
     value the buyer announced for the query (step B1); sellers with
-    nothing cheaper to offer stay silent on that lot. *)
+    nothing cheaper to offer stay silent on that lot.
+
+    With [?cache], previously priced requests are replayed without
+    re-running the local optimizer, and [processing_time] charges only
+    the cache-miss requests (a batch answered entirely from cache costs
+    the single-request floor). *)

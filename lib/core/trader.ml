@@ -5,7 +5,8 @@ module Node = Qt_catalog.Node
 module Cost = Qt_cost.Cost
 module Plan = Qt_optimizer.Plan
 module Network = Qt_net.Network
-module Runtime = Qt_runtime.Runtime
+module Transport = Qt_net.Transport
+module Transport_lockstep = Qt_net.Transport_lockstep
 module Protocol = Qt_trading.Protocol
 module Strategy = Qt_trading.Strategy
 module Listx = Qt_util.Listx
@@ -52,10 +53,29 @@ type stats = {
   seller_surplus : float;
 }
 
+type phase = {
+  messages : int;
+  bytes : int;
+  cache_hits : int;
+  cache_misses : int;
+  wall : float;
+  sim : float;
+}
+
+type phase_stats = {
+  rfb : phase;
+  pricing : phase;
+  negotiation : phase;
+  plan_gen : phase;
+  requests_deduped : int;
+  rebroadcasts_skipped : int;
+}
+
 type outcome = {
   plan : Plan.t;
   cost : Cost.t;
   stats : stats;
+  phases : phase_stats;
   purchased : Offer.t list;
   trace : string list;
   iteration_costs : float list;
@@ -77,7 +97,9 @@ let buyer_id = -1
    books the negotiation chatter: count messages, deepest lot's rounds. *)
 let negotiate config ~account offers =
   let lots =
-    Listx.group_by (fun (o : Offer.t) -> Analysis.signature o.query) offers
+    Listx.group_by
+      (fun (o : Offer.t) -> Analysis.Sig.id o.Offer.query_sig)
+      offers
   in
   let total_rounds = ref 0 in
   let total_messages = ref 0 in
@@ -111,55 +133,105 @@ let negotiate config ~account offers =
   account ~count:!total_messages ~deepest_rounds:!max_rounds_any_lot;
   (winners, !total_rounds)
 
-let optimize ?(standing = []) ?requests:initial_requests ?runtime config
+let zero_phase =
+  { messages = 0; bytes = 0; cache_hits = 0; cache_misses = 0; wall = 0.; sim = 0. }
+
+let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches config
     (federation : Federation.t) (q : Ast.t) =
   let wall_start = Sys.time () in
-  let net = Network.create config.params in
-  (* Accounting is polymorphic over the two execution models: the legacy
-     lock-step network (one global clock) or the discrete-event runtime
-     (per-node clocks, timeouts, faults).  [net] stays the authority for
-     pure transit-time math in both. *)
-  (match runtime with
-  | None -> ()
-  | Some rt ->
-    Runtime.register rt buyer_id;
-    List.iter (fun (n : Node.t) -> Runtime.register rt n.node_id) federation.nodes);
-  let local_work dt =
-    match runtime with
-    | None -> Network.local_work net dt
-    | Some rt -> Runtime.advance rt ~node:buyer_id dt
+  (* All execution-model specifics (lock-step vs discrete-event, faults,
+     timeouts, retries) live behind the transport; the loop below is the
+     single trading path for both. *)
+  let transport : Seller.response Transport.t =
+    match transport with
+    | Some t -> t
+    | None -> Transport_lockstep.create (Network.create config.params)
   in
+  let caches =
+    match caches with Some pool -> pool | None -> Seller.pool_create ()
+  in
+  (* Buyer-local CPU work advances the buyer's clock without traffic. *)
+  let local_work dt = transport.account ~count:0 ~bytes_each:0 ~elapsed:dt in
   let account_nego ~count ~deepest_rounds =
     let elapsed =
-      float_of_int deepest_rounds *. 2. *. Network.one_way net ~bytes:64
+      float_of_int deepest_rounds
+      *. 2.
+      *. transport.one_way ~bytes:Protocol.quote_bytes
     in
-    match runtime with
-    | None -> Network.account_messages net ~count ~bytes_each:64 ~elapsed
-    | Some rt -> Runtime.chatter rt ~node:buyer_id ~count ~bytes_each:64 ~elapsed
+    transport.account ~count ~bytes_each:Protocol.quote_bytes ~elapsed
   in
   let account_sub ~count ~elapsed =
-    match runtime with
-    | None -> Network.account_messages net ~count ~bytes_each:300 ~elapsed
-    | Some rt -> Runtime.chatter rt ~node:buyer_id ~count ~bytes_each:300 ~elapsed
+    transport.account ~count ~bytes_each:300 ~elapsed
   in
-  let peer_alive (n : Node.t) =
-    match runtime with None -> true | Some rt -> Runtime.alive rt n.node_id
-  in
-  (* Sellers the buyer has written off: their RPCs timed out or their
-     crash fired mid-trade.  They get no further requests and their
-     standing offers are filtered through {!Offer.surviving} — the same
-     honourability rule {!Recovery.surviving_contracts} applies between
-     optimizations. *)
-  let failed_nodes : int list ref = ref [] in
   let schema = federation.schema in
-  let asked : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let asked : (int, unit) Hashtbl.t = Hashtbl.create 32 in
   let pool : Offer.t list ref = ref standing in
   let trace = ref [] in
   let offers_received = ref 0 in
   let negotiation_rounds = ref 0 in
   let queries_asked = ref 0 in
+  let requests_deduped = ref 0 in
+  let rebroadcasts_skipped = ref 0 in
   let best : Plan_generator.candidate option ref = ref None in
   let iteration_costs = ref [] in
+  (* Per-phase observability: traffic/time diffs around each section. *)
+  let rfb_p = ref zero_phase in
+  let pricing_p = ref zero_phase in
+  let nego_p = ref zero_phase in
+  let plan_p = ref zero_phase in
+  let snap () =
+    (transport.messages (), transport.bytes (), transport.elapsed (), Sys.time ())
+  in
+  let record acc ~from:(m0, b0, e0, w0) ~sim_shift ~wall_shift =
+    let m1, b1, e1, w1 = snap () in
+    acc :=
+      {
+        !acc with
+        messages = !acc.messages + m1 - m0;
+        bytes = !acc.bytes + b1 - b0;
+        sim = !acc.sim +. (e1 -. e0) +. sim_shift;
+        wall = !acc.wall +. (w1 -. w0) +. wall_shift;
+      }
+  in
+  let add_pricing ~hits ~misses ~sim ~wall =
+    pricing_p :=
+      {
+        !pricing_p with
+        cache_hits = !pricing_p.cache_hits + hits;
+        cache_misses = !pricing_p.cache_misses + misses;
+        sim = !pricing_p.sim +. sim;
+        wall = !pricing_p.wall +. wall;
+      }
+  in
+  (* B4: one plan-generation pass over the current offer pool. *)
+  let plan_pass () =
+    let from = snap () in
+    local_work (config.plan_overhead *. float_of_int (List.length !pool));
+    let candidates =
+      Plan_generator.generate ~params:config.params ~weights:config.weights
+        ~mode:config.mode ~schema ~offers:!pool q
+    in
+    let improved =
+      match (candidates, !best) with
+      | [], _ -> false
+      | c :: _, None ->
+        best := Some c;
+        true
+      | c :: _, Some b ->
+        if Cost.response c.cost < Cost.response b.cost -. 1e-12 then begin
+          best := Some c;
+          true
+        end
+        else false
+    in
+    iteration_costs :=
+      (match !best with
+      | None -> infinity
+      | Some c -> Cost.response c.Plan_generator.cost)
+      :: !iteration_costs;
+    record plan_p ~from ~sim_shift:0. ~wall_shift:0.;
+    improved
+  in
   let queue =
     ref
       (match initial_requests with
@@ -170,16 +242,73 @@ let optimize ?(standing = []) ?requests:initial_requests ?runtime config
   let continue = ref true in
   while !continue && !iterations < config.max_iterations && !queue <> [] do
     incr iterations;
-    let requests =
-      List.filter
-        (fun (query, _) -> not (Hashtbl.mem asked (Analysis.signature query)))
+    (* Each queued query is signed exactly once per round; everything
+       downstream (dedup, memo, the asked set, seller caches, lots) keys
+       on the interned signature. *)
+    let sigged =
+      List.map
+        (fun (query, estimate) -> (query, estimate, Analysis.Sig.of_ast query))
         !queue
     in
+    let unasked =
+      List.filter
+        (fun (_, _, s) -> not (Hashtbl.mem asked (Analysis.Sig.id s)))
+        sigged
+    in
+    (* One message per distinct signature per round: a query asked twice
+       in the same RFB would be priced twice and billed twice for no new
+       information. *)
+    let seen_this_round = Hashtbl.create 8 in
+    let unasked =
+      List.filter
+        (fun (_, _, s) ->
+          if Hashtbl.mem seen_this_round (Analysis.Sig.id s) then begin
+            incr requests_deduped;
+            false
+          end
+          else begin
+            Hashtbl.replace seen_this_round (Analysis.Sig.id s) ();
+            true
+          end)
+        unasked
+    in
+    (* Offer memo: skip re-broadcasting a request whose signature already
+       has a live offer standing in the pool (warm re-trades over standing
+       contracts); the plan generator sees those offers anyway. *)
+    let live_sigs = Hashtbl.create 16 in
     List.iter
-      (fun (query, _) -> Hashtbl.replace asked (Analysis.signature query) ())
-      requests;
+      (fun (o : Offer.t) ->
+        Hashtbl.replace live_sigs (Analysis.Sig.id o.Offer.request_sig) ())
+      !pool;
+    let requests, memoized =
+      List.partition
+        (fun (_, _, s) -> not (Hashtbl.mem live_sigs (Analysis.Sig.id s)))
+        unasked
+    in
+    rebroadcasts_skipped := !rebroadcasts_skipped + List.length memoized;
+    List.iter
+      (fun (_, _, s) -> Hashtbl.replace asked (Analysis.Sig.id s) ())
+      unasked;
     queries_asked := !queries_asked + List.length requests;
-    if requests = [] then continue := false
+    let requests =
+      List.map (fun (query, estimate, _) -> (query, estimate)) requests
+    in
+    if requests = [] then begin
+      (* Nothing left to broadcast.  If standing offers cover everything
+         that would have been asked and no plan exists yet (a warm
+         re-trade), still give the plan generator one pass. *)
+      if !best = None && !pool <> [] then begin
+        ignore (plan_pass () : bool);
+        trace :=
+          Printf.sprintf
+            "iter %d: all requests covered by standing offers, planned from \
+             %d offer%s"
+            !iterations (List.length !pool)
+            (if List.length !pool = 1 then "" else "s")
+          :: !trace
+      end;
+      continue := false
+    end
     else begin
       (* B2: broadcast the RFB; every seller prices it in parallel. *)
       let req_bytes = request_bytes requests in
@@ -195,7 +324,8 @@ let optimize ?(standing = []) ?requests:initial_requests ?runtime config
             (fun sub_query ->
               let others =
                 List.filter
-                  (fun (n : Node.t) -> n.node_id <> self.node_id && peer_alive n)
+                  (fun (n : Node.t) ->
+                    n.node_id <> self.node_id && transport.alive n.node_id)
                   federation.nodes
               in
               sub_messages := !sub_messages + (2 * List.length others);
@@ -212,6 +342,7 @@ let optimize ?(standing = []) ?requests:initial_requests ?runtime config
                   (fun (n : Node.t) ->
                     let r =
                       Seller.respond
+                        ~cache:(Seller.pool_cache caches n.node_id)
                         {
                           depth0 with
                           Seller.strategy = config.strategy_of n.node_id;
@@ -222,7 +353,7 @@ let optimize ?(standing = []) ?requests:initial_requests ?runtime config
                     in
                     sub_elapsed :=
                       Float.max !sub_elapsed
-                        ((2. *. Network.one_way net ~bytes:300)
+                        ((2. *. transport.one_way ~bytes:300)
                         +. r.Seller.processing_time);
                     r.Seller.offers)
                   others
@@ -241,97 +372,73 @@ let optimize ?(standing = []) ?requests:initial_requests ?runtime config
         int_of_float
           (Listx.sum_by (fun o -> float_of_int (Offer.wire_bytes o)) r.offers)
       in
+      let round_from = snap () in
+      let cache_before = Seller.pool_stats caches in
+      let pricing_wall = ref 0. in
+      let round_processing = ref 0. in
+      transport.broadcast_rfb
+        ~targets:(List.map (fun (n : Node.t) -> n.node_id) federation.nodes)
+        ~request_bytes:req_bytes;
+      let round =
+        transport.gather_offers ~serve:(fun id ->
+            let node = Federation.node federation id in
+            let t0 = Sys.time () in
+            let r =
+              Seller.respond
+                ~cache:(Seller.pool_cache caches id)
+                (seller_config_for node) schema node ~requests
+            in
+            pricing_wall := !pricing_wall +. (Sys.time () -. t0);
+            round_processing :=
+              Float.max !round_processing r.Seller.processing_time;
+            (r, r.Seller.processing_time, reply_bytes_of r))
+      in
+      if round.Transport.fresh_failures then begin
+        (* Mid-trade crash: keep only honourable contracts and drop the
+           incumbent best, which may lean on a dead seller. *)
+        pool := Offer.surviving ~failed:round.Transport.failed !pool;
+        best := None
+      end;
       let fresh =
-        match runtime with
-        | None ->
-          (* Legacy lock-step round: every seller answers, the global
-             clock advances by the slowest round trip. *)
-          let responses =
-            List.map
-              (fun (node : Node.t) ->
-                Seller.respond (seller_config_for node) schema node ~requests)
-              federation.nodes
-          in
-          let participants =
-            List.map
-              (fun (r : Seller.response) ->
-                (req_bytes, reply_bytes_of r, r.processing_time))
-              responses
-          in
-          ignore (Network.parallel_round net participants);
-          List.concat_map (fun (r : Seller.response) -> r.offers) responses
-        | Some rt ->
-          (* Asynchronous round on the discrete-event runtime: RPCs with
-             timeout/retry/backoff; the buyer proceeds with whichever
-             sellers answered, and sellers that stayed silent (crashed,
-             partitioned, drops) are written off. *)
-          let targets =
-            List.filter_map
-              (fun (n : Node.t) ->
-                if List.mem n.node_id !failed_nodes then None else Some n.node_id)
-              federation.nodes
-          in
-          let round =
-            Runtime.gather_round rt ~src:buyer_id ~targets ~request_bytes:req_bytes
-              ~serve:(fun id ->
-                let node = Federation.node federation id in
-                let r = Seller.respond (seller_config_for node) schema node ~requests in
-                (r, r.Seller.processing_time, reply_bytes_of r))
-          in
-          let discovered =
-            Listx.dedup ( = )
-              (!failed_nodes @ Runtime.crashed rt @ round.Runtime.unresponsive)
-          in
-          if List.length discovered > List.length !failed_nodes then begin
-            failed_nodes := discovered;
-            (* Mid-trade crash: keep only honourable contracts and drop
-               the incumbent best, which may lean on a dead seller. *)
-            pool := Offer.surviving ~failed:discovered !pool;
-            best := None
-          end;
-          Offer.surviving ~failed:discovered
-            (List.concat_map
-               (fun (_, (r : Seller.response)) -> r.offers)
-               round.Runtime.replies)
+        let offers =
+          List.concat_map
+            (fun (_, (r : Seller.response)) -> r.Seller.offers)
+            round.Transport.replies
+        in
+        if round.Transport.failed = [] then offers
+        else Offer.surviving ~failed:round.Transport.failed offers
       in
       if !sub_messages > 0 then
         account_sub ~count:!sub_messages ~elapsed:!sub_elapsed;
+      let cache_after = Seller.pool_stats caches in
+      add_pricing
+        ~hits:(cache_after.Seller.hits - cache_before.Seller.hits)
+        ~misses:(cache_after.Seller.misses - cache_before.Seller.misses)
+        ~sim:!round_processing ~wall:!pricing_wall;
+      (* The round's clock advance includes the slowest seller's pricing
+         time; attribute that share to the pricing phase, the rest (pure
+         transit, timeouts, sub-market chatter) to the RFB phase. *)
+      record rfb_p ~from:round_from ~sim_shift:(-. !round_processing)
+        ~wall_shift:(-. !pricing_wall);
       offers_received := !offers_received + List.length fresh;
       (* B3: nested trading negotiation selects the winning offers. *)
+      let nego_from = snap () in
       let winners, rounds = negotiate config ~account:account_nego fresh in
+      record nego_p ~from:nego_from ~sim_shift:0. ~wall_shift:0.;
       negotiation_rounds := !negotiation_rounds + rounds;
       pool := !pool @ winners;
       (* B4: combine winning offers into candidate plans. *)
-      local_work (config.plan_overhead *. float_of_int (List.length !pool));
-      let candidates =
-        Plan_generator.generate ~params:config.params ~weights:config.weights
-          ~mode:config.mode ~schema ~offers:!pool q
-      in
-      let improved =
-        match (candidates, !best) with
-        | [], _ -> false
-        | c :: _, None ->
-          best := Some c;
-          true
-        | c :: _, Some b ->
-          if Cost.response c.cost < Cost.response b.cost -. 1e-12 then begin
-            best := Some c;
-            true
-          end
-          else false
-      in
-      iteration_costs :=
-        (match !best with
-        | None -> infinity
-        | Some c -> Cost.response c.Plan_generator.cost)
-        :: !iteration_costs;
+      let improved = plan_pass () in
       (* B5/B6: the predicates analyser proposes the next round's queries. *)
+      let plan_from = snap () in
       let proposals = Buyer_analyser.enrich ~schema ~query:q ~offers:!pool in
       let fresh_queries =
         List.filter
-          (fun query -> not (Hashtbl.mem asked (Analysis.signature query)))
+          (fun query ->
+            not (Hashtbl.mem asked (Analysis.Sig.id (Analysis.Sig.of_ast query))))
           proposals
       in
+      record plan_p ~from:plan_from ~sim_shift:0. ~wall_shift:0.;
       trace :=
         Printf.sprintf
           "iter %d: asked %d quer%s, %d offers, %d winners, best=%s, %d new quer%s"
@@ -368,13 +475,6 @@ let optimize ?(standing = []) ?requests:initial_requests ?runtime config
         (fun (o : Offer.t) -> Strategy.surplus ~quoted:o.quoted ~true_cost:o.true_cost)
         purchased
     in
-    let messages, bytes, sim_time =
-      match runtime with
-      | None -> (Network.messages net, Network.bytes_sent net, Network.clock net)
-      | Some rt ->
-        let s = Runtime.stats rt in
-        (s.Runtime.messages, s.Runtime.bytes, Runtime.node_clock rt buyer_id)
-    in
     Ok
       {
         plan = c.plan;
@@ -382,15 +482,24 @@ let optimize ?(standing = []) ?requests:initial_requests ?runtime config
         stats =
           {
             iterations = !iterations;
-            messages;
-            bytes;
-            sim_time;
+            messages = transport.messages ();
+            bytes = transport.bytes ();
+            sim_time = transport.elapsed ();
             wall_time = Sys.time () -. wall_start;
             offers_received = !offers_received;
             negotiation_rounds = !negotiation_rounds;
             queries_asked = !queries_asked;
             plan_cost = Cost.response c.cost;
             seller_surplus = surplus;
+          };
+        phases =
+          {
+            rfb = !rfb_p;
+            pricing = !pricing_p;
+            negotiation = !nego_p;
+            plan_gen = !plan_p;
+            requests_deduped = !requests_deduped;
+            rebroadcasts_skipped = !rebroadcasts_skipped;
           };
         purchased;
         trace = List.rev !trace;

@@ -56,10 +56,41 @@ type stats = {
           cooperative strategies. *)
 }
 
+type phase = {
+  messages : int;  (** Messages this phase put on the wire. *)
+  bytes : int;  (** Bytes this phase put on the wire. *)
+  cache_hits : int;  (** Seller bid-cache hits (pricing phase only). *)
+  cache_misses : int;  (** Seller bid-cache misses (pricing phase only). *)
+  wall : float;  (** Real CPU seconds spent in this phase. *)
+  sim : float;  (** Simulated seconds attributed to this phase. *)
+}
+(** Per-phase slice of one optimization's footprint. *)
+
+type phase_stats = {
+  rfb : phase;
+      (** Request-for-bids broadcast and offer collection: transit time,
+          timeouts and subcontract chatter (seller pricing excluded). *)
+  pricing : phase;
+      (** Seller-side pricing: per round, the slowest seller's processing
+          time (rounds overlap sellers in parallel), plus bid-cache
+          traffic counters. *)
+  negotiation : phase;  (** Nested per-lot negotiations (step B3/S3). *)
+  plan_gen : phase;
+      (** Buyer-side plan generation and predicates analysis (B4–B6). *)
+  requests_deduped : int;
+      (** Queries dropped because the same signature was already in the
+          same round's RFB. *)
+  rebroadcasts_skipped : int;
+      (** Queries never re-broadcast because a live standing offer already
+          answers their signature. *)
+}
+
 type outcome = {
   plan : Qt_optimizer.Plan.t;
   cost : Qt_cost.Cost.t;
   stats : stats;
+  phases : phase_stats;
+      (** Where the messages/bytes/time of [stats] went, phase by phase. *)
   purchased : Offer.t list;
       (** The offers the final plan actually buys (its [Remote] leaves). *)
   trace : string list;  (** One line per iteration, for examples/demos. *)
@@ -76,7 +107,8 @@ val buyer_id : int
 val optimize :
   ?standing:Offer.t list ->
   ?requests:Qt_sql.Ast.t list ->
-  ?runtime:Qt_runtime.Runtime.t ->
+  ?transport:Seller.response Qt_net.Transport.t ->
+  ?caches:Seller.cache_pool ->
   config ->
   Qt_catalog.Federation.t ->
   Qt_sql.Ast.t ->
@@ -90,15 +122,24 @@ val optimize :
     (default [[q]]): a recovering buyer asks only for the pieces it lost
     — see {!Recovery}.
 
-    [runtime] switches the request-for-bids rounds from the legacy
-    lock-step network onto a discrete-event runtime with per-node clocks,
-    RPC timeout/retry/backoff and injectable faults: each round completes
+    [transport] selects the execution model the trading rounds run on.
+    The default is {!Qt_net.Transport_lockstep} over a fresh
+    {!Qt_net.Network} — every seller answers, one global clock — with
+    behaviour (and every reported number) bit-identical to previous
+    releases.  Passing {!Qt_runtime.Transport_des.create} instead runs
+    the same loop on the discrete-event runtime with per-node clocks, RPC
+    timeout/retry/backoff and injectable faults: each round completes
     when every live seller replied or the (backed-off) timeout fired for
     the rest; unresponsive or crashed sellers are written off, and their
     standing offers are invalidated mid-trade by the same honourability
     rule {!Recovery.surviving_contracts} applies between optimizations.
-    Without [runtime] the behaviour (and every reported number) is
-    bit-identical to previous releases.
+    The loop itself never branches on the model.
+
+    [caches] shares seller bid caches across calls (see
+    {!Seller.pool_create}): repeated trades against unchanged sellers
+    replay priced bids instead of re-running each local optimizer.  The
+    default is a fresh pool per call, which leaves single-trade numbers
+    exactly as uncached.
 
     [Error _] reproduces the paper's abort condition: the loop ended with
     no candidate execution plan. *)

@@ -1,0 +1,57 @@
+(** The single communication surface of the trading loop.
+
+    The trader used to interleave two execution models — the lock-step
+    {!Network} (one global clock, every seller answers) and the
+    discrete-event runtime (per-node clocks, RPC timeout/retry, faults) —
+    with a [match runtime with] at every accounting point.  A transport
+    packages the five operations the loop actually needs as a record of
+    closures, so {!Qt_core.Trader.optimize} runs exactly one
+    request-for-bids loop over whichever implementation it was handed:
+    {!Transport_lockstep} or {!Qt_runtime.Transport_des}.
+
+    The type is generic in the seller-reply type (this library sits below
+    the trading core and must not know about offers); the trader
+    instantiates ['reply] at [Seller.response]. *)
+
+type 'reply round = {
+  replies : (int * 'reply) list;
+      (** Target order preserved; only targets that answered. *)
+  failed : int list;
+      (** Every node the transport has written off so far (crashed or
+          unresponsive), cumulative across rounds.  Always empty on the
+          lock-step transport. *)
+  fresh_failures : bool;
+      (** True when [failed] grew during {e this} round — the caller must
+          drop state leaning on the newly dead nodes (standing offers,
+          incumbent best plan). *)
+}
+
+type 'reply t = {
+  label : string;  (** "lockstep" or "des", for traces and stats. *)
+  alive : int -> bool;
+      (** Whether a node can currently be reached (crash-aware on the
+          event runtime; always true on the lock-step network). *)
+  broadcast_rfb : targets:int list -> request_bytes:int -> unit;
+      (** Stage a request-for-bids round to [targets] (written-off nodes
+          are dropped by the transport).  Accounting happens when the
+          round executes in {!gather_offers}. *)
+  gather_offers : serve:(int -> 'reply * float * int) -> 'reply round;
+      (** Execute the staged round.  [serve target] prices the request on
+        the target and returns [(reply, processing seconds, reply
+        bytes)]; the transport owns message/byte accounting, clock
+        movement, and (on the event runtime) timeout/retry/backoff and
+        failed-node discovery.
+        @raise Invalid_argument without a preceding {!broadcast_rfb}. *)
+  account : count:int -> bytes_each:int -> elapsed:float -> unit;
+      (** Bulk-account side traffic whose messages overlap in time
+          (negotiation chatter, subcontract probes) against the buyer:
+          [count] messages of [bytes_each] payload, clock advanced by
+          [elapsed].  With [count = 0] this is plain local work. *)
+  one_way : bytes:int -> float;
+      (** Transit time of one [bytes]-byte message (for elapsed-time math
+          the caller does itself, e.g. negotiation round depth). *)
+  elapsed : unit -> float;
+      (** Simulated seconds observed by the buyer so far. *)
+  messages : unit -> int;  (** Total messages accounted so far. *)
+  bytes : unit -> int;  (** Total bytes accounted so far. *)
+}

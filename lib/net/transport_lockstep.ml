@@ -1,0 +1,36 @@
+let create net =
+  let pending = ref None in
+  {
+    Transport.label = "lockstep";
+    alive = (fun _ -> true);
+    broadcast_rfb =
+      (fun ~targets ~request_bytes -> pending := Some (targets, request_bytes));
+    gather_offers =
+      (fun ~serve ->
+        match !pending with
+        | None ->
+          invalid_arg "Transport_lockstep: gather_offers without broadcast_rfb"
+        | Some (targets, request_bytes) ->
+          pending := None;
+          let served = List.map (fun id -> (id, serve id)) targets in
+          let participants =
+            List.map
+              (fun (_, (_, processing, reply_bytes)) ->
+                (request_bytes, reply_bytes, processing))
+              served
+          in
+          ignore (Network.parallel_round net participants : float);
+          {
+            Transport.replies =
+              List.map (fun (id, (reply, _, _)) -> (id, reply)) served;
+            failed = [];
+            fresh_failures = false;
+          });
+    account =
+      (fun ~count ~bytes_each ~elapsed ->
+        Network.account_messages net ~count ~bytes_each ~elapsed);
+    one_way = (fun ~bytes -> Network.one_way net ~bytes);
+    elapsed = (fun () -> Network.clock net);
+    messages = (fun () -> Network.messages net);
+    bytes = (fun () -> Network.bytes_sent net);
+  }

@@ -1,0 +1,11 @@
+(** {!Transport} over the legacy lock-step {!Network}.
+
+    Every round is a synchronous barrier: all targets answer, the global
+    clock advances by the slowest round trip ({!Network.parallel_round}),
+    and nodes never fail.  This is the paper's original cost model; every
+    number it reports is bit-identical to the pre-transport trader. *)
+
+val create : Network.t -> 'reply Transport.t
+(** The transport reads and advances the given network's clock and
+    counters; callers that want per-trade statistics should hand it a
+    fresh {!Network.create}. *)

@@ -56,8 +56,15 @@ let run_qt ?config ~params federation q =
 let run_qt_faulty ?config ?rpc ?(faults = Qt_runtime.Fault_plan.none) ~params
     ~seed federation q =
   let runtime = Qt_runtime.Runtime.create ?rpc ~faults ~params ~seed () in
+  let transport =
+    Qt_runtime.Transport_des.create runtime ~buyer:Trader.buyer_id
+      ~nodes:
+        (List.map
+           (fun (n : Qt_catalog.Node.t) -> n.node_id)
+           federation.Qt_catalog.Federation.nodes)
+  in
   let config = Option.value config ~default:(Trader.default_config params) in
-  match Trader.optimize ~runtime config federation q with
+  match Trader.optimize ~transport config federation q with
   | Ok outcome ->
     Ok
       ( of_trader "QT-faulty" outcome.Trader.stats,

@@ -29,11 +29,17 @@ type result = {
   makespan : float;
   balance_cv : float;
   failures : int;
+  cache : Seller.cache_stats;
 }
 
 let run config federation queries =
   let load : (int, float) Hashtbl.t = Hashtbl.create 16 in
   let busy : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  (* One bid-cache pool for the whole stream: repeated queries against a
+     seller whose load did not change between trades replay priced bids.
+     Load changes invalidate per-node entries, so feedback runs still
+     re-price busy sellers. *)
+  let caches = Seller.pool_create () in
   let get table node = Option.value (Hashtbl.find_opt table node) ~default:0. in
   let failures = ref 0 in
   let costs =
@@ -52,7 +58,7 @@ let run config federation queries =
               };
           }
         in
-        match Trader.optimize trader_config federation q with
+        match Trader.optimize ~caches trader_config federation q with
         | Error _ ->
           incr failures;
           None
@@ -90,4 +96,11 @@ let run config federation queries =
         in
         sqrt variance /. mean
   in
-  { per_query_cost = costs; node_busy; makespan; balance_cv; failures = !failures }
+  {
+    per_query_cost = costs;
+    node_busy;
+    makespan;
+    balance_cv;
+    failures = !failures;
+    cache = Seller.pool_stats caches;
+  }

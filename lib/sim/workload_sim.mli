@@ -42,6 +42,10 @@ type result = {
       (** Coefficient of variation of busy time across nodes that did any
           work; 0 = perfectly balanced. *)
   failures : int;  (** Queries the optimizer could not plan. *)
+  cache : Qt_core.Seller.cache_stats;
+      (** Aggregated seller bid-cache counters over the whole stream (the
+          pool is shared across queries, so repeat queries against
+          unchanged sellers hit). *)
 }
 
 val run : config -> Qt_catalog.Federation.t -> Qt_sql.Ast.t list -> result

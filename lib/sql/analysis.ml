@@ -270,3 +270,34 @@ let equal_semantic a b = Ast.equal (normalize a) (normalize b)
 let to_string q = Format.asprintf "%a" Ast.pp q
 
 let signature q = to_string (normalize q)
+
+module Sig = struct
+  type t = { id : int; repr : string }
+
+  (* Hash-consing: one record per distinct signature string, so equality
+     is an int comparison and hashing never re-reads the SQL text.  The
+     table only ever grows; signatures are tiny and the set of distinct
+     normalized queries in a trading session is bounded by the workload. *)
+  let interned : (string, t) Hashtbl.t = Hashtbl.create 256
+  let counter = ref 0
+
+  let intern repr =
+    match Hashtbl.find_opt interned repr with
+    | Some s -> s
+    | None ->
+      let s = { id = !counter; repr } in
+      incr counter;
+      Hashtbl.replace interned repr s;
+      s
+
+  let of_ast q = intern (signature q)
+  let id s = s.id
+  let to_string s = s.repr
+  let equal a b = a.id = b.id
+
+  (* Ordered by the signature text, not the intern id: the id depends on
+     interning order, which must never leak into observable results. *)
+  let compare a b = String.compare a.repr b.repr
+  let hash s = s.id
+  let pp ppf s = Format.pp_print_string ppf s.repr
+end

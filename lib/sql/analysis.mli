@@ -96,3 +96,39 @@ val signature : Ast.t -> string
 
 val to_string : Ast.t -> string
 (** SQL text (shorthand for [Format.asprintf "%a" Ast.pp]). *)
+
+(** Interned (hash-consed) query signatures.
+
+    {!signature} rebuilds the normal form and re-serializes the query on
+    every call, which the trading loop used to do per offer {e per
+    comparison}.  A [Sig.t] pays that cost once: each distinct signature
+    string maps to one shared record, so {!Sig.equal} is an int compare
+    and [Sig.t] keys hash in O(1).  Signatures interned from semantically
+    equal queries are physically equal. *)
+module Sig : sig
+  type t
+
+  val of_ast : Ast.t -> t
+  (** [intern (signature q)] — normalize, serialize, intern. *)
+
+  val intern : string -> t
+  (** Intern an already-computed signature string. *)
+
+  val id : t -> int
+  (** Dense non-negative intern id — stable within a process, suitable as
+      a hash-table key.  Not stable across processes or interning orders;
+      never let it reach observable output (use {!compare} for ordering,
+      {!to_string} for display). *)
+
+  val to_string : t -> string
+
+  val equal : t -> t -> bool
+  (** O(1): compares intern ids. *)
+
+  val compare : t -> t -> int
+  (** Orders by signature {e text} (deterministic regardless of interning
+      order), not by id. *)
+
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end

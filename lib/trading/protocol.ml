@@ -19,6 +19,8 @@ type 'item outcome = {
   exchanged_messages : int;
 }
 
+let quote_bytes = 64
+
 let best quotes =
   Qt_util.Listx.min_by (fun q -> q.value) quotes
 

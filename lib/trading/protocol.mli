@@ -43,6 +43,11 @@ type 'item outcome = {
           offers, award), excluding the initial request broadcast. *)
 }
 
+val quote_bytes : int
+(** Nominal wire size of one negotiation message (a quote, counter-offer
+    or award) — what the trading loop charges per exchanged message when
+    accounting negotiation chatter. *)
+
 val run : kind -> 'item quote list -> 'item outcome
 (** Deterministic: ties break toward the earlier quote in the list. *)
 

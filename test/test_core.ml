@@ -47,7 +47,9 @@ let test_seller_offer_properties_sane () =
       if o.props.completeness <= 0. || o.props.completeness > 1. then
         Alcotest.failf "completeness out of range: %f" o.props.completeness;
       if o.quoted < o.true_cost -. 1e-9 then Alcotest.fail "quoted below cost";
-      Alcotest.(check string) "lot id" (Analysis.signature revenue) o.request_sig)
+      Alcotest.(check string)
+        "lot id" (Analysis.signature revenue)
+        (Analysis.Sig.to_string o.request_sig))
     r.Seller.offers
 
 let test_seller_partial_completeness () =

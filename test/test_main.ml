@@ -12,6 +12,7 @@ let () =
       Test_trading.suite;
       Test_net.suite;
       Test_runtime.suite;
+      Test_transport.suite;
       Test_exec.suite;
       Test_core.suite;
       Test_baseline.suite;
