@@ -838,6 +838,85 @@ let r_trading () =
   Texttable.print t
 
 (* ------------------------------------------------------------------ *)
+(* R-market: concurrent multi-buyer marketplace                         *)
+(* ------------------------------------------------------------------ *)
+
+let r_market () =
+  heading "R-market"
+    "concurrent buyers on the marketplace scheduler: batching and admission";
+  let module Market = Qt_market.Market in
+  let module Admission = Qt_market.Admission in
+  let federation =
+    Generator.telecom ~nodes:8 ~customers:4000 ~invoice_lines:20000
+      ~key_domain:4000
+      ~placement:{ Generator.partitions = 4; replicas = 2 }
+      ()
+  in
+  (* Buyers ask for overlapping office-revenue slices; every fourth buyer
+     repeats a range, so concurrent waves carry duplicate signatures for
+     the batcher to merge. *)
+  let queries n =
+    List.init n (fun i ->
+        let lo = i mod 4 * 1000 in
+        Workload.telecom_revenue_by_office ~custid_range:(lo, lo + 999) ())
+  in
+  let config batching =
+    {
+      (Market.default_config params) with
+      Market.batching;
+      (* One slot and no queue: a busy replica must reject, forcing the
+         spill-over buyers to retry against the other replica set. *)
+      admission =
+        { Admission.default_config with Admission.slots = 1; queue_limit = 0 };
+    }
+  in
+  let t =
+    Texttable.create
+      [
+        "buyers"; "batching"; "done"; "retries"; "waves"; "rfb msgs";
+        "unbatched"; "saved B"; "rejections"; "mean util"; "makespan";
+      ]
+  in
+  List.iter
+    (fun buyers ->
+      List.iter
+        (fun batching ->
+          let s = Market.run (config batching) federation (queries buyers) in
+          let rejections =
+            List.fold_left
+              (fun acc (x : Market.seller_stats) ->
+                acc + x.Market.admission.Admission.rejected)
+              0 s.Market.sellers
+          in
+          let mean_util =
+            let us =
+              List.map (fun (x : Market.seller_stats) -> x.Market.utilization)
+                s.Market.sellers
+            in
+            List.fold_left ( +. ) 0. us /. float_of_int (List.length us)
+          in
+          let b = s.Market.batcher in
+          Texttable.add_row t
+            [
+              string_of_int buyers;
+              (if batching then "on" else "off");
+              Printf.sprintf "%d/%d" s.Market.completed buyers;
+              string_of_int s.Market.admission_retries;
+              string_of_int b.Qt_market.Batcher.waves;
+              string_of_int b.Qt_market.Batcher.sent_messages;
+              string_of_int b.Qt_market.Batcher.unbatched_messages;
+              string_of_int b.Qt_market.Batcher.bytes_saved;
+              string_of_int rejections;
+              Printf.sprintf "%.3f" mean_util;
+              fmt_cost s.Market.makespan;
+            ];
+          Printf.printf "BENCH {\"scenario\":\"market\",\"buyers\":%d,\"stats\":%s}\n"
+            buyers (Market.to_json s))
+        [ true; false ])
+    [ 1; 2; 4; 8 ];
+  Texttable.print t
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -926,6 +1005,7 @@ let all =
     ("f15", r_f15);
     ("fault", r_fault);
     ("trading", r_trading);
+    ("market", r_market);
     ("micro", micro);
   ]
 

@@ -457,12 +457,170 @@ let workload_cmd =
       $ count_arg $ no_feedback_arg $ competitive_arg)
 
 (* ------------------------------------------------------------------ *)
+(* market                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_market schema nodes partitions replicas profile count concurrency slots
+    queue policy no_batching seed competitive json =
+  let module Market = Qt_market.Market in
+  let module Admission = Qt_market.Admission in
+  let params = params_of_profile profile in
+  let federation = build_federation schema nodes partitions replicas false in
+  let relations =
+    match String.split_on_char ':' schema with
+    | [ "chain"; k ] -> int_of_string k
+    | _ -> 2
+  in
+  let queries =
+    if String.length schema >= 5 && String.sub schema 0 5 = "chain" then
+      Qt_sim.Workload.random_chain_queries ~seed:11 ~count ~relations
+        ~max_joins:(relations - 1)
+    else
+      List.init count (fun i ->
+          Qt_sim.Workload.telecom_revenue_by_office
+            ~custid_range:(0, 999 + (137 * i mod 3000))
+            ())
+  in
+  let policy =
+    match Admission.policy_of_string policy with
+    | Some p -> p
+    | None ->
+      failwith
+        (Printf.sprintf "unknown admission policy %s (try fifo, priority or \
+                         proportional)" policy)
+  in
+  let strategy =
+    if competitive then Qt_trading.Strategy.default_competitive
+    else Qt_trading.Strategy.Cooperative
+  in
+  let config =
+    {
+      (Market.default_config params) with
+      Market.trader =
+        {
+          (Qt_core.Trader.default_config params) with
+          Qt_core.Trader.strategy_of = (fun _ -> strategy);
+          seller_template =
+            {
+              (Qt_core.Seller.default_config params) with
+              Qt_core.Seller.strategy = strategy;
+            };
+        };
+      admission =
+        { Admission.default_config with Admission.slots; queue_limit = queue; policy };
+      batching = not no_batching;
+      concurrency;
+      seed;
+    }
+  in
+  let s = Market.run config federation queries in
+  if json then print_endline (Market.to_json s)
+  else begin
+    Printf.printf "trades: %d completed, %d failed, %d admission retries\n"
+      s.Market.completed s.Market.failed s.Market.admission_retries;
+    Printf.printf "makespan: %.4fs   wire: %d messages, %.1f KiB\n"
+      s.Market.makespan s.Market.wire_messages
+      (float_of_int s.Market.wire_bytes /. 1024.);
+    let b = s.Market.batcher in
+    Printf.printf
+      "rfb batching (%s): %d waves, %d envelopes vs %d unbatched (%d messages \
+       and %d bytes saved, %d duplicate signatures merged)\n"
+      (if b.Qt_market.Batcher.batching then "on" else "off")
+      b.Qt_market.Batcher.waves b.Qt_market.Batcher.sent_messages
+      b.Qt_market.Batcher.unbatched_messages
+      b.Qt_market.Batcher.messages_saved b.Qt_market.Batcher.bytes_saved
+      b.Qt_market.Batcher.dup_signatures_merged;
+    Printf.printf "bid cache: %d hits, %d misses, %d invalidations, %d evictions\n"
+      s.Market.cache.Qt_core.Seller.hits s.Market.cache.Qt_core.Seller.misses
+      s.Market.cache.Qt_core.Seller.invalidations
+      s.Market.cache.Qt_core.Seller.evictions;
+    List.iter
+      (fun (x : Market.seller_stats) ->
+        let a = x.Market.admission in
+        if a.Admission.accepted + a.Admission.rejected > 0 then
+          Printf.printf
+            "  seller %d: %d admitted, %d rejected, peak queue %d, busy %.4fs, \
+             utilization %.3f\n"
+            x.Market.seller a.Admission.admitted a.Admission.rejected
+            a.Admission.peak_queue a.Admission.busy x.Market.utilization)
+      s.Market.sellers;
+    List.iter
+      (fun (t : Market.trade_stats) ->
+        Printf.printf "  trade %d: %s in %d attempt%s, plan %.4fs, contracts [%s]\n"
+          t.Market.trade
+          (match t.Market.status with
+          | Market.Completed -> "completed"
+          | Market.No_plan -> "no plan"
+          | Market.Admission_failed -> "admission failed")
+          t.Market.attempts
+          (if t.Market.attempts = 1 then "" else "s")
+          t.Market.plan_cost
+          (String.concat "; "
+             (List.map
+                (fun (seller, work) -> Printf.sprintf "node %d: %.4fs" seller work)
+                t.Market.contracts)))
+      s.Market.trades
+  end;
+  0
+
+let market_cmd =
+  let doc =
+    "Run concurrent buyers on the marketplace scheduler (batched RFBs, \
+     per-seller admission control)."
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "count" ] ~docv:"N" ~doc:"Number of concurrent buyers.")
+  in
+  let concurrency_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "concurrency" ] ~docv:"N"
+          ~doc:"Max trades in flight at once (0 = all).")
+  in
+  let slots_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "slots" ] ~docv:"N" ~doc:"Concurrent contract slots per seller.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue depth per seller before rejection.")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "fifo"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Admission arbitration: fifo, priority or proportional.")
+  in
+  let no_batching_arg =
+    Arg.(
+      value & flag
+      & info [ "no-batching" ]
+          ~doc:"Disable cross-trade RFB coalescing (baseline traffic).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the full market statistics as one JSON line.")
+  in
+  Cmd.v
+    (Cmd.info "market" ~doc)
+    Term.(
+      const run_market $ schema_arg $ nodes_arg $ partitions_arg $ replicas_arg
+      $ profile_arg $ count_arg $ concurrency_arg $ slots_arg $ queue_arg
+      $ policy_arg $ no_batching_arg $ seed_arg $ competitive_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "query-trading distributed query optimization simulator" in
   Cmd.group
     (Cmd.info "qtsim" ~version:"1.0.0" ~doc)
-    [ optimize_cmd; compare_cmd; federation_cmd; trace_cmd; workload_cmd ]
+    [ optimize_cmd; compare_cmd; federation_cmd; trace_cmd; workload_cmd; market_cmd ]
 
 let () =
   (* Turn expected failures (bad SQL, bad schema spec) into clean CLI

@@ -502,23 +502,78 @@ type cache_entry = {
   e_prune : (int * int) option;
   e_params : Qt_cost.Params.t;
   e_catalog : int;  (** Catalog fingerprint at pricing time. *)
+  mutable e_used : int;  (** LRU stamp: cache tick of the last hit. *)
 }
+
+let default_cache_entries = 4096
 
 type cache = {
   entries : (int * float, cache_entry) Hashtbl.t;
       (* key: (interned request signature id, buyer estimate) *)
+  max_entries : int;
+  mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable evictions : int;
 }
 
-type cache_stats = { hits : int; misses : int; invalidations : int }
+type cache_stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  evictions : int;
+}
 
-let cache_create () =
-  { entries = Hashtbl.create 64; hits = 0; misses = 0; invalidations = 0 }
+let cache_create ?(max_entries = default_cache_entries) () =
+  if max_entries <= 0 then invalid_arg "Seller.cache_create: max_entries must be positive";
+  {
+    entries = Hashtbl.create 64;
+    max_entries;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    evictions = 0;
+  }
 
 let cache_stats (c : cache) =
-  { hits = c.hits; misses = c.misses; invalidations = c.invalidations }
+  {
+    hits = c.hits;
+    misses = c.misses;
+    invalidations = c.invalidations;
+    evictions = c.evictions;
+  }
+
+let cache_touch (c : cache) e =
+  c.tick <- c.tick + 1;
+  e.e_used <- c.tick
+
+(* Long workload streams with many distinct signatures must not grow the
+   pool without bound: at capacity, the least-recently-used entry makes
+   room.  A linear scan per eviction is fine — evictions are rare next to
+   hits, and [max_entries] is generous by default. *)
+let cache_evict_lru (c : cache) =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.e_used <= e.e_used -> acc
+        | _ -> Some (key, e))
+      c.entries None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+    Hashtbl.remove c.entries key;
+    c.evictions <- c.evictions + 1
+
+let cache_insert (c : cache) key entry =
+  if Hashtbl.length c.entries >= c.max_entries then cache_evict_lru c;
+  (* Insertion counts as a use, and every use gets a distinct tick, so
+     the LRU victim is always unique — eviction order is deterministic. *)
+  cache_touch c entry;
+  Hashtbl.replace c.entries key entry
 
 (* Structural digest of everything pricing reads from the node's catalog.
    [hash_param] with large bounds walks the whole value, so any fragment,
@@ -537,16 +592,17 @@ let entry_valid config ~fingerprint e =
   && e.e_params = config.params
   && e.e_catalog = fingerprint
 
-type cache_pool = (int, cache) Hashtbl.t
+type cache_pool = { pool_max : int; pool_caches : (int, cache) Hashtbl.t }
 
-let pool_create () : cache_pool = Hashtbl.create 16
+let pool_create ?(max_entries = default_cache_entries) () : cache_pool =
+  { pool_max = max_entries; pool_caches = Hashtbl.create 16 }
 
 let pool_cache pool node_id =
-  match Hashtbl.find_opt pool node_id with
+  match Hashtbl.find_opt pool.pool_caches node_id with
   | Some c -> c
   | None ->
-    let c = cache_create () in
-    Hashtbl.replace pool node_id c;
+    let c = cache_create ~max_entries:pool.pool_max () in
+    Hashtbl.replace pool.pool_caches node_id c;
     c
 
 let pool_stats (pool : cache_pool) =
@@ -556,9 +612,10 @@ let pool_stats (pool : cache_pool) =
         hits = acc.hits + c.hits;
         misses = acc.misses + c.misses;
         invalidations = acc.invalidations + c.invalidations;
+        evictions = acc.evictions + c.evictions;
       })
-    pool
-    { hits = 0; misses = 0; invalidations = 0 }
+    pool.pool_caches
+    { hits = 0; misses = 0; invalidations = 0; evictions = 0 }
 
 let respond ?cache config schema (node : Node.t) ~requests =
   (* Only cache-miss requests cost pricing work; a batch served entirely
@@ -584,6 +641,7 @@ let respond ?cache config schema (node : Node.t) ~requests =
       match Hashtbl.find_opt c.entries key with
       | Some e when entry_valid config ~fingerprint e ->
         c.hits <- c.hits + 1;
+        cache_touch c e;
         e.e_offers
       | stale ->
         (match stale with
@@ -593,7 +651,7 @@ let respond ?cache config schema (node : Node.t) ~requests =
         | None -> ());
         c.misses <- c.misses + 1;
         let offers, considered = price () in
-        Hashtbl.replace c.entries key
+        cache_insert c key
           {
             e_offers = offers;
             e_considered = considered;
@@ -605,6 +663,7 @@ let respond ?cache config schema (node : Node.t) ~requests =
             e_prune = config.local_prune;
             e_params = config.params;
             e_catalog = fingerprint;
+            e_used = 0;
           };
         offers)
     | _ -> fst (price ())

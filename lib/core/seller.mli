@@ -60,11 +60,24 @@ type cache
     strategy, pricing knobs and an unchanged local catalog; a mismatch
     invalidates the entry and re-prices.  Requests arriving while
     subcontracting is enabled bypass the cache entirely (their offers
-    depend on the live market, which the key cannot capture). *)
+    depend on the live market, which the key cannot capture).
 
-type cache_stats = { hits : int; misses : int; invalidations : int }
+    Capacity is bounded: at [max_entries] the least-recently-used entry
+    is evicted, so long workload streams with many distinct signatures
+    cannot grow the cache without bound.  Every use gets a distinct
+    logical tick, which makes the eviction victim — and therefore whole
+    runs — deterministic. *)
 
-val cache_create : unit -> cache
+type cache_stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  evictions : int;  (** Entries dropped by the LRU capacity bound. *)
+}
+
+val cache_create : ?max_entries:int -> unit -> cache
+(** [max_entries] defaults to a generous 4096 per node. *)
+
 val cache_stats : cache -> cache_stats
 
 type cache_pool
@@ -72,7 +85,8 @@ type cache_pool
     (or a whole workload run) threads through so repeated trades share
     priced bids. *)
 
-val pool_create : unit -> cache_pool
+val pool_create : ?max_entries:int -> unit -> cache_pool
+(** Per-node caches created by this pool carry the given LRU capacity. *)
 
 val pool_cache : cache_pool -> int -> cache
 (** The cache for the given node id, created on first use. *)

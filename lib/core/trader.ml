@@ -81,10 +81,11 @@ type outcome = {
   iteration_costs : float list;
 }
 
+(* Wire size of one request: a fixed header plus the serialized query. *)
+let request_bytes_one q = 32 + String.length (Analysis.to_string q)
+
 let request_bytes requests =
-  Listx.sum_by
-    (fun (q, _) -> float_of_int (32 + String.length (Analysis.to_string q)))
-    requests
+  Listx.sum_by (fun (q, _) -> float_of_int (request_bytes_one q)) requests
   |> int_of_float
 
 (* The buyer's own id on the discrete-event runtime: sellers are the
@@ -290,6 +291,13 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches conf
       (fun (_, _, s) -> Hashtbl.replace asked (Analysis.Sig.id s) ())
       unasked;
     queries_asked := !queries_asked + List.length requests;
+    (* Content descriptor of the RFB for coalescing transports: one
+       (interned signature id, wire bytes) pair per request. *)
+    let request_sigs =
+      List.map
+        (fun (query, _, s) -> (Analysis.Sig.id s, request_bytes_one query))
+        requests
+    in
     let requests =
       List.map (fun (query, estimate, _) -> (query, estimate)) requests
     in
@@ -378,7 +386,7 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches conf
       let round_processing = ref 0. in
       transport.broadcast_rfb
         ~targets:(List.map (fun (n : Node.t) -> n.node_id) federation.nodes)
-        ~request_bytes:req_bytes;
+        ~signatures:request_sigs ~request_bytes:req_bytes;
       let round =
         transport.gather_offers ~serve:(fun id ->
             let node = Federation.node federation id in

@@ -1,0 +1,191 @@
+type policy = Fifo | Priority | Proportional_share
+
+let policy_to_string = function
+  | Fifo -> "fifo"
+  | Priority -> "priority"
+  | Proportional_share -> "proportional"
+
+let policy_of_string = function
+  | "fifo" -> Some Fifo
+  | "priority" -> Some Priority
+  | "proportional" | "proportional-share" | "proportional_share" ->
+      Some Proportional_share
+  | _ -> None
+
+type config = {
+  slots : int;
+  queue_limit : int;
+  load_per_contract : float;
+  policy : policy;
+}
+
+let default_config =
+  { slots = 2; queue_limit = 4; load_per_contract = 0.5; policy = Fifo }
+
+type handle = {
+  h_trade : int;
+  h_work : float;
+  h_priority : int;
+  h_seq : int;  (* arrival order, the deterministic tie-break *)
+  mutable h_started : float;  (* service start time, meaningful once running *)
+}
+
+type stats = {
+  admitted : int;
+  accepted : int;
+  rejected : int;
+  completed : int;
+  canceled : int;
+  peak_queue : int;
+  peak_active : int;
+  busy : float;
+}
+
+type t = {
+  cfg : config;
+  mutable active : handle list;
+  mutable queued : handle list;  (* newest first; arbitration scans it *)
+  mutable seq : int;
+  (* Work admitted per trade, for proportional share. *)
+  served : (int, float) Hashtbl.t;
+  mutable admitted : int;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable canceled : int;
+  mutable peak_queue : int;
+  mutable peak_active : int;
+  mutable busy : float;
+}
+
+let create cfg =
+  {
+    cfg = { cfg with slots = max 1 cfg.slots; queue_limit = max 0 cfg.queue_limit };
+    active = [];
+    queued = [];
+    seq = 0;
+    served = Hashtbl.create 16;
+    admitted = 0;
+    accepted = 0;
+    rejected = 0;
+    completed = 0;
+    canceled = 0;
+    peak_queue = 0;
+    peak_active = 0;
+    busy = 0.;
+  }
+
+let slots t = t.cfg.slots
+let in_service t = List.length t.active
+let queue_depth t = List.length t.queued
+
+let offered_load t =
+  t.cfg.load_per_contract *. float_of_int (in_service t + queue_depth t)
+
+let work h = h.h_work
+let trade_of h = h.h_trade
+let is_active t h = List.exists (fun a -> a.h_seq = h.h_seq) t.active
+
+let served_of t trade =
+  match Hashtbl.find_opt t.served trade with Some w -> w | None -> 0.
+
+let note_peaks t =
+  t.peak_queue <- max t.peak_queue (queue_depth t);
+  t.peak_active <- max t.peak_active (in_service t)
+
+let start t ~now h =
+  h.h_started <- now;
+  t.active <- h :: t.active;
+  t.admitted <- t.admitted + 1;
+  Hashtbl.replace t.served h.h_trade (served_of t h.h_trade +. h.h_work);
+  note_peaks t
+
+(* Pick the next queued contract under the arbitration policy.  Sequence
+   numbers are unique, so every comparison below has a single winner and
+   promotion order is deterministic. *)
+let pick_next t =
+  let better a b =
+    match t.cfg.policy with
+    | Fifo -> a.h_seq < b.h_seq
+    | Priority ->
+        a.h_priority > b.h_priority
+        || (a.h_priority = b.h_priority && a.h_seq < b.h_seq)
+    | Proportional_share ->
+        let share h =
+          served_of t h.h_trade /. float_of_int (max 1 h.h_priority)
+        in
+        let sa = share a and sb = share b in
+        sa < sb || (sa = sb && a.h_seq < b.h_seq)
+  in
+  match t.queued with
+  | [] -> None
+  | first :: rest ->
+      Some (List.fold_left (fun acc h -> if better h acc then h else acc) first rest)
+
+let promote t ~now =
+  let rec go acc =
+    if in_service t >= t.cfg.slots then List.rev acc
+    else
+      match pick_next t with
+      | None -> List.rev acc
+      | Some h ->
+          t.queued <- List.filter (fun q -> q.h_seq <> h.h_seq) t.queued;
+          start t ~now h;
+          go (h :: acc)
+  in
+  go []
+
+type decision = Started of handle | Enqueued of handle | Rejected
+
+let submit t ~now ~trade ~work ~priority =
+  let h =
+    { h_trade = trade; h_work = work; h_priority = priority; h_seq = t.seq;
+      h_started = now }
+  in
+  t.seq <- t.seq + 1;
+  if in_service t < t.cfg.slots then (
+    t.accepted <- t.accepted + 1;
+    start t ~now h;
+    Started h)
+  else if queue_depth t < t.cfg.queue_limit then (
+    t.accepted <- t.accepted + 1;
+    t.queued <- h :: t.queued;
+    note_peaks t;
+    Enqueued h)
+  else (
+    t.rejected <- t.rejected + 1;
+    Rejected)
+
+let retire t ~now h =
+  t.active <- List.filter (fun a -> a.h_seq <> h.h_seq) t.active;
+  t.busy <- t.busy +. max 0. (now -. h.h_started)
+
+let finish t ~now h =
+  retire t ~now h;
+  t.completed <- t.completed + 1;
+  promote t ~now
+
+let cancel t ~now ~trade =
+  let mine, queued = List.partition (fun h -> h.h_trade = trade) t.queued in
+  t.queued <- queued;
+  let running = List.filter (fun h -> h.h_trade = trade) t.active in
+  List.iter
+    (fun h ->
+      retire t ~now h;
+      (* A canceled contract never ran to completion: give its share back. *)
+      Hashtbl.replace t.served trade (max 0. (served_of t trade -. h.h_work)))
+    running;
+  t.canceled <- t.canceled + List.length mine + List.length running;
+  promote t ~now
+
+let stats t =
+  {
+    admitted = t.admitted;
+    accepted = t.accepted;
+    rejected = t.rejected;
+    completed = t.completed;
+    canceled = t.canceled;
+    peak_queue = t.peak_queue;
+    peak_active = t.peak_active;
+    busy = t.busy;
+  }

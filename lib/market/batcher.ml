@@ -1,0 +1,109 @@
+type request = {
+  trade : int;
+  targets : int list;
+  signatures : (int * int) list;
+  bytes : int;
+}
+
+type envelope = {
+  seller : int;
+  trades : int list;
+  env_signatures : int list;
+  env_bytes : int;
+}
+
+type stats = {
+  waves : int;
+  sent_messages : int;
+  sent_bytes : int;
+  unbatched_messages : int;
+  unbatched_bytes : int;
+  messages_saved : int;
+  bytes_saved : int;
+  dup_signatures_merged : int;
+  batching : bool;
+}
+
+type t = {
+  batching : bool;
+  mutable waves : int;
+  mutable sent_messages : int;
+  mutable sent_bytes : int;
+  mutable unbatched_messages : int;
+  mutable unbatched_bytes : int;
+  mutable dups : int;
+}
+
+let create ~batching =
+  { batching; waves = 0; sent_messages = 0; sent_bytes = 0;
+    unbatched_messages = 0; unbatched_bytes = 0; dups = 0 }
+
+(* Envelope framing overhead, mirroring the per-request header the trader
+   charges: an unbatched message is [bytes] (headers included); a merged
+   envelope keeps one header per distinct signature. *)
+
+let sellers_of requests =
+  List.concat_map (fun r -> r.targets) requests
+  |> List.sort_uniq compare
+
+let envelope_for t seller requests =
+  let mine = List.filter (fun r -> List.mem seller r.targets) requests in
+  let trades = List.map (fun r -> r.trade) mine |> List.sort_uniq compare in
+  let seen = Hashtbl.create 16 in
+  let signatures = ref [] and bytes = ref 0 and dups = ref 0 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (sid, sz) ->
+          if Hashtbl.mem seen sid then incr dups
+          else (
+            Hashtbl.add seen sid ();
+            signatures := sid :: !signatures;
+            bytes := !bytes + sz))
+        r.signatures)
+    mine;
+  t.dups <- t.dups + !dups;
+  { seller; trades; env_signatures = List.rev !signatures; env_bytes = !bytes }
+
+let coalesce t requests =
+  t.waves <- t.waves + 1;
+  List.iter
+    (fun r ->
+      let n = List.length r.targets in
+      t.unbatched_messages <- t.unbatched_messages + n;
+      t.unbatched_bytes <- t.unbatched_bytes + (n * r.bytes))
+    requests;
+  let envelopes =
+    if t.batching then
+      List.map (fun seller -> envelope_for t seller requests) (sellers_of requests)
+    else
+      (* Baseline: no cross-trade merging, one envelope per (trade, seller). *)
+      List.concat_map
+        (fun r ->
+          List.map
+            (fun seller ->
+              { seller; trades = [ r.trade ];
+                env_signatures = List.map fst r.signatures;
+                env_bytes = r.bytes })
+            (List.sort_uniq compare r.targets))
+        requests
+  in
+  List.iter
+    (fun e ->
+      t.sent_messages <- t.sent_messages + 1;
+      t.sent_bytes <- t.sent_bytes + e.env_bytes)
+    envelopes;
+  envelopes
+
+let stats t =
+  {
+    waves = t.waves;
+    sent_messages = t.sent_messages;
+    sent_bytes = t.sent_bytes;
+    unbatched_messages = t.unbatched_messages;
+    unbatched_bytes = t.unbatched_bytes;
+    messages_saved = t.unbatched_messages - t.sent_messages;
+    bytes_saved = t.unbatched_bytes - t.sent_bytes;
+    dup_signatures_merged = t.dups;
+    batching = t.batching;
+  }

@@ -1,0 +1,582 @@
+(* The Effect module is flagged unstable in OCaml 5.1; the marketplace
+   scheduler is its intended use case (lightweight one-shot fibers). *)
+[@@@alert "-unstable"]
+
+module Trader = Qt_core.Trader
+module Seller = Qt_core.Seller
+module Offer = Qt_core.Offer
+module Cost = Qt_cost.Cost
+module Transport = Qt_net.Transport
+module Runtime = Qt_runtime.Runtime
+module Event_queue = Qt_runtime.Event_queue
+module Federation = Qt_catalog.Federation
+
+type config = {
+  trader : Trader.config;
+  admission : Admission.config;
+  batching : bool;
+  concurrency : int;
+  max_admission_retries : int;
+  rejection_penalty : float;
+  priority_of : int -> int;
+  cache_entries : int;
+  seed : int;
+}
+
+let default_config params =
+  {
+    trader = Trader.default_config params;
+    admission = Admission.default_config;
+    batching = true;
+    concurrency = 0;
+    max_admission_retries = 2;
+    rejection_penalty = 2.0;
+    priority_of = (fun _ -> 0);
+    cache_entries = 4096;
+    seed = 7;
+  }
+
+type status = Completed | No_plan | Admission_failed
+
+type trade_stats = {
+  trade : int;
+  status : status;
+  attempts : int;
+  rounds : int;
+  plan_cost : float;
+  messages : int;
+  bytes : int;
+  sim_time : float;
+  contracts : (int * float) list;
+}
+
+type seller_stats = {
+  seller : int;
+  admission : Admission.stats;
+  utilization : float;
+}
+
+type stats = {
+  trades : trade_stats list;
+  sellers : seller_stats list;
+  batcher : Batcher.stats;
+  cache : Seller.cache_stats;
+  completed : int;
+  failed : int;
+  admission_retries : int;
+  makespan : float;
+  wire_messages : int;
+  wire_bytes : int;
+}
+
+(* A trade fiber suspends here when it broadcasts an RFB: everything the
+   scheduler needs to merge the round into a wave and serve it. *)
+type round_request = {
+  rr_trade : int;
+  rr_targets : int list;
+  rr_signatures : (int * int) list;
+  rr_bytes : int;
+  rr_serve : int -> Seller.response * float * int;
+}
+
+type step =
+  | Awaiting of
+      round_request
+      * (Seller.response Transport.round, step) Effect.Deep.continuation
+  | Finished of (Trader.outcome, string) result
+
+type _ Effect.t +=
+  | Rfb : round_request -> Seller.response Transport.round Effect.t
+
+let handler : ((Trader.outcome, string) result, step) Effect.Deep.handler =
+  {
+    Effect.Deep.retc = (fun r -> Finished r);
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Rfb req ->
+          Some
+            (fun (k : (a, step) Effect.Deep.continuation) -> Awaiting (req, k))
+        | _ -> None);
+  }
+
+type trade = {
+  t_index : int;
+  t_buyer : int;  (* runtime node id: -(index + 1) *)
+  t_query : Qt_sql.Ast.t;
+  t_priority : int;
+  mutable t_messages : int;
+  mutable t_bytes : int;
+  mutable t_attempts : int;
+  mutable t_rounds : int;
+  mutable t_penalized : (int * float) list;
+      (* Extra load this trade sees on sellers that rejected it. *)
+  mutable t_status : status option;  (* [None] while still trading. *)
+  mutable t_plan_cost : float;
+  mutable t_contracts : (int * float) list;
+  mutable t_finished_at : float;
+}
+
+type market = {
+  cfg : config;
+  federation : Federation.t;
+  rt : Runtime.t;
+  caches : Seller.cache_pool;
+  batcher : Batcher.t;
+  admissions : (int, Admission.t) Hashtbl.t;
+  completions : (int * Admission.handle) Event_queue.t;
+  mutable mclock : float;  (* monotone market time: last window close *)
+  mutable retries : int;
+}
+
+let admission_of st node =
+  match Hashtbl.find_opt st.admissions node with
+  | Some a -> a
+  | None ->
+    let a = Admission.create st.cfg.admission in
+    Hashtbl.replace st.admissions node a;
+    a
+
+(* Fire every contract completion up to [upto]: free the slot, start the
+   promoted waiters and schedule their completions.  Events whose
+   contract was canceled in the meantime are skipped. *)
+let rec drain_completions st ~upto =
+  match Event_queue.peek_time st.completions with
+  | Some t when t <= upto -> (
+    match Event_queue.pop st.completions with
+    | None -> ()
+    | Some (t, (seller, h)) ->
+      let adm = admission_of st seller in
+      if Admission.is_active adm h then begin
+        st.mclock <- Float.max st.mclock t;
+        let promoted = Admission.finish adm ~now:t h in
+        List.iter
+          (fun p ->
+            Event_queue.push st.completions
+              ~time:(t +. Admission.work p)
+              (seller, p))
+          promoted
+      end;
+      drain_completions st ~upto)
+  | _ -> ()
+
+let schedule_promoted st seller ~now promoted =
+  List.iter
+    (fun p ->
+      Event_queue.push st.completions ~time:(now +. Admission.work p) (seller, p))
+    promoted
+
+(* The buyer's effective view of a seller's load: the base profile, plus
+   what the admission layer says the node is already committed to, plus
+   this trade's private penalty on sellers that rejected it.  Routed
+   through [load_of], so every pricing round reads it fresh and the bid
+   cache (keyed on load) invalidates exactly when it changes. *)
+let trader_config st tr =
+  let base = st.cfg.trader.Trader.load_of in
+  {
+    st.cfg.trader with
+    Trader.allow_subcontracting = false;
+    load_of =
+      (fun node ->
+        base node
+        +. Admission.offered_load (admission_of st node)
+        +. Option.value (List.assoc_opt node tr.t_penalized) ~default:0.);
+  }
+
+let make_transport st tr : Seller.response Transport.t =
+  let pending = ref None in
+  {
+    Transport.label = "market";
+    alive = (fun id -> Runtime.alive st.rt id);
+    broadcast_rfb =
+      (fun ~targets ~signatures ~request_bytes ->
+        let targets = List.filter (Runtime.alive st.rt) targets in
+        pending := Some (targets, signatures, request_bytes));
+    gather_offers =
+      (fun ~serve ->
+        match !pending with
+        | None -> invalid_arg "Market: gather_offers without broadcast_rfb"
+        | Some (targets, signatures, request_bytes) ->
+          pending := None;
+          Effect.perform
+            (Rfb
+               {
+                 rr_trade = tr.t_index;
+                 rr_targets = targets;
+                 rr_signatures = signatures;
+                 rr_bytes = request_bytes;
+                 rr_serve = serve;
+               }));
+    account =
+      (fun ~count ~bytes_each ~elapsed ->
+        tr.t_messages <- tr.t_messages + count;
+        tr.t_bytes <- tr.t_bytes + (count * bytes_each);
+        Runtime.chatter st.rt ~node:tr.t_buyer ~count ~bytes_each ~elapsed);
+    one_way = (fun ~bytes -> Runtime.one_way st.rt ~bytes);
+    elapsed = (fun () -> Runtime.node_clock st.rt tr.t_buyer);
+    messages = (fun () -> tr.t_messages);
+    bytes = (fun () -> tr.t_bytes);
+  }
+
+(* One contract per (seller, trade): the plan's purchased offers rolled
+   up by seller, in ascending id order. *)
+let contracts_of (outcome : Trader.outcome) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (o : Offer.t) ->
+      let prev = Option.value (Hashtbl.find_opt tbl o.Offer.seller) ~default:0. in
+      Hashtbl.replace tbl o.Offer.seller (prev +. o.Offer.true_cost))
+    outcome.Trader.purchased;
+  Hashtbl.fold (fun s w acc -> (s, w) :: acc) tbl [] |> List.sort compare
+
+let penalize tr seller amount =
+  let prev = Option.value (List.assoc_opt seller tr.t_penalized) ~default:0. in
+  tr.t_penalized <- (seller, prev +. amount) :: List.remove_assoc seller tr.t_penalized
+
+(* Submit the plan's contracts seller by seller.  All-or-nothing: one
+   rejection rolls back every contract already placed for this trade and
+   reports the rejecting seller. *)
+let try_admit st tr ~now works =
+  let rec go placed = function
+    | [] -> Ok ()
+    | (seller, work) :: rest -> (
+      let adm = admission_of st seller in
+      match
+        Admission.submit adm ~now ~trade:tr.t_index ~work
+          ~priority:tr.t_priority
+      with
+      | Admission.Rejected ->
+        List.iter
+          (fun s ->
+            let promoted = Admission.cancel (admission_of st s) ~now ~trade:tr.t_index in
+            schedule_promoted st s ~now promoted)
+          placed;
+        Error seller
+      | Admission.Started h ->
+        Event_queue.push st.completions ~time:(now +. work) (seller, h);
+        go (seller :: placed) rest
+      | Admission.Enqueued _ -> go (seller :: placed) rest)
+  in
+  go [] works
+
+let run cfg federation queries =
+  let st =
+    {
+      cfg;
+      federation;
+      rt = Runtime.create ~params:cfg.trader.Trader.params ~seed:cfg.seed ();
+      caches = Seller.pool_create ~max_entries:cfg.cache_entries ();
+      batcher = Batcher.create ~batching:cfg.batching;
+      admissions = Hashtbl.create 16;
+      completions = Event_queue.create ();
+      mclock = 0.;
+      retries = 0;
+    }
+  in
+  List.iter
+    (fun id ->
+      Runtime.register st.rt id;
+      ignore (admission_of st id : Admission.t))
+    (Federation.node_ids federation);
+  let trades =
+    Array.of_list
+      (List.mapi
+         (fun i q ->
+           {
+             t_index = i;
+             t_buyer = -(i + 1);
+             t_query = q;
+             t_priority = cfg.priority_of i;
+             t_messages = 0;
+             t_bytes = 0;
+             t_attempts = 0;
+             t_rounds = 0;
+             t_penalized = [];
+             t_status = None;
+             t_plan_cost = 0.;
+             t_contracts = [];
+             t_finished_at = 0.;
+           })
+         queries)
+  in
+  Array.iter (fun tr -> Runtime.register st.rt tr.t_buyer) trades;
+  let ready = Queue.create () in
+  Array.iter (fun tr -> Queue.add tr.t_index ready) trades;
+  let parked = ref [] in
+  let running = ref 0 in
+  let handle_ok tr (outcome : Trader.outcome) =
+    let now = Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock in
+    drain_completions st ~upto:now;
+    st.mclock <- Float.max st.mclock now;
+    let works = contracts_of outcome in
+    match try_admit st tr ~now works with
+    | Ok () ->
+      tr.t_status <- Some Completed;
+      tr.t_plan_cost <- Cost.response outcome.Trader.cost;
+      tr.t_contracts <- works;
+      tr.t_finished_at <- now
+    | Error seller ->
+      if tr.t_attempts <= cfg.max_admission_retries then begin
+        st.retries <- st.retries + 1;
+        penalize tr seller cfg.rejection_penalty;
+        Queue.add tr.t_index ready
+      end
+      else begin
+        tr.t_status <- Some Admission_failed;
+        tr.t_finished_at <- now
+      end
+  in
+  let drive tr = function
+    | Awaiting (req, k) ->
+      tr.t_rounds <- tr.t_rounds + 1;
+      parked := (tr.t_index, req, k) :: !parked
+    | Finished res ->
+      decr running;
+      (match res with
+      | Ok outcome -> handle_ok tr outcome
+      | Error _ ->
+        tr.t_status <- Some No_plan;
+        tr.t_finished_at <-
+          Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock)
+  in
+  let start_fiber tr =
+    tr.t_attempts <- tr.t_attempts + 1;
+    incr running;
+    (* A trade (re)starting after the market has advanced begins at
+       market time, not at 0. *)
+    let c = Runtime.node_clock st.rt tr.t_buyer in
+    if st.mclock > c then Runtime.advance st.rt ~node:tr.t_buyer (st.mclock -. c);
+    let transport = make_transport st tr in
+    let tcfg = trader_config st tr in
+    drive tr
+      (Effect.Deep.match_with
+         (fun () ->
+           Trader.optimize ~caches:st.caches ~transport tcfg federation
+             tr.t_query)
+         () handler)
+  in
+  let cap = if cfg.concurrency <= 0 then max_int else cfg.concurrency in
+  let start_more () =
+    while !running < cap && not (Queue.is_empty ready) do
+      start_fiber trades.(Queue.pop ready)
+    done
+  in
+  (* One wave: close the window at the latest suspended buyer clock,
+     coalesce the suspended broadcasts into per-seller envelopes, serve
+     each envelope's trades back-to-back on the seller's clock (real
+     contention), then resume every fiber in trade order. *)
+  let execute_wave () =
+    let waiting =
+      List.sort (fun (a, _, _) (b, _, _) -> compare a b) !parked
+    in
+    parked := [];
+    let t_close =
+      List.fold_left
+        (fun acc (i, _, _) ->
+          Float.max acc (Runtime.node_clock st.rt trades.(i).t_buyer))
+        st.mclock waiting
+    in
+    st.mclock <- t_close;
+    drain_completions st ~upto:t_close;
+    let reqs =
+      List.map
+        (fun (i, (r : round_request), _) ->
+          {
+            Batcher.trade = i;
+            targets = r.rr_targets;
+            signatures = r.rr_signatures;
+            bytes = r.rr_bytes;
+          })
+        waiting
+    in
+    (* Sorting by (seller, trades) makes the per-seller service order
+       identical whether or not envelopes were merged — the heart of the
+       batched/unbatched parity property. *)
+    let envelopes =
+      List.sort
+        (fun (a : Batcher.envelope) b -> compare (a.seller, a.trades) (b.seller, b.trades))
+        (Batcher.coalesce st.batcher reqs)
+    in
+    (* (trade, seller) -> (reply, arrival time back at the buyer) *)
+    let reply_of = Hashtbl.create 32 in
+    List.iter
+      (fun (e : Batcher.envelope) ->
+        (* The envelope goes on the wire once; its bytes are attributed
+           to the first participating trade. *)
+        (match e.trades with
+        | first :: _ ->
+          let tr = trades.(first) in
+          tr.t_messages <- tr.t_messages + 1;
+          tr.t_bytes <- tr.t_bytes + e.env_bytes;
+          Runtime.chatter st.rt ~node:tr.t_buyer ~count:1
+            ~bytes_each:e.env_bytes ~elapsed:0.
+        | [] -> ());
+        let arrival = t_close +. Runtime.one_way st.rt ~bytes:e.env_bytes in
+        let sc = Runtime.node_clock st.rt e.seller in
+        if arrival > sc then
+          Runtime.advance st.rt ~node:e.seller (arrival -. sc);
+        List.iter
+          (fun ti ->
+            match List.find_opt (fun (i, _, _) -> i = ti) waiting with
+            | None -> ()
+            | Some (_, req, _) ->
+              if List.mem e.seller req.rr_targets then begin
+                let reply, processing, rbytes = req.rr_serve e.seller in
+                Runtime.advance st.rt ~node:e.seller processing;
+                let finish = Runtime.node_clock st.rt e.seller in
+                let back = finish +. Runtime.one_way st.rt ~bytes:rbytes in
+                let tr = trades.(ti) in
+                tr.t_messages <- tr.t_messages + 1;
+                tr.t_bytes <- tr.t_bytes + rbytes;
+                Runtime.chatter st.rt ~node:tr.t_buyer ~count:1
+                  ~bytes_each:rbytes ~elapsed:0.;
+                Hashtbl.replace reply_of (ti, e.seller) (reply, back)
+              end)
+          e.trades)
+      envelopes;
+    List.iter
+      (fun (ti, (req : round_request), k) ->
+        let tr = trades.(ti) in
+        let replies =
+          List.filter_map
+            (fun s ->
+              Option.map
+                (fun (reply, _) -> (s, reply))
+                (Hashtbl.find_opt reply_of (ti, s)))
+            req.rr_targets
+        in
+        let resolution =
+          List.fold_left
+            (fun acc s ->
+              match Hashtbl.find_opt reply_of (ti, s) with
+              | Some (_, back) -> Float.max acc back
+              | None -> acc)
+            t_close req.rr_targets
+        in
+        let c = Runtime.node_clock st.rt tr.t_buyer in
+        if resolution > c then
+          Runtime.advance st.rt ~node:tr.t_buyer (resolution -. c);
+        drive tr
+          (Effect.Deep.continue k
+             { Transport.replies; failed = []; fresh_failures = false }))
+      waiting
+  in
+  let rec market_loop () =
+    start_more ();
+    if !parked <> [] then begin
+      execute_wave ();
+      market_loop ()
+    end
+  in
+  market_loop ();
+  drain_completions st ~upto:infinity;
+  let makespan =
+    Array.fold_left (fun acc tr -> Float.max acc tr.t_finished_at) st.mclock trades
+  in
+  let sellers =
+    List.sort compare (Federation.node_ids federation)
+    |> List.map (fun id ->
+           let adm = admission_of st id in
+           let a = Admission.stats adm in
+           let capacity = float_of_int (Admission.slots adm) *. makespan in
+           {
+             seller = id;
+             admission = a;
+             utilization = (if capacity > 0. then a.Admission.busy /. capacity else 0.);
+           })
+  in
+  let trade_list =
+    Array.to_list
+      (Array.map
+         (fun tr ->
+           {
+             trade = tr.t_index;
+             status = Option.value tr.t_status ~default:No_plan;
+             attempts = tr.t_attempts;
+             rounds = tr.t_rounds;
+             plan_cost = tr.t_plan_cost;
+             messages = tr.t_messages;
+             bytes = tr.t_bytes;
+             sim_time = tr.t_finished_at;
+             contracts = tr.t_contracts;
+           })
+         trades)
+  in
+  let completed =
+    List.length (List.filter (fun t -> t.status = Completed) trade_list)
+  in
+  let wire = Runtime.stats st.rt in
+  {
+    trades = trade_list;
+    sellers;
+    batcher = Batcher.stats st.batcher;
+    cache = Seller.pool_stats st.caches;
+    completed;
+    failed = List.length trade_list - completed;
+    admission_retries = st.retries;
+    makespan;
+    wire_messages = wire.Runtime.messages;
+    wire_bytes = wire.Runtime.bytes;
+  }
+
+(* Canonical JSON: fixed key order, no wall-clock or process-local
+   values, floats through one formatter — same-seed runs render
+   byte-identically. *)
+
+let status_to_string = function
+  | Completed -> "completed"
+  | No_plan -> "no_plan"
+  | Admission_failed -> "admission_failed"
+
+let jf x = Printf.sprintf "%.6g" x
+
+let to_json (s : stats) =
+  let b = Buffer.create 2048 in
+  let add = Buffer.add_string b in
+  let list f xs = add "["; List.iteri (fun i x -> if i > 0 then add ","; f x) xs; add "]" in
+  add "{\"trades\":";
+  list
+    (fun (t : trade_stats) ->
+      add
+        (Printf.sprintf
+           "{\"trade\":%d,\"status\":\"%s\",\"attempts\":%d,\"rounds\":%d,\"plan_cost\":%s,\"messages\":%d,\"bytes\":%d,\"sim_time\":%s,\"contracts\":"
+           t.trade (status_to_string t.status) t.attempts t.rounds
+           (jf t.plan_cost) t.messages t.bytes (jf t.sim_time));
+      list
+        (fun (seller, work) ->
+          add (Printf.sprintf "{\"seller\":%d,\"work\":%s}" seller (jf work)))
+        t.contracts;
+      add "}")
+    s.trades;
+  add ",\"sellers\":";
+  list
+    (fun (x : seller_stats) ->
+      let a = x.admission in
+      add
+        (Printf.sprintf
+           "{\"seller\":%d,\"admitted\":%d,\"accepted\":%d,\"rejected\":%d,\"completed\":%d,\"canceled\":%d,\"peak_queue\":%d,\"peak_active\":%d,\"busy\":%s,\"utilization\":%s}"
+           x.seller a.Admission.admitted a.Admission.accepted
+           a.Admission.rejected a.Admission.completed a.Admission.canceled
+           a.Admission.peak_queue a.Admission.peak_active (jf a.Admission.busy)
+           (jf x.utilization)))
+    s.sellers;
+  let bt = s.batcher in
+  add
+    (Printf.sprintf
+       ",\"batcher\":{\"batching\":%b,\"waves\":%d,\"sent_messages\":%d,\"sent_bytes\":%d,\"unbatched_messages\":%d,\"unbatched_bytes\":%d,\"messages_saved\":%d,\"bytes_saved\":%d,\"dup_signatures_merged\":%d}"
+       bt.Batcher.batching bt.Batcher.waves bt.Batcher.sent_messages
+       bt.Batcher.sent_bytes bt.Batcher.unbatched_messages
+       bt.Batcher.unbatched_bytes bt.Batcher.messages_saved
+       bt.Batcher.bytes_saved bt.Batcher.dup_signatures_merged);
+  add
+    (Printf.sprintf
+       ",\"cache\":{\"hits\":%d,\"misses\":%d,\"invalidations\":%d,\"evictions\":%d}"
+       s.cache.Seller.hits s.cache.Seller.misses s.cache.Seller.invalidations
+       s.cache.Seller.evictions);
+  add
+    (Printf.sprintf
+       ",\"completed\":%d,\"failed\":%d,\"admission_retries\":%d,\"makespan\":%s,\"wire_messages\":%d,\"wire_bytes\":%d}"
+       s.completed s.failed s.admission_retries (jf s.makespan) s.wire_messages
+       s.wire_bytes);
+  Buffer.contents b

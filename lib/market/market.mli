@@ -1,0 +1,107 @@
+(** Concurrent multi-buyer marketplace on one shared timeline.
+
+    {!Qt_core.Trader.optimize} runs one buyer to completion; real QT
+    federations host many buyers trading at once against the same
+    sellers.  This scheduler runs N trades {e concurrently} on a single
+    {!Qt_runtime.Runtime} timeline using OCaml effect handlers: each
+    trade is a fiber that suspends when it broadcasts a request for bids,
+    and the market resumes whole {e waves} of suspended trades together.
+
+    Three marketplace mechanisms ride on that structure:
+
+    + {b Batched RFBs} ({!Batcher}): all broadcasts suspended in the same
+      wave are coalesced into one envelope per seller, duplicate query
+      signatures across trades carried once.  Batching only reshapes
+      traffic — every trade still sees exactly the offers it asked for.
+    + {b Per-seller admission control} ({!Admission}): a winning plan's
+      purchased work is submitted as one contract per (trade, seller);
+      sellers have finite slots and a bounded queue, and a rejected trade
+      re-optimizes with the rejecting seller penalized (steering it to
+      less loaded replicas) up to [max_admission_retries] times.
+    + {b Load wiring}: while a seller holds admitted or queued contracts
+      its pricing load is raised by the admission layer, so concurrent
+      buyers see honest, current prices — and the seller's bid cache
+      (keyed on load) invalidates on its own as contracts come and go.
+
+    Scheduling is fully deterministic: fibers start and resume in trade
+    order, sellers are served in ascending id order, contract completions
+    drain from a tie-broken event queue, and no wall-clock value reaches
+    {!stats} — the same (workload, config, seed) replays byte-for-byte,
+    which {!to_json} makes checkable. *)
+
+type config = {
+  trader : Qt_core.Trader.config;
+      (** Per-trade optimizer settings.  [load_of] becomes the {e base}
+          load; the market adds admission load and rejection penalties on
+          top.  Subcontracting is forcibly disabled (a seller-side
+          sub-market cannot suspend inside another trade's fiber). *)
+  admission : Admission.config;  (** Applied to every seller node. *)
+  batching : bool;  (** Coalesce RFBs across trades (default on). *)
+  concurrency : int;
+      (** Max trades in flight at once; [0] (default) = all at once. *)
+  max_admission_retries : int;
+      (** Re-optimizations allowed after an admission rejection. *)
+  rejection_penalty : float;
+      (** Extra load a retrying trade sees on each seller that rejected
+          it — the steering force toward other replicas. *)
+  priority_of : int -> int;
+      (** Buyer priority by trade index, read by the [Priority] and
+          [Proportional_share] arbitration policies. *)
+  cache_entries : int;  (** Per-seller bid-cache LRU capacity. *)
+  seed : int;  (** Runtime seed (latency jitter, if configured). *)
+}
+
+val default_config : Qt_cost.Params.t -> config
+(** Default trader, default admission, batching on, unlimited
+    concurrency, 2 retries, penalty 2.0, uniform priority, 4096 cache
+    entries, seed 7. *)
+
+type status =
+  | Completed  (** Planned and every contract admitted. *)
+  | No_plan  (** The trading loop ended with no candidate plan. *)
+  | Admission_failed  (** Rejected on every allowed attempt. *)
+
+type trade_stats = {
+  trade : int;
+  status : status;
+  attempts : int;  (** Optimization runs, 1 + admission retries. *)
+  rounds : int;  (** RFB waves this trade participated in, all attempts. *)
+  plan_cost : float;  (** Response time of the final plan (0 on failure). *)
+  messages : int;  (** This trade's share of wire messages. *)
+  bytes : int;
+  sim_time : float;  (** Buyer virtual clock when the trade ended. *)
+  contracts : (int * float) list;
+      (** Admitted (seller, work seconds), ascending seller id. *)
+}
+
+type seller_stats = {
+  seller : int;
+  admission : Admission.stats;
+  utilization : float;
+      (** Busy slot-seconds over [slots * makespan]; 0 on an idle market. *)
+}
+
+type stats = {
+  trades : trade_stats list;  (** By trade index. *)
+  sellers : seller_stats list;  (** Ascending seller id, every node. *)
+  batcher : Batcher.stats;
+  cache : Qt_core.Seller.cache_stats;  (** Pooled bid-cache counters. *)
+  completed : int;
+  failed : int;
+  admission_retries : int;  (** Re-optimizations forced by rejections. *)
+  makespan : float;
+      (** Virtual time when the last contract completed (or last trade
+          ended, if later). *)
+  wire_messages : int;  (** Total messages on the shared runtime. *)
+  wire_bytes : int;
+}
+
+val run : config -> Qt_catalog.Federation.t -> Qt_sql.Ast.t list -> stats
+(** Trade every query concurrently — query [i] is trade [i] on buyer
+    node [-(i+1)] — and run the market until all trades have ended and
+    all admitted contracts completed. *)
+
+val to_json : stats -> string
+(** Canonical single-line JSON rendering.  Contains no wall-clock or
+    process-local values, so two same-seed runs yield identical strings
+    — the determinism check used by tests and [bench market]. *)

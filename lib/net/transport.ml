@@ -7,7 +7,8 @@ type 'reply round = {
 type 'reply t = {
   label : string;
   alive : int -> bool;
-  broadcast_rfb : targets:int list -> request_bytes:int -> unit;
+  broadcast_rfb :
+    targets:int list -> signatures:(int * int) list -> request_bytes:int -> unit;
   gather_offers : serve:(int -> 'reply * float * int) -> 'reply round;
   account : count:int -> bytes_each:int -> elapsed:float -> unit;
   one_way : bytes:int -> float;

@@ -31,10 +31,17 @@ type 'reply t = {
   alive : int -> bool;
       (** Whether a node can currently be reached (crash-aware on the
           event runtime; always true on the lock-step network). *)
-  broadcast_rfb : targets:int list -> request_bytes:int -> unit;
+  broadcast_rfb :
+    targets:int list -> signatures:(int * int) list -> request_bytes:int -> unit;
       (** Stage a request-for-bids round to [targets] (written-off nodes
-          are dropped by the transport).  Accounting happens when the
-          round executes in {!gather_offers}. *)
+          are dropped by the transport).  [signatures] describes the
+          round's content as [(interned query-signature id, wire bytes)]
+          pairs — opaque ints at this layer — so coalescing transports
+          (the marketplace batcher) can merge duplicate requests across
+          concurrent trades; point-to-point transports ignore it.
+          [request_bytes] is the whole envelope (the sum of the signature
+          bytes).  Accounting happens when the round executes in
+          {!gather_offers}. *)
   gather_offers : serve:(int -> 'reply * float * int) -> 'reply round;
       (** Execute the staged round.  [serve target] prices the request on
         the target and returns [(reply, processing seconds, reply

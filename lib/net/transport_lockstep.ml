@@ -4,7 +4,8 @@ let create net =
     Transport.label = "lockstep";
     alive = (fun _ -> true);
     broadcast_rfb =
-      (fun ~targets ~request_bytes -> pending := Some (targets, request_bytes));
+      (fun ~targets ~signatures:_ ~request_bytes ->
+        pending := Some (targets, request_bytes));
     gather_offers =
       (fun ~serve ->
         match !pending with

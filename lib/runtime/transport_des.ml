@@ -13,7 +13,7 @@ let create rt ~buyer ~nodes =
     Transport.label = "des";
     alive = (fun id -> Runtime.alive rt id);
     broadcast_rfb =
-      (fun ~targets ~request_bytes ->
+      (fun ~targets ~signatures:_ ~request_bytes ->
         let targets =
           List.filter (fun id -> not (List.mem id !failed)) targets
         in

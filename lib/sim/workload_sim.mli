@@ -49,3 +49,21 @@ type result = {
 }
 
 val run : config -> Qt_catalog.Federation.t -> Qt_sql.Ast.t list -> result
+
+val run_concurrent :
+  ?concurrency:int ->
+  ?batching:bool ->
+  ?admission:Qt_market.Admission.config ->
+  ?seed:int ->
+  config ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t list ->
+  result * Qt_market.Market.stats
+(** Trade the whole workload {e concurrently} on the marketplace
+    scheduler ({!Qt_market.Market}) instead of one query at a time.
+    Load feedback comes from the market's admission layer (slot
+    occupancy and queued contracts raise a seller's quoted load) rather
+    than from this module's decay model, so [load_decay],
+    [load_per_second] and [feedback] are not consulted.  [node_busy] and
+    [makespan] are derived from admitted contract work, making the
+    result directly comparable with {!run}. *)
