@@ -24,6 +24,17 @@ let heading id title =
 
 let fmt_cost c = if Float.is_finite c then Printf.sprintf "%.4f" c else "fail"
 
+let bench = Bench_json.emit
+
+let metrics_fields (m : Experiment.metrics) =
+  [
+    ("optimizer", Bench_json.S m.optimizer);
+    ("plan_cost", Bench_json.F m.plan_cost);
+    ("sim_time", Bench_json.F m.sim_time);
+    ("messages", Bench_json.I m.messages);
+    ("kbytes", Bench_json.F m.kbytes);
+  ]
+
 let metrics_row (m : Experiment.metrics) extras =
   extras
   @ [
@@ -56,7 +67,16 @@ let r_t1 () =
   Texttable.add_row t [ "telecom customers / invoice lines"; "4000 / 20000" ];
   Texttable.add_row t [ "QT protocol / strategy"; "bidding / cooperative" ];
   Texttable.add_row t [ "QT max iterations"; "6" ];
-  Texttable.print t
+  Texttable.print t;
+  bench ~scenario:"params"
+    [
+      ("cpu_tuple", Bench_json.F params.Params.cpu_tuple);
+      ("io_page", Bench_json.F params.Params.io_page);
+      ("page_bytes", Bench_json.I params.Params.page_bytes);
+      ("net_latency", Bench_json.F params.Params.net_latency);
+      ("net_bandwidth", Bench_json.F params.Params.net_bandwidth);
+      ("msg_overhead_bytes", Bench_json.I params.Params.msg_overhead_bytes);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* R-F1/F2/F3: scalability with federation size                         *)
@@ -86,7 +106,11 @@ let r_f1 () =
     (fun (nodes, ms) ->
       Texttable.add_row t
         (string_of_int nodes
-        :: List.map (fun (m : Experiment.metrics) -> fmt_cost m.sim_time) ms))
+        :: List.map (fun (m : Experiment.metrics) -> fmt_cost m.sim_time) ms);
+      List.iter
+        (fun m ->
+          bench ~scenario:"f1" (("nodes", Bench_json.I nodes) :: metrics_fields m))
+        ms)
     (Lazy.force sweep_results);
   Texttable.print t
 
@@ -108,6 +132,15 @@ let r_f2 () =
           fmt_cost (cost "IDP-M(2,5)");
           fmt_cost (cost "Two-step");
           Printf.sprintf "%.3f" (cost "QT" /. cost "Global-DP");
+        ];
+      bench ~scenario:"f2"
+        [
+          ("nodes", Bench_json.I nodes);
+          ("qt", Bench_json.F (cost "QT"));
+          ("global_dp", Bench_json.F (cost "Global-DP"));
+          ("idp", Bench_json.F (cost "IDP-M(2,5)"));
+          ("two_step", Bench_json.F (cost "Two-step"));
+          ("qt_over_opt", Bench_json.F (cost "QT" /. cost "Global-DP"));
         ])
     (Lazy.force sweep_results);
   Texttable.print t
@@ -129,6 +162,14 @@ let r_f3 () =
           Printf.sprintf "%.1f" qt.kbytes;
           string_of_int dp.messages;
           Printf.sprintf "%.1f" dp.kbytes;
+        ];
+      bench ~scenario:"f3"
+        [
+          ("nodes", Bench_json.I nodes);
+          ("qt_messages", Bench_json.I qt.messages);
+          ("qt_kbytes", Bench_json.F qt.kbytes);
+          ("dp_messages", Bench_json.I dp.messages);
+          ("dp_kbytes", Bench_json.F dp.kbytes);
         ])
     (Lazy.force sweep_results);
   Texttable.print t
@@ -153,7 +194,11 @@ let r_f4 () =
     (fun joins ->
       let q = Workload.chain_query ~joins ~aggregate:true ~relations () in
       List.iter
-        (fun m -> Texttable.add_row t (metrics_row m [ string_of_int joins ] |> List.tl |> fun rest -> string_of_int joins :: rest))
+        (fun m ->
+          Texttable.add_row t
+            (metrics_row m [ string_of_int joins ] |> List.tl |> fun rest ->
+             string_of_int joins :: rest);
+          bench ~scenario:"f4" (("joins", Bench_json.I joins) :: metrics_fields m))
         (Experiment.compare_all ~params federation q))
     [ 1; 2; 3; 4; 5 ];
   Texttable.print t
@@ -187,6 +232,15 @@ let r_f5 () =
             string_of_int o.Trader.stats.offers_received;
             string_of_int o.Trader.stats.messages;
             fmt_cost o.Trader.stats.sim_time;
+          ];
+        bench ~scenario:"f5"
+          [
+            ("partitions", Bench_json.I partitions);
+            ("plan_cost", Bench_json.F (Cost.response o.Trader.cost));
+            ("iterations", Bench_json.I o.Trader.stats.iterations);
+            ("offers", Bench_json.I o.Trader.stats.offers_received);
+            ("messages", Bench_json.I o.Trader.stats.messages);
+            ("sim_time", Bench_json.F o.Trader.stats.sim_time);
           ])
     [ 1; 2; 4; 8; 16; 32 ];
   Texttable.print t
@@ -232,6 +286,14 @@ let r_f6 () =
             fmt_cost (Cost.response b.Trader.cost);
             fmt_cost b.Trader.stats.seller_surplus;
             string_of_int b.Trader.stats.messages;
+          ];
+        bench ~scenario:"f6"
+          [
+            ("replicas", Bench_json.I replicas);
+            ("coop_plan", Bench_json.F (Cost.response a.Trader.cost));
+            ("competitive_plan", Bench_json.F (Cost.response b.Trader.cost));
+            ("surplus", Bench_json.F b.Trader.stats.seller_surplus);
+            ("nego_messages", Bench_json.I b.Trader.stats.messages);
           ]
       | _ -> Texttable.add_row t [ string_of_int replicas; "fail" ])
     [ 1; 2; 4; 8 ];
@@ -304,6 +366,17 @@ let r_f7 () =
       (fun i c -> Texttable.add_row t [ string_of_int (i + 1); fmt_cost c ])
       o.Trader.iteration_costs;
     Texttable.print t;
+    bench ~scenario:"f7"
+      [
+        ("iterations", Bench_json.I (List.length o.Trader.iteration_costs));
+        ( "convergence",
+          Bench_json.Raw
+            ("["
+            ^ String.concat ","
+                (List.map (fun c -> Bench_json.render (Bench_json.F c))
+                   o.Trader.iteration_costs)
+            ^ "]") );
+      ];
     Printf.printf "\ntrace:\n";
     List.iter print_endline o.Trader.trace
 
@@ -345,6 +418,15 @@ let r_f8 () =
           string_of_int o.Trader.stats.messages;
           string_of_int o.Trader.stats.negotiation_rounds;
           string_of_int o.Trader.stats.iterations;
+        ];
+      bench ~scenario:"f8"
+        [
+          ("market", Bench_json.S name);
+          ("plan_cost", Bench_json.F (Cost.response o.Trader.cost));
+          ("surplus", Bench_json.F o.Trader.stats.seller_surplus);
+          ("messages", Bench_json.I o.Trader.stats.messages);
+          ("nego_rounds", Bench_json.I o.Trader.stats.negotiation_rounds);
+          ("iterations", Bench_json.I o.Trader.stats.iterations);
         ]
   in
   run "cooperative+bidding" Protocol.Bidding Strategy.Cooperative;
@@ -399,6 +481,14 @@ let r_f9 () =
             string_of_int (List.length remotes);
             string_of_int (List.length via_views);
             fmt_cost o.Trader.stats.sim_time;
+          ];
+        bench ~scenario:"f9"
+          [
+            ("views", Bench_json.B with_views);
+            ("plan_cost", Bench_json.F (Cost.response o.Trader.cost));
+            ("remote_pieces", Bench_json.I (List.length remotes));
+            ("via_views", Bench_json.I (List.length via_views));
+            ("sim_time", Bench_json.F o.Trader.stats.sim_time);
           ])
     [ false; true ];
   Texttable.print t
@@ -433,6 +523,14 @@ let r_f10 () =
               fmt_cost (Cost.response o.Trader.cost);
               Printf.sprintf "%.1f" (1000. *. o.Trader.stats.wall_time);
               string_of_int o.Trader.stats.iterations;
+            ];
+          bench ~scenario:"f10"
+            [
+              ("joins", Bench_json.I joins);
+              ("generator", Bench_json.S name);
+              ("plan_cost", Bench_json.F (Cost.response o.Trader.cost));
+              ("wall_ms", Bench_json.F (1000. *. o.Trader.stats.wall_time));
+              ("iterations", Bench_json.I o.Trader.stats.iterations);
             ]
       in
       run "DP" Qt_core.Plan_generator.Mode_dp;
@@ -480,6 +578,14 @@ let r_f11 () =
         fmt_cost r.makespan;
         Printf.sprintf "%.3f" r.balance_cv;
         string_of_int r.failures;
+      ];
+    bench ~scenario:"f11"
+      [
+        ("mode", Bench_json.S name);
+        ("avg_plan_cost", Bench_json.F avg);
+        ("makespan", Bench_json.F r.makespan);
+        ("busy_cv", Bench_json.F r.balance_cv);
+        ("failures", Bench_json.I r.failures);
       ]
   in
   run "blind (stale loads)" false;
@@ -529,6 +635,13 @@ let r_f12 () =
             fmt_cost (Cost.response o.Trader.cost);
             string_of_int (List.length remotes);
             string_of_int (List.length aggregated);
+          ];
+        bench ~scenario:"f12"
+          [
+            ("scan_only_nodes", Bench_json.I weak);
+            ("plan_cost", Bench_json.F (Cost.response o.Trader.cost));
+            ("remote_pieces", Bench_json.I (List.length remotes));
+            ("aggregated_remotely", Bench_json.I (List.length aggregated));
           ])
     [ 0; 2; 4; 6; 8 ];
   Texttable.print t
@@ -581,6 +694,16 @@ let r_f13 () =
           Printf.sprintf "%.0f" uniform_est;
           Printf.sprintf "%.0f%%" (100. *. err hist_est);
           Printf.sprintf "%.0f%%" (100. *. err uniform_est);
+        ];
+      bench ~scenario:"f13"
+        [
+          ("lo", Bench_json.I lo);
+          ("hi", Bench_json.I hi);
+          ("actual", Bench_json.F actual);
+          ("hist_est", Bench_json.F hist_est);
+          ("uniform_est", Bench_json.F uniform_est);
+          ("hist_err", Bench_json.F (err hist_est));
+          ("uniform_err", Bench_json.F (err uniform_est));
         ])
     [ (0, 99); (0, 399); (400, 799); (1600, 1999); (3600, 3999) ];
   Texttable.print t
@@ -660,6 +783,13 @@ let r_f14 () =
             fmt_cost (Cost.response o.Trader.cost);
             string_of_int o.Trader.stats.messages;
             string_of_int (List.length imported);
+          ];
+        bench ~scenario:"f14"
+          [
+            ("subcontracting", Bench_json.B allow);
+            ("plan_cost", Bench_json.F (Cost.response o.Trader.cost));
+            ("messages", Bench_json.I o.Trader.stats.messages);
+            ("imported_offers", Bench_json.I (List.length imported));
           ])
     [ false; true ];
   Texttable.print t
@@ -692,6 +822,15 @@ let r_f15 () =
     let t =
       Texttable.create [ "strategy"; "plan cost"; "messages"; "iterations" ]
     in
+    let emit strategy (o : Trader.outcome) =
+      bench ~scenario:"f15"
+        [
+          ("strategy", Bench_json.S strategy);
+          ("plan_cost", Bench_json.F (Cost.response o.Trader.cost));
+          ("messages", Bench_json.I o.Trader.stats.messages);
+          ("iterations", Bench_json.I o.Trader.stats.iterations);
+        ]
+    in
     (match Trader.optimize config reduced q with
     | Ok cold ->
       Texttable.add_row t
@@ -700,7 +839,8 @@ let r_f15 () =
           fmt_cost (Cost.response cold.Trader.cost);
           string_of_int cold.Trader.stats.messages;
           string_of_int cold.Trader.stats.iterations;
-        ]
+        ];
+      emit "cold" cold
     | Error e -> Texttable.add_row t [ "cold re-optimization"; "fail: " ^ e ]);
     (match
        Qt_core.Recovery.failover ~params ~failed:[ victim ] ~previous federation q
@@ -712,7 +852,8 @@ let r_f15 () =
           fmt_cost (Cost.response warm.Trader.cost);
           string_of_int warm.Trader.stats.messages;
           string_of_int warm.Trader.stats.iterations;
-        ]
+        ];
+      emit "warm" warm
     | Error e -> Texttable.add_row t [ "warm"; "fail: " ^ e ]);
     Texttable.print t
 
@@ -769,6 +910,16 @@ let r_fault () =
             string_of_int rs.Qt_runtime.Runtime.gave_up;
             fmt_cost m.sim_time;
             string_of_int broken;
+          ];
+        bench ~scenario:"fault"
+          [
+            ("crashed", Bench_json.I k);
+            ("plan_cost", Bench_json.F m.plan_cost);
+            ("messages", Bench_json.I m.messages);
+            ("retries", Bench_json.I rs.Qt_runtime.Runtime.retries);
+            ("gave_up", Bench_json.I rs.Qt_runtime.Runtime.gave_up);
+            ("sim_time", Bench_json.F m.sim_time);
+            ("dp_broken_pieces", Bench_json.I broken);
           ])
     [ 0; 1; 2; 3 ];
   Texttable.print t
@@ -824,16 +975,21 @@ let r_trading () =
           string_of_int misses;
           Printf.sprintf "%.0f%%" (100. *. hit_rate);
         ];
-      Printf.printf
-        "BENCH {\"scenario\":\"trading\",\"trade\":%d,\"plan_cost\":%.6f,\
-         \"iterations\":%d,\"messages\":%d,\"pricing_sim\":%.6f,\
-         \"rfb_sim\":%.6f,\"cache_hits\":%d,\"cache_misses\":%d,\
-         \"hit_rate\":%.3f,\"deduped\":%d,\"rebroadcasts_skipped\":%d}\n"
-        trade
-        (Cost.response o.Trader.cost)
-        o.Trader.stats.iterations o.Trader.stats.messages pricing.Trader.sim
-        o.Trader.phases.rfb.Trader.sim hits misses hit_rate
-        o.Trader.phases.requests_deduped o.Trader.phases.rebroadcasts_skipped
+      bench ~scenario:"trading"
+        [
+          ("trade", Bench_json.I trade);
+          ("plan_cost", Bench_json.F (Cost.response o.Trader.cost));
+          ("iterations", Bench_json.I o.Trader.stats.iterations);
+          ("messages", Bench_json.I o.Trader.stats.messages);
+          ("pricing_sim", Bench_json.F pricing.Trader.sim);
+          ("rfb_sim", Bench_json.F o.Trader.phases.rfb.Trader.sim);
+          ("cache_hits", Bench_json.I hits);
+          ("cache_misses", Bench_json.I misses);
+          ("hit_rate", Bench_json.F hit_rate);
+          ("deduped", Bench_json.I o.Trader.phases.requests_deduped);
+          ( "rebroadcasts_skipped",
+            Bench_json.I o.Trader.phases.rebroadcasts_skipped );
+        ]
   done;
   Texttable.print t
 
@@ -910,11 +1066,128 @@ let r_market () =
               Printf.sprintf "%.3f" mean_util;
               fmt_cost s.Market.makespan;
             ];
-          Printf.printf "BENCH {\"scenario\":\"market\",\"buyers\":%d,\"stats\":%s}\n"
-            buyers (Market.to_json s))
+          bench ~scenario:"market"
+            [
+              ("buyers", Bench_json.I buyers);
+              ("stats", Bench_json.Raw (Market.to_json s));
+            ])
         [ true; false ])
     [ 1; 2; 4; 8 ];
   Texttable.print t
+
+(* ------------------------------------------------------------------ *)
+(* R-obs: observability cost and perf snapshot                          *)
+(* ------------------------------------------------------------------ *)
+
+let r_obs () =
+  heading "R-obs"
+    "observability: sink off vs on over the trading scenario, BENCH_obs.json";
+  let module Obs = Qt_obs.Obs in
+  let federation = misaligned_federation () in
+  let q =
+    Qt_sql.Parser.parse
+      "SELECT c.office, SUM(il.charge) FROM customer c, invoiceline il \
+       WHERE c.custid = il.custid GROUP BY c.office"
+  in
+  let config = { (Trader.default_config params) with Trader.max_iterations = 8 } in
+  let run_once obs =
+    let t0 = Sys.time () in
+    let outcome =
+      match Trader.optimize ~obs config federation q with
+      | Ok o -> o
+      | Error e -> failwith ("obs bench trade failed: " ^ e)
+    in
+    (Sys.time () -. t0, outcome)
+  in
+  let median xs =
+    match List.sort compare xs with
+    | [] -> 0.
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  ignore (run_once Obs.disabled);
+  (* warm-up *)
+  let reps = 5 in
+  let disabled_s =
+    median (List.init reps (fun _ -> fst (run_once Obs.disabled)))
+  in
+  let enabled_runs =
+    List.init reps (fun _ ->
+        let sink = Obs.create () in
+        let t, outcome = run_once sink in
+        (t, sink, outcome))
+  in
+  let enabled_s = median (List.map (fun (t, _, _) -> t) enabled_runs) in
+  let _, sink, outcome = List.hd enabled_runs in
+  let span_count = Obs.span_count sink in
+  (* The claim under test is that the instrumentation is free when the
+     sink is off.  The residual cost of the dead branches is bounded
+     directly: time the no-op emit itself, project it onto the number of
+     emission sites the recording run actually hit, and compare against
+     the whole scenario's runtime. *)
+  let calls = 2_000_000 in
+  let t0 = Sys.time () in
+  for _ = 1 to calls do
+    ignore
+      (Obs.emit Obs.disabled ~cat:"bench" ~name:"noop" ~track:0 ~t0:0. ~t1:0. ())
+  done;
+  let per_noop_call = (Sys.time () -. t0) /. float_of_int calls in
+  let dead_branch_overhead =
+    if disabled_s <= 0. then 0.
+    else per_noop_call *. float_of_int span_count /. disabled_s
+  in
+  let recording_overhead =
+    if disabled_s <= 0. then 0. else (enabled_s -. disabled_s) /. disabled_s
+  in
+  Printf.printf "trading scenario, median of %d runs:\n" reps;
+  Printf.printf "  sink off:  %.2f ms\n" (1000. *. disabled_s);
+  Printf.printf "  sink on:   %.2f ms (%d spans, %+.1f%%)\n" (1000. *. enabled_s)
+    span_count
+    (100. *. recording_overhead);
+  Printf.printf "  no-op emit: %.1f ns/call -> dead-branch share %.4f%%\n"
+    (1e9 *. per_noop_call)
+    (100. *. dead_branch_overhead);
+  let ph = outcome.Trader.phases in
+  let cs = outcome.Trader.stats in
+  let hit_rate =
+    let h = ph.Trader.pricing.Trader.cache_hits
+    and m = ph.Trader.pricing.Trader.cache_misses in
+    if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+  in
+  let phase name (p : Trader.phase) =
+    [
+      (name ^ "_wall_ms", Bench_json.F (1000. *. p.Trader.wall));
+      (name ^ "_messages", Bench_json.I p.Trader.messages);
+    ]
+  in
+  let snapshot =
+    [
+      ("scenario", Bench_json.S "obs");
+      ("disabled_ms", Bench_json.F (1000. *. disabled_s));
+      ("enabled_ms", Bench_json.F (1000. *. enabled_s));
+      ("spans", Bench_json.I span_count);
+      ("noop_emit_ns", Bench_json.F (1e9 *. per_noop_call));
+      ("dead_branch_overhead", Bench_json.F dead_branch_overhead);
+      ("recording_overhead", Bench_json.F recording_overhead);
+      ("messages", Bench_json.I cs.Trader.messages);
+      ("cache_hit_rate", Bench_json.F hit_rate);
+    ]
+    @ phase "rfb" ph.Trader.rfb
+    @ phase "pricing" ph.Trader.pricing
+    @ phase "negotiation" ph.Trader.negotiation
+    @ phase "plan_gen" ph.Trader.plan_gen
+  in
+  bench ~scenario:"obs" (List.tl snapshot);
+  Bench_json.to_file "BENCH_obs.json" snapshot;
+  Printf.printf "wrote BENCH_obs.json\n";
+  if dead_branch_overhead >= 0.02 then begin
+    Printf.printf
+      "FAIL: disabled-sink overhead %.2f%% >= 2%% budget\n"
+      (100. *. dead_branch_overhead);
+    exit 1
+  end
+  else
+    Printf.printf "PASS: disabled-sink overhead %.4f%% < 2%% budget\n"
+      (100. *. dead_branch_overhead)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -976,7 +1249,12 @@ let micro () =
             | Some [ v ] -> Printf.sprintf "%.0f" v
             | Some _ | None -> "n/a"
           in
-          Texttable.add_row t [ name; value ])
+          Texttable.add_row t [ name; value ];
+          match Analyze.OLS.estimates est with
+          | Some [ v ] ->
+            bench ~scenario:"micro"
+              [ ("benchmark", Bench_json.S name); ("ns_per_run", Bench_json.F v) ]
+          | Some _ | None -> ())
         analyzed)
     tests;
   Texttable.print t
@@ -1006,6 +1284,7 @@ let all =
     ("fault", r_fault);
     ("trading", r_trading);
     ("market", r_market);
+    ("obs", r_obs);
     ("micro", micro);
   ]
 

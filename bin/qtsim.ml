@@ -127,6 +127,32 @@ let stats_arg =
            hits and simulated/wall time for the RFB, pricing, negotiation \
            and plan-generation phases.")
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the run as structured spans and write a Chrome trace-event \
+           JSON file (load it in Perfetto or chrome://tracing).  One process \
+           per federation node, timeline in simulated time; same-seed runs \
+           write byte-identical files.")
+
+let metrics_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the run's flat metrics registry as one JSON object.")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
+let obs_of_trace = function
+  | None -> Qt_obs.Obs.disabled
+  | Some _ -> Qt_obs.Obs.create ()
+
 let build_federation schema nodes partitions replicas views =
   match String.split_on_char ':' schema with
   | [ "telecom" ] ->
@@ -183,13 +209,44 @@ let print_phase_stats (ph : Qt_core.Trader.phase_stats) =
   Printf.printf "  deduped requests: %d, skipped re-broadcasts: %d\n"
     ph.requests_deduped ph.rebroadcasts_skipped
 
+let optimize_metrics_json (outcome : Qt_core.Trader.outcome) =
+  let module Metrics = Qt_obs.Metrics in
+  let m = Metrics.create () in
+  let c name v = Metrics.incr ~by:v (Metrics.counter m name) in
+  let g name v = Metrics.set (Metrics.gauge m name) v in
+  let s = outcome.Qt_core.Trader.stats in
+  c "optimize.iterations" s.Qt_core.Trader.iterations;
+  c "optimize.messages" s.Qt_core.Trader.messages;
+  c "optimize.bytes" s.Qt_core.Trader.bytes;
+  c "optimize.offers_received" s.Qt_core.Trader.offers_received;
+  c "optimize.negotiation_rounds" s.Qt_core.Trader.negotiation_rounds;
+  c "optimize.queries_asked" s.Qt_core.Trader.queries_asked;
+  g "optimize.sim_time" s.Qt_core.Trader.sim_time;
+  g "optimize.plan_cost" s.Qt_core.Trader.plan_cost;
+  let ph = outcome.Qt_core.Trader.phases in
+  let phase name (p : Qt_core.Trader.phase) =
+    c (name ^ ".messages") p.Qt_core.Trader.messages;
+    c (name ^ ".bytes") p.Qt_core.Trader.bytes;
+    c (name ^ ".cache_hits") p.Qt_core.Trader.cache_hits;
+    c (name ^ ".cache_misses") p.Qt_core.Trader.cache_misses;
+    g (name ^ ".sim") p.Qt_core.Trader.sim
+  in
+  phase "phase.rfb" ph.Qt_core.Trader.rfb;
+  phase "phase.pricing" ph.Qt_core.Trader.pricing;
+  phase "phase.negotiation" ph.Qt_core.Trader.negotiation;
+  phase "phase.plan_gen" ph.Qt_core.Trader.plan_gen;
+  c "phase.requests_deduped" ph.Qt_core.Trader.requests_deduped;
+  c "phase.rebroadcasts_skipped" ph.Qt_core.Trader.rebroadcasts_skipped;
+  Metrics.to_json m
+
 let run_optimize sql schema nodes partitions replicas views profile execute
     competitive auction seed subcontracting price faults timeout retries backoff
-    stats =
+    stats trace metrics =
   let params = params_of_profile profile in
   let federation = build_federation schema nodes partitions replicas views in
   let query = Qt_sql.Parser.parse sql in
   let config = build_config ~subcontracting ~price params competitive auction in
+  let obs = obs_of_trace trace in
   let fault_plan =
     if faults = "" then Qt_runtime.Fault_plan.none
     else Qt_runtime.Fault_plan.of_spec faults
@@ -206,7 +263,7 @@ let run_optimize sql schema nodes partitions replicas views profile execute
           backoff;
         }
       in
-      Some (Qt_runtime.Runtime.create ~rpc ~faults:fault_plan ~params ~seed ())
+      Some (Qt_runtime.Runtime.create ~rpc ~faults:fault_plan ~obs ~params ~seed ())
   in
   let transport =
     Option.map
@@ -218,9 +275,11 @@ let run_optimize sql schema nodes partitions replicas views profile execute
                federation.Qt_catalog.Federation.nodes))
       runtime
   in
-  match Qt_core.Trader.optimize ?transport config federation query with
+  match Qt_core.Trader.optimize ?transport ~obs config federation query with
   | Error e ->
     Printf.eprintf "optimization failed: %s\n" e;
+    (* A failed trade still yields a trace — often the most useful one. *)
+    Option.iter (fun path -> write_file path (Qt_obs.Chrome_trace.to_json obs)) trace;
     1
   | Ok outcome ->
     Printf.printf "Query: %s\n\n" (Qt_sql.Analysis.to_string query);
@@ -265,7 +324,7 @@ let run_optimize sql schema nodes partitions replicas views profile execute
     if execute then begin
       let store = Qt_exec.Store.generate ~seed federation in
       Qt_exec.Naive.materialize_views store federation;
-      let result = Qt_exec.Engine.run store federation outcome.plan in
+      let result = Qt_exec.Engine.run ~obs store federation outcome.plan in
       let oracle = Qt_exec.Naive.run_global store query in
       Printf.printf "\nResult (%d rows):\n" (Qt_exec.Table.cardinality result);
       Format.printf "%a" (Qt_exec.Table.pp ~max_rows:15) result;
@@ -280,6 +339,15 @@ let run_optimize sql schema nodes partitions replicas views profile execute
       Printf.printf "Matches direct evaluation: %b\n" agree;
       if not agree then exit 1
     end;
+    Option.iter
+      (fun path ->
+        write_file path (Qt_obs.Chrome_trace.to_json obs);
+        Printf.printf "Trace: %d spans on %d tracks written to %s\n"
+          (Qt_obs.Obs.span_count obs)
+          (List.length (Qt_obs.Obs.tracks obs))
+          path)
+      trace;
+    Option.iter (fun path -> write_file path (optimize_metrics_json outcome)) metrics;
     0
 
 let optimize_cmd =
@@ -290,7 +358,8 @@ let optimize_cmd =
       const run_optimize $ sql_arg $ schema_arg $ nodes_arg $ partitions_arg
       $ replicas_arg $ views_arg $ profile_arg $ execute_arg $ competitive_arg
       $ auction_arg $ seed_arg $ subcontracting_arg $ price_arg $ faults_arg
-      $ timeout_arg $ retries_arg $ backoff_arg $ stats_arg)
+      $ timeout_arg $ retries_arg $ backoff_arg $ stats_arg $ trace_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                              *)
@@ -461,7 +530,7 @@ let workload_cmd =
 (* ------------------------------------------------------------------ *)
 
 let run_market schema nodes partitions replicas profile count concurrency slots
-    queue policy no_batching seed competitive json =
+    queue policy no_batching seed competitive json trace metrics =
   let module Market = Qt_market.Market in
   let module Admission = Qt_market.Admission in
   let params = params_of_profile profile in
@@ -513,7 +582,19 @@ let run_market schema nodes partitions replicas profile count concurrency slots
       seed;
     }
   in
-  let s = Market.run config federation queries in
+  let obs = obs_of_trace trace in
+  let s = Market.run ~obs config federation queries in
+  Option.iter
+    (fun path ->
+      write_file path (Qt_obs.Chrome_trace.to_json obs);
+      if not json then
+        Printf.printf "trace: %d spans, %d categories, %d tracks -> %s\n"
+          (Qt_obs.Obs.span_count obs)
+          (List.length (Qt_obs.Obs.categories obs))
+          (List.length (Qt_obs.Obs.tracks obs))
+          path)
+    trace;
+  Option.iter (fun path -> write_file path (Market.metrics_json s)) metrics;
   if json then print_endline (Market.to_json s)
   else begin
     Printf.printf "trades: %d completed, %d failed, %d admission retries\n"
@@ -612,7 +693,39 @@ let market_cmd =
     Term.(
       const run_market $ schema_arg $ nodes_arg $ partitions_arg $ replicas_arg
       $ profile_arg $ count_arg $ concurrency_arg $ slots_arg $ queue_arg
-      $ policy_arg $ no_batching_arg $ seed_arg $ competitive_arg $ json_arg)
+      $ policy_arg $ no_batching_arg $ seed_arg $ competitive_arg $ json_arg
+      $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check-trace                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_check_trace path =
+  let contents =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Qt_obs.Chrome_trace.validate contents with
+  | Ok () ->
+    Printf.printf "%s: valid Chrome trace\n" path;
+    0
+  | Error msg ->
+    Printf.eprintf "%s: invalid trace: %s\n" path msg;
+    1
+
+let check_trace_cmd =
+  let doc =
+    "Validate a Chrome trace-event JSON file (well-formed JSON, required \
+     event fields, monotone timestamps per track, matched begin/end pairs)."
+  in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  Cmd.v (Cmd.info "check-trace" ~doc) Term.(const run_check_trace $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -620,7 +733,15 @@ let main_cmd =
   let doc = "query-trading distributed query optimization simulator" in
   Cmd.group
     (Cmd.info "qtsim" ~version:"1.0.0" ~doc)
-    [ optimize_cmd; compare_cmd; federation_cmd; trace_cmd; workload_cmd; market_cmd ]
+    [
+      optimize_cmd;
+      compare_cmd;
+      federation_cmd;
+      trace_cmd;
+      workload_cmd;
+      market_cmd;
+      check_trace_cmd;
+    ]
 
 let () =
   (* Turn expected failures (bad SQL, bad schema spec) into clean CLI

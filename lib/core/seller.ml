@@ -13,6 +13,7 @@ module Dp = Qt_optimizer.Dp
 module Localize = Qt_rewrite.Localize
 module View_match = Qt_views.View_match
 module Strategy = Qt_trading.Strategy
+module Metrics = Qt_obs.Metrics
 
 type config = {
   params : Qt_cost.Params.t;
@@ -512,10 +513,12 @@ type cache = {
       (* key: (interned request signature id, buyer estimate) *)
   max_entries : int;
   mutable tick : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable invalidations : int;
-  mutable evictions : int;
+  (* The counters live in a metrics registry; [cache_stats] is a view. *)
+  c_metrics : Metrics.t;
+  c_hits : Metrics.counter;
+  c_misses : Metrics.counter;
+  c_invalidations : Metrics.counter;
+  c_evictions : Metrics.counter;
 }
 
 type cache_stats = {
@@ -527,22 +530,26 @@ type cache_stats = {
 
 let cache_create ?(max_entries = default_cache_entries) () =
   if max_entries <= 0 then invalid_arg "Seller.cache_create: max_entries must be positive";
+  let m = Metrics.create () in
   {
     entries = Hashtbl.create 64;
     max_entries;
     tick = 0;
-    hits = 0;
-    misses = 0;
-    invalidations = 0;
-    evictions = 0;
+    c_metrics = m;
+    c_hits = Metrics.counter m "cache.hits";
+    c_misses = Metrics.counter m "cache.misses";
+    c_invalidations = Metrics.counter m "cache.invalidations";
+    c_evictions = Metrics.counter m "cache.evictions";
   }
+
+let cache_metrics (c : cache) = c.c_metrics
 
 let cache_stats (c : cache) =
   {
-    hits = c.hits;
-    misses = c.misses;
-    invalidations = c.invalidations;
-    evictions = c.evictions;
+    hits = Metrics.value c.c_hits;
+    misses = Metrics.value c.c_misses;
+    invalidations = Metrics.value c.c_invalidations;
+    evictions = Metrics.value c.c_evictions;
   }
 
 let cache_touch (c : cache) e =
@@ -566,7 +573,7 @@ let cache_evict_lru (c : cache) =
   | None -> ()
   | Some (key, _) ->
     Hashtbl.remove c.entries key;
-    c.evictions <- c.evictions + 1
+    Metrics.incr c.c_evictions
 
 let cache_insert (c : cache) key entry =
   if Hashtbl.length c.entries >= c.max_entries then cache_evict_lru c;
@@ -608,11 +615,12 @@ let pool_cache pool node_id =
 let pool_stats (pool : cache_pool) =
   Hashtbl.fold
     (fun _ (c : cache) (acc : cache_stats) ->
+      let s = cache_stats c in
       {
-        hits = acc.hits + c.hits;
-        misses = acc.misses + c.misses;
-        invalidations = acc.invalidations + c.invalidations;
-        evictions = acc.evictions + c.evictions;
+        hits = acc.hits + s.hits;
+        misses = acc.misses + s.misses;
+        invalidations = acc.invalidations + s.invalidations;
+        evictions = acc.evictions + s.evictions;
       })
     pool.pool_caches
     { hits = 0; misses = 0; invalidations = 0; evictions = 0 }
@@ -640,16 +648,16 @@ let respond ?cache config schema (node : Node.t) ~requests =
       let fingerprint = catalog_fingerprint node in
       match Hashtbl.find_opt c.entries key with
       | Some e when entry_valid config ~fingerprint e ->
-        c.hits <- c.hits + 1;
+        Metrics.incr c.c_hits;
         cache_touch c e;
         e.e_offers
       | stale ->
         (match stale with
         | Some _ ->
           Hashtbl.remove c.entries key;
-          c.invalidations <- c.invalidations + 1
+          Metrics.incr c.c_invalidations
         | None -> ());
-        c.misses <- c.misses + 1;
+        Metrics.incr c.c_misses;
         let offers, considered = price () in
         cache_insert c key
           {

@@ -10,6 +10,7 @@ module Transport_lockstep = Qt_net.Transport_lockstep
 module Protocol = Qt_trading.Protocol
 module Strategy = Qt_trading.Strategy
 module Listx = Qt_util.Listx
+module Obs = Qt_obs.Obs
 
 type config = {
   params : Qt_cost.Params.t;
@@ -137,17 +138,59 @@ let negotiate config ~account offers =
 let zero_phase =
   { messages = 0; bytes = 0; cache_hits = 0; cache_misses = 0; wall = 0.; sim = 0. }
 
-let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches config
-    (federation : Federation.t) (q : Ast.t) =
+let zero_phase_stats =
+  {
+    rfb = zero_phase;
+    pricing = zero_phase;
+    negotiation = zero_phase;
+    plan_gen = zero_phase;
+    requests_deduped = 0;
+    rebroadcasts_skipped = 0;
+  }
+
+let add_phase a b =
+  {
+    messages = a.messages + b.messages;
+    bytes = a.bytes + b.bytes;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    wall = a.wall +. b.wall;
+    sim = a.sim +. b.sim;
+  }
+
+let add_phase_stats a b =
+  {
+    rfb = add_phase a.rfb b.rfb;
+    pricing = add_phase a.pricing b.pricing;
+    negotiation = add_phase a.negotiation b.negotiation;
+    plan_gen = add_phase a.plan_gen b.plan_gen;
+    requests_deduped = a.requests_deduped + b.requests_deduped;
+    rebroadcasts_skipped = a.rebroadcasts_skipped + b.rebroadcasts_skipped;
+  }
+
+let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches
+    ?(obs = Obs.disabled) ?obs_track config (federation : Federation.t)
+    (q : Ast.t) =
   let wall_start = Sys.time () in
+  let obs_track = Option.value ~default:buyer_id obs_track in
   (* All execution-model specifics (lock-step vs discrete-event, faults,
      timeouts, retries) live behind the transport; the loop below is the
      single trading path for both. *)
   let transport : Seller.response Transport.t =
     match transport with
     | Some t -> t
-    | None -> Transport_lockstep.create (Network.create config.params)
+    | None ->
+      Transport_lockstep.create ~obs ~track:obs_track
+        (Network.create config.params)
   in
+  if Obs.enabled obs then begin
+    Obs.track_name obs obs_track
+      (if obs_track = buyer_id then "buyer" else Printf.sprintf "buyer %d" obs_track);
+    List.iter
+      (fun (n : Node.t) ->
+        Obs.track_name obs n.node_id (Printf.sprintf "node %d" n.node_id))
+      federation.nodes
+  end;
   let caches =
     match caches with Some pool -> pool | None -> Seller.pool_create ()
   in
@@ -183,18 +226,51 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches conf
   let snap () =
     (transport.messages (), transport.bytes (), transport.elapsed (), Sys.time ())
   in
-  let record acc ~from:(m0, b0, e0, w0) ~sim_shift ~wall_shift =
+  (* The root span all phase sections nest under. *)
+  let root =
+    Obs.open_span obs ~cat:"optimize" ~name:"optimize" ~track:obs_track
+      ~t0:(transport.elapsed ()) ()
+  in
+  (* Each phase section becomes one span carrying the {e same} diffs that
+     go into the accumulator — so summing the spans of a category (on
+     this track, in emission order) reproduces [phase_stats] exactly. *)
+  let record ?(cat = "") acc ~from:(m0, b0, e0, w0) ~sim_shift ~wall_shift =
     let m1, b1, e1, w1 = snap () in
+    let messages = m1 - m0 and bytes = b1 - b0 in
+    let sim = e1 -. e0 +. sim_shift and wall = w1 -. w0 +. wall_shift in
+    if Obs.enabled obs && cat <> "" then
+      ignore
+        (Obs.emit obs ~cat ~name:cat ~track:obs_track ~parent:root ~wall
+           ~attrs:
+             [
+               ("messages", Obs.Int messages);
+               ("bytes", Obs.Int bytes);
+               ("sim", Obs.Float sim);
+             ]
+           ~t0:e0 ~t1:e1 ()
+          : int);
     acc :=
       {
         !acc with
-        messages = !acc.messages + m1 - m0;
-        bytes = !acc.bytes + b1 - b0;
-        sim = !acc.sim +. (e1 -. e0) +. sim_shift;
-        wall = !acc.wall +. (w1 -. w0) +. wall_shift;
+        messages = !acc.messages + messages;
+        bytes = !acc.bytes + bytes;
+        sim = !acc.sim +. sim;
+        wall = !acc.wall +. wall;
       }
   in
-  let add_pricing ~hits ~misses ~sim ~wall =
+  let add_pricing ~hits ~misses ~sim ~wall ~t0 =
+    if Obs.enabled obs then
+      ignore
+        (Obs.emit obs ~cat:"pricing" ~name:"pricing" ~track:obs_track
+           ~parent:root ~wall
+           ~attrs:
+             [
+               ("cache_hits", Obs.Int hits);
+               ("cache_misses", Obs.Int misses);
+               ("sim", Obs.Float sim);
+             ]
+           ~t0 ~t1:(t0 +. sim) ()
+          : int);
     pricing_p :=
       {
         !pricing_p with
@@ -230,7 +306,7 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches conf
       | None -> infinity
       | Some c -> Cost.response c.Plan_generator.cost)
       :: !iteration_costs;
-    record plan_p ~from ~sim_shift:0. ~wall_shift:0.;
+    record ~cat:"plan_gen" plan_p ~from ~sim_shift:0. ~wall_shift:0.;
     improved
   in
   let queue =
@@ -381,6 +457,7 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches conf
           (Listx.sum_by (fun o -> float_of_int (Offer.wire_bytes o)) r.offers)
       in
       let round_from = snap () in
+      let _, _, round_e0, _ = round_from in
       let cache_before = Seller.pool_stats caches in
       let pricing_wall = ref 0. in
       let round_processing = ref 0. in
@@ -391,11 +468,29 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches conf
         transport.gather_offers ~serve:(fun id ->
             let node = Federation.node federation id in
             let t0 = Sys.time () in
-            let r =
-              Seller.respond
-                ~cache:(Seller.pool_cache caches id)
-                (seller_config_for node) schema node ~requests
+            let cache = Seller.pool_cache caches id in
+            let seller_before =
+              if Obs.enabled obs then Some (Seller.cache_stats cache) else None
             in
+            let r =
+              Seller.respond ~cache (seller_config_for node) schema node
+                ~requests
+            in
+            (match seller_before with
+            | Some before ->
+              let after = Seller.cache_stats cache in
+              ignore
+                (Obs.emit obs ~cat:"pricing" ~name:"price" ~track:id
+                   ~attrs:
+                     [
+                       ("offers", Obs.Int (List.length r.Seller.offers));
+                       ("cache_hits", Obs.Int (after.Seller.hits - before.Seller.hits));
+                       ( "cache_misses",
+                         Obs.Int (after.Seller.misses - before.Seller.misses) );
+                     ]
+                   ~t0:round_e0 ~t1:(round_e0 +. r.Seller.processing_time) ()
+                  : int)
+            | None -> ());
             pricing_wall := !pricing_wall +. (Sys.time () -. t0);
             round_processing :=
               Float.max !round_processing r.Seller.processing_time;
@@ -422,17 +517,18 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches conf
       add_pricing
         ~hits:(cache_after.Seller.hits - cache_before.Seller.hits)
         ~misses:(cache_after.Seller.misses - cache_before.Seller.misses)
-        ~sim:!round_processing ~wall:!pricing_wall;
+        ~sim:!round_processing ~wall:!pricing_wall ~t0:round_e0;
       (* The round's clock advance includes the slowest seller's pricing
          time; attribute that share to the pricing phase, the rest (pure
          transit, timeouts, sub-market chatter) to the RFB phase. *)
-      record rfb_p ~from:round_from ~sim_shift:(-. !round_processing)
+      record ~cat:"rfb" rfb_p ~from:round_from ~sim_shift:(-. !round_processing)
         ~wall_shift:(-. !pricing_wall);
       offers_received := !offers_received + List.length fresh;
       (* B3: nested trading negotiation selects the winning offers. *)
       let nego_from = snap () in
       let winners, rounds = negotiate config ~account:account_nego fresh in
-      record nego_p ~from:nego_from ~sim_shift:0. ~wall_shift:0.;
+      record ~cat:"negotiation" nego_p ~from:nego_from ~sim_shift:0.
+        ~wall_shift:0.;
       negotiation_rounds := !negotiation_rounds + rounds;
       pool := !pool @ winners;
       (* B4: combine winning offers into candidate plans. *)
@@ -446,7 +542,7 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches conf
             not (Hashtbl.mem asked (Analysis.Sig.id (Analysis.Sig.of_ast query))))
           proposals
       in
-      record plan_p ~from:plan_from ~sim_shift:0. ~wall_shift:0.;
+      record ~cat:"plan_gen" plan_p ~from:plan_from ~sim_shift:0. ~wall_shift:0.;
       trace :=
         Printf.sprintf
           "iter %d: asked %d quer%s, %d offers, %d winners, best=%s, %d new quer%s"
@@ -464,6 +560,18 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches conf
       else queue := List.map (fun query -> (query, 0.)) fresh_queries
     end
   done;
+  Obs.close obs root
+    ~wall:(Sys.time () -. wall_start)
+    ~attrs:
+      (if Obs.enabled obs then
+         [
+           ("iterations", Obs.Int !iterations);
+           ("offers_received", Obs.Int !offers_received);
+           ("negotiation_rounds", Obs.Int !negotiation_rounds);
+           ("queries_asked", Obs.Int !queries_asked);
+         ]
+       else [])
+    ~t1:(transport.elapsed ()) ();
   match !best with
   | None -> Result.Error "query trading failed: no candidate execution plan"
   | Some c ->

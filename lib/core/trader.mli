@@ -104,11 +104,20 @@ val buyer_id : int
 (** The buyer's node id on the discrete-event runtime ([-1]; sellers use
     the federation's non-negative node ids). *)
 
+val zero_phase_stats : phase_stats
+(** All-zero phase breakdown — the identity of {!add_phase_stats}. *)
+
+val add_phase_stats : phase_stats -> phase_stats -> phase_stats
+(** Field-wise sum, for accumulating breakdowns across repeated
+    optimizations (e.g. a trade's admission retries). *)
+
 val optimize :
   ?standing:Offer.t list ->
   ?requests:Qt_sql.Ast.t list ->
   ?transport:Seller.response Qt_net.Transport.t ->
   ?caches:Seller.cache_pool ->
+  ?obs:Qt_obs.Obs.t ->
+  ?obs_track:int ->
   config ->
   Qt_catalog.Federation.t ->
   Qt_sql.Ast.t ->
@@ -140,6 +149,15 @@ val optimize :
     replay priced bids instead of re-running each local optimizer.  The
     default is a fresh pool per call, which leaves single-trade numbers
     exactly as uncached.
+
+    [obs] records the trade as structured spans (default: the no-op
+    sink): a root [optimize] span on [obs_track] (default {!buyer_id}),
+    one child span per phase section in categories
+    [rfb]/[pricing]/[negotiation]/[plan_gen] carrying the same
+    traffic/time diffs that feed [phases] — so
+    {!Qt_obs.Obs.phase_sum} over a category on [obs_track] reproduces
+    {!phase_stats} exactly — plus per-seller [price] spans on each
+    seller's track with bid-cache hit/miss attributes.
 
     [Error _] reproduces the paper's abort condition: the loop ended with
     no candidate execution plan. *)

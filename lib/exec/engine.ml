@@ -1,38 +1,89 @@
 module Plan = Qt_optimizer.Plan
+module Obs = Qt_obs.Obs
 
-let run store federation plan =
-  let rec go = function
-    | Plan.Scan s -> (
-      match Store.view_table store ~node:s.node ~view:s.rel with
-      | Some view -> Table.retag view ~alias:s.alias
-      | None ->
-        Table.retag (Store.fragment_table store ~rel:s.rel ~range:s.range) ~alias:s.alias)
-    | Plan.Filter f -> Ops.filter (go f.input) f.preds
-    | Plan.Join j -> (
-      match j.algo with
-      | Plan.Hash -> Ops.hash_join (go j.build) (go j.probe) j.preds
-      | Plan.Sort_merge -> Ops.merge_join (go j.build) (go j.probe) j.preds
-      | Plan.Nested_loop -> Ops.nested_loop_join (go j.build) (go j.probe) j.preds)
-    | Plan.Union u -> (
-      match List.map go u.inputs with
-      | [] -> invalid_arg "Engine.run: empty union"
-      | first :: rest -> List.fold_left Table.append first rest)
-    | Plan.Project p -> Ops.project (go p.input) p.select
-    | Plan.Sort s -> Ops.sort (go s.input) s.keys
-    | Plan.Aggregate a -> Ops.aggregate (go a.input) ~group_by:a.group_by a.select
-    | Plan.Distinct d -> Ops.distinct (go d.input)
-    | Plan.Remote r -> (
-      let answer =
-        Naive.run_at_node ~imports:r.imports store federation ~node:r.seller r.query
-      in
-      match r.rename with
-      | None -> answer
-      | Some cols ->
-        if List.length cols <> Array.length answer.Table.cols then
-          invalid_arg "Engine.run: remote rename width mismatch";
-        let renamed =
-          Array.of_list (List.map (fun (alias, name) -> { Table.alias; name }) cols)
-        in
-        Table.create renamed answer.Table.rows)
+let op_name = function
+  | Plan.Scan _ -> "scan"
+  | Plan.Filter _ -> "filter"
+  | Plan.Join j -> (
+    match j.algo with
+    | Plan.Hash -> "hash_join"
+    | Plan.Sort_merge -> "merge_join"
+    | Plan.Nested_loop -> "nested_loop_join")
+  | Plan.Union _ -> "union"
+  | Plan.Project _ -> "project"
+  | Plan.Sort _ -> "sort"
+  | Plan.Aggregate _ -> "aggregate"
+  | Plan.Distinct _ -> "distinct"
+  | Plan.Remote _ -> "remote"
+
+let run ?(obs = Obs.disabled) ?(track = -1) store federation plan =
+  (* Execution has no simulated clock of its own, so spans sit on a
+     deterministic preorder ordinal timeline: each operator ticks once on
+     entry and once after its children, giving properly nested intervals
+     whose order mirrors the interpreter's evaluation order. *)
+  let tick = ref 0. in
+  let next () =
+    let t = !tick in
+    tick := t +. 1.;
+    t
   in
-  go plan
+  let rec go ~parent plan =
+    let eval parent =
+      match plan with
+      | Plan.Scan s -> (
+        match Store.view_table store ~node:s.node ~view:s.rel with
+        | Some view -> Table.retag view ~alias:s.alias
+        | None ->
+          Table.retag (Store.fragment_table store ~rel:s.rel ~range:s.range) ~alias:s.alias)
+      | Plan.Filter f -> Ops.filter (go ~parent f.input) f.preds
+      | Plan.Join j -> (
+        match j.algo with
+        | Plan.Hash -> Ops.hash_join (go ~parent j.build) (go ~parent j.probe) j.preds
+        | Plan.Sort_merge ->
+          Ops.merge_join (go ~parent j.build) (go ~parent j.probe) j.preds
+        | Plan.Nested_loop ->
+          Ops.nested_loop_join (go ~parent j.build) (go ~parent j.probe) j.preds)
+      | Plan.Union u -> (
+        match List.map (go ~parent) u.inputs with
+        | [] -> invalid_arg "Engine.run: empty union"
+        | first :: rest -> List.fold_left Table.append first rest)
+      | Plan.Project p -> Ops.project (go ~parent p.input) p.select
+      | Plan.Sort s -> Ops.sort (go ~parent s.input) s.keys
+      | Plan.Aggregate a -> Ops.aggregate (go ~parent a.input) ~group_by:a.group_by a.select
+      | Plan.Distinct d -> Ops.distinct (go ~parent d.input)
+      | Plan.Remote r -> (
+        let answer =
+          Naive.run_at_node ~imports:r.imports store federation ~node:r.seller r.query
+        in
+        match r.rename with
+        | None -> answer
+        | Some cols ->
+          if List.length cols <> Array.length answer.Table.cols then
+            invalid_arg "Engine.run: remote rename width mismatch";
+          let renamed =
+            Array.of_list (List.map (fun (alias, name) -> { Table.alias; name }) cols)
+          in
+          Table.create renamed answer.Table.rows)
+    in
+    if not (Obs.enabled obs) then eval parent
+    else begin
+      let span_track =
+        match plan with Plan.Remote r -> r.Plan.seller | _ -> track
+      in
+      let attrs =
+        match plan with
+        | Plan.Remote r -> [ ("seller", Obs.Int r.Plan.seller) ]
+        | _ -> []
+      in
+      let id =
+        Obs.open_span obs ~cat:"exec" ~name:(op_name plan) ~track:span_track ~parent
+          ~attrs ~t0:(next ()) ()
+      in
+      let table = eval id in
+      Obs.close obs id
+        ~attrs:[ ("rows", Obs.Int (List.length table.Table.rows)) ]
+        ~t1:(next ()) ();
+      table
+    end
+  in
+  go ~parent:0 plan

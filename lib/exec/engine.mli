@@ -8,6 +8,19 @@
     the wrong pieces, the result will differ from the oracle and tests
     catch it. *)
 
-val run : Store.t -> Qt_catalog.Federation.t -> Qt_optimizer.Plan.t -> Table.t
-(** @raise Invalid_argument on malformed plans (unknown columns, aggregate
+val run :
+  ?obs:Qt_obs.Obs.t ->
+  ?track:int ->
+  Store.t ->
+  Qt_catalog.Federation.t ->
+  Qt_optimizer.Plan.t ->
+  Table.t
+(** [obs] (default: no-op) records one [exec]-category span per operator,
+    nested by plan structure on a deterministic preorder ordinal timeline
+    (execution has no simulated clock).  Operators run on [track] (default
+    [-1], the buyer); [Remote] leaves run on their seller's track and
+    carry a [seller] attribute.  Every span reports the [rows] it
+    produced.
+
+    @raise Invalid_argument on malformed plans (unknown columns, aggregate
     items in a projection, ...). *)

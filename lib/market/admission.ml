@@ -22,11 +22,14 @@ type config = {
 let default_config =
   { slots = 2; queue_limit = 4; load_per_contract = 0.5; policy = Fifo }
 
+module Metrics = Qt_obs.Metrics
+
 type handle = {
   h_trade : int;
   h_work : float;
   h_priority : int;
   h_seq : int;  (* arrival order, the deterministic tie-break *)
+  h_submitted : float;  (* submission time, for queue-wait accounting *)
   mutable h_started : float;  (* service start time, meaningful once running *)
 }
 
@@ -48,32 +51,41 @@ type t = {
   mutable seq : int;
   (* Work admitted per trade, for proportional share. *)
   served : (int, float) Hashtbl.t;
-  mutable admitted : int;
-  mutable accepted : int;
-  mutable rejected : int;
-  mutable completed : int;
-  mutable canceled : int;
-  mutable peak_queue : int;
-  mutable peak_active : int;
-  mutable busy : float;
+  (* Counters live in a metrics registry; [stats] below is a view. *)
+  m : Metrics.t;
+  c_admitted : Metrics.counter;
+  c_accepted : Metrics.counter;
+  c_rejected : Metrics.counter;
+  c_completed : Metrics.counter;
+  c_canceled : Metrics.counter;
+  g_peak_queue : Metrics.gauge;
+  g_peak_active : Metrics.gauge;
+  g_busy : Metrics.gauge;
+  waits : Metrics.histo option;
+      (* Shared queue-wait histogram, observed at service start. *)
 }
 
-let create cfg =
+let create ?waits cfg =
+  let m = Metrics.create () in
   {
     cfg = { cfg with slots = max 1 cfg.slots; queue_limit = max 0 cfg.queue_limit };
     active = [];
     queued = [];
     seq = 0;
     served = Hashtbl.create 16;
-    admitted = 0;
-    accepted = 0;
-    rejected = 0;
-    completed = 0;
-    canceled = 0;
-    peak_queue = 0;
-    peak_active = 0;
-    busy = 0.;
+    m;
+    c_admitted = Metrics.counter m "admission.admitted";
+    c_accepted = Metrics.counter m "admission.accepted";
+    c_rejected = Metrics.counter m "admission.rejected";
+    c_completed = Metrics.counter m "admission.completed";
+    c_canceled = Metrics.counter m "admission.canceled";
+    g_peak_queue = Metrics.gauge m "admission.peak_queue";
+    g_peak_active = Metrics.gauge m "admission.peak_active";
+    g_busy = Metrics.gauge m "admission.busy";
+    waits;
   }
+
+let metrics t = t.m
 
 let slots t = t.cfg.slots
 let in_service t = List.length t.active
@@ -90,13 +102,18 @@ let served_of t trade =
   match Hashtbl.find_opt t.served trade with Some w -> w | None -> 0.
 
 let note_peaks t =
-  t.peak_queue <- max t.peak_queue (queue_depth t);
-  t.peak_active <- max t.peak_active (in_service t)
+  Metrics.peak t.g_peak_queue (float_of_int (queue_depth t));
+  Metrics.peak t.g_peak_active (float_of_int (in_service t))
+
+let started_at h = h.h_started
 
 let start t ~now h =
   h.h_started <- now;
+  (match t.waits with
+  | Some w -> Metrics.observe w (Float.max 0. (now -. h.h_submitted))
+  | None -> ());
   t.active <- h :: t.active;
-  t.admitted <- t.admitted + 1;
+  Metrics.incr t.c_admitted;
   Hashtbl.replace t.served h.h_trade (served_of t h.h_trade +. h.h_work);
   note_peaks t
 
@@ -140,29 +157,29 @@ type decision = Started of handle | Enqueued of handle | Rejected
 let submit t ~now ~trade ~work ~priority =
   let h =
     { h_trade = trade; h_work = work; h_priority = priority; h_seq = t.seq;
-      h_started = now }
+      h_submitted = now; h_started = now }
   in
   t.seq <- t.seq + 1;
   if in_service t < t.cfg.slots then (
-    t.accepted <- t.accepted + 1;
+    Metrics.incr t.c_accepted;
     start t ~now h;
     Started h)
   else if queue_depth t < t.cfg.queue_limit then (
-    t.accepted <- t.accepted + 1;
+    Metrics.incr t.c_accepted;
     t.queued <- h :: t.queued;
     note_peaks t;
     Enqueued h)
   else (
-    t.rejected <- t.rejected + 1;
+    Metrics.incr t.c_rejected;
     Rejected)
 
 let retire t ~now h =
   t.active <- List.filter (fun a -> a.h_seq <> h.h_seq) t.active;
-  t.busy <- t.busy +. max 0. (now -. h.h_started)
+  Metrics.add t.g_busy (max 0. (now -. h.h_started))
 
 let finish t ~now h =
   retire t ~now h;
-  t.completed <- t.completed + 1;
+  Metrics.incr t.c_completed;
   promote t ~now
 
 let cancel t ~now ~trade =
@@ -175,17 +192,17 @@ let cancel t ~now ~trade =
       (* A canceled contract never ran to completion: give its share back. *)
       Hashtbl.replace t.served trade (max 0. (served_of t trade -. h.h_work)))
     running;
-  t.canceled <- t.canceled + List.length mine + List.length running;
+  Metrics.incr ~by:(List.length mine + List.length running) t.c_canceled;
   promote t ~now
 
 let stats t =
   {
-    admitted = t.admitted;
-    accepted = t.accepted;
-    rejected = t.rejected;
-    completed = t.completed;
-    canceled = t.canceled;
-    peak_queue = t.peak_queue;
-    peak_active = t.peak_active;
-    busy = t.busy;
+    admitted = Metrics.value t.c_admitted;
+    accepted = Metrics.value t.c_accepted;
+    rejected = Metrics.value t.c_rejected;
+    completed = Metrics.value t.c_completed;
+    canceled = Metrics.value t.c_canceled;
+    peak_queue = int_of_float (Metrics.gauge_value t.g_peak_queue);
+    peak_active = int_of_float (Metrics.gauge_value t.g_peak_active);
+    busy = Metrics.gauge_value t.g_busy;
   }

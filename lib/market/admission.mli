@@ -40,7 +40,12 @@ type t
 type handle
 (** One submitted contract. *)
 
-val create : config -> t
+val create : ?waits:Qt_obs.Metrics.histo -> config -> t
+(** [?waits] is a shared queue-wait histogram: every contract's wait
+    between submission and service start (0 for immediate starts) is
+    observed into it, so the marketplace can report p50/p95/p99 queue
+    waits across all sellers. *)
+
 val slots : t -> int
 
 val in_service : t -> int
@@ -54,6 +59,10 @@ val offered_load : t -> float
 
 val work : handle -> float
 val trade_of : handle -> int
+
+val started_at : handle -> float
+(** Virtual time the contract last entered service (its submission time
+    until then) — the start of its contract span in traces. *)
 
 val is_active : t -> handle -> bool
 (** Whether the contract is still in service — false once finished or
@@ -90,3 +99,8 @@ type stats = {
 }
 
 val stats : t -> stats
+(** A view over the controller's metrics registry (see {!metrics}). *)
+
+val metrics : t -> Qt_obs.Metrics.t
+(** The registry holding the controller's counters and gauges
+    ([admission.admitted], [admission.peak_queue], …). *)

@@ -10,6 +10,13 @@ module Transport = Qt_net.Transport
 module Runtime = Qt_runtime.Runtime
 module Event_queue = Qt_runtime.Event_queue
 module Federation = Qt_catalog.Federation
+module Obs = Qt_obs.Obs
+module Metrics = Qt_obs.Metrics
+
+(* The market scheduler's own trace track: buyers occupy -(i+1), sellers
+   the non-negative node ids, so a far-negative reserved id never
+   collides with either. *)
+let market_track = -1000
 
 type config = {
   trader : Trader.config;
@@ -48,6 +55,7 @@ type trade_stats = {
   bytes : int;
   sim_time : float;
   contracts : (int * float) list;
+  phases : Trader.phase_stats;
 }
 
 type seller_stats = {
@@ -55,6 +63,16 @@ type seller_stats = {
   admission : Admission.stats;
   utilization : float;
 }
+
+type latency_summary = { l_count : int; l_p50 : float; l_p95 : float; l_p99 : float }
+
+let summarize (h : Metrics.histo) =
+  {
+    l_count = Metrics.observations h;
+    l_p50 = Metrics.percentile h 0.5;
+    l_p95 = Metrics.percentile h 0.95;
+    l_p99 = Metrics.percentile h 0.99;
+  }
 
 type stats = {
   trades : trade_stats list;
@@ -67,6 +85,8 @@ type stats = {
   makespan : float;
   wire_messages : int;
   wire_bytes : int;
+  offer_rtt : latency_summary;
+  queue_wait : latency_summary;
 }
 
 (* A trade fiber suspends here when it broadcasts an RFB: everything the
@@ -116,6 +136,8 @@ type trade = {
   mutable t_plan_cost : float;
   mutable t_contracts : (int * float) list;
   mutable t_finished_at : float;
+  mutable t_phases : Trader.phase_stats;
+      (* Accumulated across this trade's optimization attempts. *)
 }
 
 type market = {
@@ -128,13 +150,17 @@ type market = {
   completions : (int * Admission.handle) Event_queue.t;
   mutable mclock : float;  (* monotone market time: last window close *)
   mutable retries : int;
+  obs : Obs.t;
+  metrics : Metrics.t;
+  rtt : Metrics.histo;  (* offer round trips, RFB window close -> reply *)
+  waits : Metrics.histo;  (* admission queue waits, all sellers *)
 }
 
 let admission_of st node =
   match Hashtbl.find_opt st.admissions node with
   | Some a -> a
   | None ->
-    let a = Admission.create st.cfg.admission in
+    let a = Admission.create ~waits:st.waits st.cfg.admission in
     Hashtbl.replace st.admissions node a;
     a
 
@@ -150,6 +176,16 @@ let rec drain_completions st ~upto =
       let adm = admission_of st seller in
       if Admission.is_active adm h then begin
         st.mclock <- Float.max st.mclock t;
+        if Obs.enabled st.obs then
+          ignore
+            (Obs.emit st.obs ~cat:"contract" ~name:"contract" ~track:seller
+               ~attrs:
+                 [
+                   ("trade", Obs.Int (Admission.trade_of h));
+                   ("work", Obs.Float (Admission.work h));
+                 ]
+               ~t0:(Admission.started_at h) ~t1:t ()
+              : int);
         let promoted = Admission.finish adm ~now:t h in
         List.iter
           (fun p ->
@@ -238,6 +274,15 @@ let penalize tr seller amount =
    rejection rolls back every contract already placed for this trade and
    reports the rejecting seller. *)
 let try_admit st tr ~now works =
+  let decision_instant name seller work =
+    if Obs.enabled st.obs then
+      ignore
+        (Obs.instant st.obs ~cat:"admission" ~name ~track:seller
+           ~attrs:
+             [ ("trade", Obs.Int tr.t_index); ("work", Obs.Float work) ]
+           ~at:now ()
+          : int)
+  in
   let rec go placed = function
     | [] -> Ok ()
     | (seller, work) :: rest -> (
@@ -247,35 +292,47 @@ let try_admit st tr ~now works =
           ~priority:tr.t_priority
       with
       | Admission.Rejected ->
+        decision_instant "reject" seller work;
         List.iter
           (fun s ->
+            decision_instant "cancel" s 0.;
             let promoted = Admission.cancel (admission_of st s) ~now ~trade:tr.t_index in
             schedule_promoted st s ~now promoted)
           placed;
         Error seller
       | Admission.Started h ->
+        decision_instant "admit" seller work;
         Event_queue.push st.completions ~time:(now +. work) (seller, h);
         go (seller :: placed) rest
-      | Admission.Enqueued _ -> go (seller :: placed) rest)
+      | Admission.Enqueued _ ->
+        decision_instant "enqueue" seller work;
+        go (seller :: placed) rest)
   in
   go [] works
 
-let run cfg federation queries =
+let run ?(obs = Obs.disabled) cfg federation queries =
+  let metrics = Metrics.create () in
   let st =
     {
       cfg;
       federation;
-      rt = Runtime.create ~params:cfg.trader.Trader.params ~seed:cfg.seed ();
+      rt = Runtime.create ~obs ~params:cfg.trader.Trader.params ~seed:cfg.seed ();
       caches = Seller.pool_create ~max_entries:cfg.cache_entries ();
       batcher = Batcher.create ~batching:cfg.batching;
       admissions = Hashtbl.create 16;
       completions = Event_queue.create ();
       mclock = 0.;
       retries = 0;
+      obs;
+      metrics;
+      rtt = Metrics.histogram metrics "market.offer_rtt";
+      waits = Metrics.histogram metrics "market.queue_wait";
     }
   in
+  Obs.track_name obs market_track "market";
   List.iter
     (fun id ->
+      Obs.track_name obs id (Printf.sprintf "node %d" id);
       Runtime.register st.rt id;
       ignore (admission_of st id : Admission.t))
     (Federation.node_ids federation);
@@ -297,10 +354,15 @@ let run cfg federation queries =
              t_plan_cost = 0.;
              t_contracts = [];
              t_finished_at = 0.;
+             t_phases = Trader.zero_phase_stats;
            })
          queries)
   in
-  Array.iter (fun tr -> Runtime.register st.rt tr.t_buyer) trades;
+  Array.iter
+    (fun tr ->
+      Obs.track_name obs tr.t_buyer (Printf.sprintf "trade %d" tr.t_index);
+      Runtime.register st.rt tr.t_buyer)
+    trades;
   let ready = Queue.create () in
   Array.iter (fun tr -> Queue.add tr.t_index ready) trades;
   let parked = ref [] in
@@ -334,7 +396,10 @@ let run cfg federation queries =
     | Finished res ->
       decr running;
       (match res with
-      | Ok outcome -> handle_ok tr outcome
+      | Ok outcome ->
+        tr.t_phases <-
+          Trader.add_phase_stats tr.t_phases outcome.Trader.phases;
+        handle_ok tr outcome
       | Error _ ->
         tr.t_status <- Some No_plan;
         tr.t_finished_at <-
@@ -352,8 +417,8 @@ let run cfg federation queries =
     drive tr
       (Effect.Deep.match_with
          (fun () ->
-           Trader.optimize ~caches:st.caches ~transport tcfg federation
-             tr.t_query)
+           Trader.optimize ~caches:st.caches ~transport ~obs
+             ~obs_track:tr.t_buyer tcfg federation tr.t_query)
          () handler)
   in
   let cap = if cfg.concurrency <= 0 then max_int else cfg.concurrency in
@@ -398,6 +463,18 @@ let run cfg federation queries =
         (fun (a : Batcher.envelope) b -> compare (a.seller, a.trades) (b.seller, b.trades))
         (Batcher.coalesce st.batcher reqs)
     in
+    let wave_span =
+      if Obs.enabled st.obs then
+        Obs.open_span st.obs ~cat:"wave" ~name:"wave" ~track:market_track
+          ~attrs:
+            [
+              ("trades", Obs.Int (List.length waiting));
+              ("envelopes", Obs.Int (List.length envelopes));
+            ]
+          ~t0:t_close ()
+      else 0
+    in
+    let wave_end = ref t_close in
     (* (trade, seller) -> (reply, arrival time back at the buyer) *)
     let reply_of = Hashtbl.create 32 in
     List.iter
@@ -413,6 +490,18 @@ let run cfg federation queries =
             ~bytes_each:e.env_bytes ~elapsed:0.
         | [] -> ());
         let arrival = t_close +. Runtime.one_way st.rt ~bytes:e.env_bytes in
+        if Obs.enabled st.obs then
+          ignore
+            (Obs.emit st.obs ~cat:"message" ~name:"envelope" ~track:e.seller
+               ~parent:wave_span
+               ~attrs:
+                 [
+                   ("bytes", Obs.Int e.env_bytes);
+                   ("trades", Obs.Int (List.length e.trades));
+                   ("signatures", Obs.Int (List.length e.env_signatures));
+                 ]
+               ~t0:t_close ~t1:arrival ()
+              : int);
         let sc = Runtime.node_clock st.rt e.seller in
         if arrival > sc then
           Runtime.advance st.rt ~node:e.seller (arrival -. sc);
@@ -431,6 +520,8 @@ let run cfg federation queries =
                 tr.t_bytes <- tr.t_bytes + rbytes;
                 Runtime.chatter st.rt ~node:tr.t_buyer ~count:1
                   ~bytes_each:rbytes ~elapsed:0.;
+                Metrics.observe st.rtt (back -. t_close);
+                wave_end := Float.max !wave_end back;
                 Hashtbl.replace reply_of (ti, e.seller) (reply, back)
               end)
           e.trades)
@@ -460,7 +551,8 @@ let run cfg federation queries =
         drive tr
           (Effect.Deep.continue k
              { Transport.replies; failed = []; fresh_failures = false }))
-      waiting
+      waiting;
+    Obs.close st.obs wave_span ~t1:!wave_end ()
   in
   let rec market_loop () =
     start_more ();
@@ -500,6 +592,7 @@ let run cfg federation queries =
              bytes = tr.t_bytes;
              sim_time = tr.t_finished_at;
              contracts = tr.t_contracts;
+             phases = tr.t_phases;
            })
          trades)
   in
@@ -518,6 +611,8 @@ let run cfg federation queries =
     makespan;
     wire_messages = wire.Runtime.messages;
     wire_bytes = wire.Runtime.bytes;
+    offer_rtt = summarize st.rtt;
+    queue_wait = summarize st.waits;
   }
 
 (* Canonical JSON: fixed key order, no wall-clock or process-local
@@ -531,6 +626,25 @@ let status_to_string = function
 
 let jf x = Printf.sprintf "%.6g" x
 
+(* One phase rendered without its wall-clock field — wall time is
+   process-local and would break byte-stable same-seed output. *)
+let phase_json (p : Trader.phase) =
+  Printf.sprintf
+    "{\"messages\":%d,\"bytes\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"sim\":%s}"
+    p.Trader.messages p.Trader.bytes p.Trader.cache_hits p.Trader.cache_misses
+    (jf p.Trader.sim)
+
+let phases_json (ph : Trader.phase_stats) =
+  Printf.sprintf
+    "{\"rfb\":%s,\"pricing\":%s,\"negotiation\":%s,\"plan_gen\":%s,\"requests_deduped\":%d,\"rebroadcasts_skipped\":%d}"
+    (phase_json ph.Trader.rfb) (phase_json ph.Trader.pricing)
+    (phase_json ph.Trader.negotiation) (phase_json ph.Trader.plan_gen)
+    ph.Trader.requests_deduped ph.Trader.rebroadcasts_skipped
+
+let latency_json (l : latency_summary) =
+  Printf.sprintf "{\"count\":%d,\"p50\":%s,\"p95\":%s,\"p99\":%s}" l.l_count
+    (jf l.l_p50) (jf l.l_p95) (jf l.l_p99)
+
 let to_json (s : stats) =
   let b = Buffer.create 2048 in
   let add = Buffer.add_string b in
@@ -540,9 +654,10 @@ let to_json (s : stats) =
     (fun (t : trade_stats) ->
       add
         (Printf.sprintf
-           "{\"trade\":%d,\"status\":\"%s\",\"attempts\":%d,\"rounds\":%d,\"plan_cost\":%s,\"messages\":%d,\"bytes\":%d,\"sim_time\":%s,\"contracts\":"
+           "{\"trade\":%d,\"status\":\"%s\",\"attempts\":%d,\"rounds\":%d,\"plan_cost\":%s,\"messages\":%d,\"bytes\":%d,\"sim_time\":%s,\"phases\":%s,\"contracts\":"
            t.trade (status_to_string t.status) t.attempts t.rounds
-           (jf t.plan_cost) t.messages t.bytes (jf t.sim_time));
+           (jf t.plan_cost) t.messages t.bytes (jf t.sim_time)
+           (phases_json t.phases));
       list
         (fun (seller, work) ->
           add (Printf.sprintf "{\"seller\":%d,\"work\":%s}" seller (jf work)))
@@ -576,7 +691,49 @@ let to_json (s : stats) =
        s.cache.Seller.evictions);
   add
     (Printf.sprintf
-       ",\"completed\":%d,\"failed\":%d,\"admission_retries\":%d,\"makespan\":%s,\"wire_messages\":%d,\"wire_bytes\":%d}"
+       ",\"completed\":%d,\"failed\":%d,\"admission_retries\":%d,\"makespan\":%s,\"wire_messages\":%d,\"wire_bytes\":%d,\"offer_rtt\":%s,\"queue_wait\":%s}"
        s.completed s.failed s.admission_retries (jf s.makespan) s.wire_messages
-       s.wire_bytes);
+       s.wire_bytes (latency_json s.offer_rtt) (latency_json s.queue_wait));
   Buffer.contents b
+
+(* Flat metrics rendering of a finished run — what [--metrics FILE]
+   writes.  Derived entirely from [stats], so it shares its determinism. *)
+let metrics_json (s : stats) =
+  let m = Metrics.create () in
+  let c name v = Metrics.incr ~by:v (Metrics.counter m name) in
+  let g name v = Metrics.set (Metrics.gauge m name) v in
+  c "market.trades" (List.length s.trades);
+  c "market.completed" s.completed;
+  c "market.failed" s.failed;
+  c "market.admission_retries" s.admission_retries;
+  c "market.wire_messages" s.wire_messages;
+  c "market.wire_bytes" s.wire_bytes;
+  g "market.makespan" s.makespan;
+  c "batcher.waves" s.batcher.Batcher.waves;
+  c "batcher.sent_messages" s.batcher.Batcher.sent_messages;
+  c "batcher.sent_bytes" s.batcher.Batcher.sent_bytes;
+  c "batcher.messages_saved" s.batcher.Batcher.messages_saved;
+  c "batcher.bytes_saved" s.batcher.Batcher.bytes_saved;
+  c "batcher.dup_signatures_merged" s.batcher.Batcher.dup_signatures_merged;
+  c "cache.hits" s.cache.Seller.hits;
+  c "cache.misses" s.cache.Seller.misses;
+  c "cache.invalidations" s.cache.Seller.invalidations;
+  c "cache.evictions" s.cache.Seller.evictions;
+  List.iter
+    (fun (x : seller_stats) ->
+      let p = Printf.sprintf "seller.%d." x.seller in
+      c (p ^ "admitted") x.admission.Admission.admitted;
+      c (p ^ "rejected") x.admission.Admission.rejected;
+      c (p ^ "completed") x.admission.Admission.completed;
+      g (p ^ "busy") x.admission.Admission.busy;
+      g (p ^ "utilization") x.utilization)
+    s.sellers;
+  let lat name (l : latency_summary) =
+    c (name ^ ".count") l.l_count;
+    g (name ^ ".p50") l.l_p50;
+    g (name ^ ".p95") l.l_p95;
+    g (name ^ ".p99") l.l_p99
+  in
+  lat "market.offer_rtt" s.offer_rtt;
+  lat "market.queue_wait" s.queue_wait;
+  Metrics.to_json m

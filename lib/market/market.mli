@@ -72,6 +72,9 @@ type trade_stats = {
   sim_time : float;  (** Buyer virtual clock when the trade ended. *)
   contracts : (int * float) list;
       (** Admitted (seller, work seconds), ascending seller id. *)
+  phases : Qt_core.Trader.phase_stats;
+      (** Per-phase breakdown, summed over this trade's optimization
+          attempts (admission retries included). *)
 }
 
 type seller_stats = {
@@ -80,6 +83,15 @@ type seller_stats = {
   utilization : float;
       (** Busy slot-seconds over [slots * makespan]; 0 on an idle market. *)
 }
+
+type latency_summary = {
+  l_count : int;
+  l_p50 : float;
+  l_p95 : float;
+  l_p99 : float;
+}
+(** Interpolated percentiles (virtual seconds) over one of the market's
+    latency histograms. *)
 
 type stats = {
   trades : trade_stats list;  (** By trade index. *)
@@ -94,14 +106,38 @@ type stats = {
           ended, if later). *)
   wire_messages : int;  (** Total messages on the shared runtime. *)
   wire_bytes : int;
+  offer_rtt : latency_summary;
+      (** Offer round trips: RFB window close to each reply's arrival
+          back at its buyer. *)
+  queue_wait : latency_summary;
+      (** Admission queue waits across all sellers: contract submission
+          to service start (0 for immediate starts). *)
 }
 
-val run : config -> Qt_catalog.Federation.t -> Qt_sql.Ast.t list -> stats
+val run :
+  ?obs:Qt_obs.Obs.t ->
+  config ->
+  Qt_catalog.Federation.t ->
+  Qt_sql.Ast.t list ->
+  stats
 (** Trade every query concurrently — query [i] is trade [i] on buyer
     node [-(i+1)] — and run the market until all trades have ended and
-    all admitted contracts completed. *)
+    all admitted contracts completed.
+
+    [obs] (default: the no-op sink) records the whole run: per-trade
+    phase spans on each buyer's track (via {!Qt_core.Trader.optimize}),
+    RFB-wave spans on the market's own track with per-seller envelope
+    message spans nested under them, admission decisions
+    (admit/enqueue/reject/cancel) as instants on the deciding seller's
+    track, and one [contract] span per completed contract from service
+    start to completion. *)
 
 val to_json : stats -> string
 (** Canonical single-line JSON rendering.  Contains no wall-clock or
     process-local values, so two same-seed runs yield identical strings
-    — the determinism check used by tests and [bench market]. *)
+    — the determinism check used by tests and [bench market].  Each
+    trade carries its per-phase breakdown (wall time excluded). *)
+
+val metrics_json : stats -> string
+(** Flat metrics-registry rendering of the same run (keys sorted) — what
+    [qtsim market --metrics FILE] writes. *)

@@ -5,7 +5,13 @@
     and nodes never fail.  This is the paper's original cost model; every
     number it reports is bit-identical to the pre-transport trader. *)
 
-val create : Network.t -> 'reply Transport.t
+val create :
+  ?obs:Qt_obs.Obs.t -> ?track:int -> Network.t -> 'reply Transport.t
 (** The transport reads and advances the given network's clock and
     counters; callers that want per-trade statistics should hand it a
-    fresh {!Network.create}. *)
+    fresh {!Network.create}.
+
+    With [?obs], every RFB leg and negotiation chatter burst becomes an
+    instant on [track] (the sender, default -1 = the buyer) and every
+    gathered offer a span on its seller's track, all in category
+    [message] with byte counts attached. *)

@@ -1,0 +1,361 @@
+(* part of qt_obs *)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Chrome trace-event JSON (the format Perfetto and chrome://tracing
+   load): one B/E event pair per span, sim-time in microseconds on the
+   timeline, one pid per federation node (tracks are mapped to small
+   positive pids in ascending track order, buyers first since their ids
+   are negative), plus one process_name metadata record per pid.
+
+   Within a (pid, tid) the viewer expects stack discipline and monotone
+   timestamps.  Spans are therefore emitted as a tree per track —
+   children (linked by parent id) nested between their parent's B and E
+   — and the emitted ts is clamped to be non-decreasing per track, so
+   clock skew between sibling spans can never produce an invalid file. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let value_json = function
+  | Obs.Int n -> string_of_int n
+  | Obs.Float f -> Printf.sprintf "%.6g" f
+  | Obs.Str s -> Printf.sprintf "\"%s\"" (escape s)
+
+let args_json attrs =
+  let b = Buffer.create 64 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%s" (escape k) (value_json v)))
+    attrs;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let us t = t *. 1e6
+
+let to_json obs =
+  let spans = Obs.spans obs in
+  let tracks = Obs.tracks obs in
+  let pid_of =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i (tr, _) -> Hashtbl.replace tbl tr (i + 1)) tracks;
+    fun tr -> match Hashtbl.find_opt tbl tr with Some p -> p | None -> 0
+  in
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let event s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf s
+  in
+  List.iter
+    (fun (tr, name) ->
+      event
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":1,\"args\":{\"name\":\"%s\"}}"
+           (pid_of tr) (escape name)))
+    tracks;
+  (* Per-track span trees: a span is a child of [parent] only when the
+     parent lives on the same track; anything else renders as a root. *)
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (s : Obs.span) -> Hashtbl.replace by_id s.id s) spans;
+  let children = Hashtbl.create 64 in
+  let roots_of_track = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Obs.span) ->
+      let parent_here =
+        match Hashtbl.find_opt by_id s.parent with
+        | Some (p : Obs.span) when p.track = s.track && p.id <> s.id -> Some p.id
+        | _ -> None
+      in
+      match parent_here with
+      | Some pid ->
+        Hashtbl.replace children pid (s :: (try Hashtbl.find children pid with Not_found -> []))
+      | None ->
+        Hashtbl.replace roots_of_track s.track
+          (s :: (try Hashtbl.find roots_of_track s.track with Not_found -> [])))
+    spans;
+  let order ss = List.sort (fun (a : Obs.span) b -> compare (a.t0, a.id) (b.t0, b.id)) ss in
+  let emit_track tr =
+    let pid = pid_of tr in
+    let last_ts = ref neg_infinity in
+    let clamp ts =
+      let ts = if ts > !last_ts then ts else !last_ts in
+      last_ts := ts;
+      ts
+    in
+    let rec emit_span (s : Obs.span) =
+      let b_ts = clamp (us s.t0) in
+      event
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\",\"ts\":%.3f,\"pid\":%d,\"tid\":1,\"args\":%s}"
+           (escape s.name) (escape s.cat) b_ts pid (args_json s.attrs));
+      List.iter emit_span
+        (order (try Hashtbl.find children s.id with Not_found -> []));
+      let e_ts = clamp (us s.t1) in
+      event
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"E\",\"ts\":%.3f,\"pid\":%d,\"tid\":1}"
+           (escape s.name) (escape s.cat) e_ts pid)
+    in
+    List.iter emit_span
+      (order (try Hashtbl.find roots_of_track tr with Not_found -> []))
+  in
+  List.iter (fun (tr, _) -> emit_track tr) tracks;
+  Printf.sprintf "{\"traceEvents\":[%s],\"displayTimeUnit\":\"ms\"}"
+    (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A small self-contained JSON reader — enough to check an emitted trace
+   without pulling a JSON dependency into the tree. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+        | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+        | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+        | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+        | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
+        | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "bad unicode escape";
+          (* Decoded codepoints are only compared, never re-rendered. *)
+          Buffer.add_string b (String.sub s !pos 4);
+          pos := !pos + 4;
+          go ()
+        | _ -> fail "bad escape")
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field obj key = match obj with Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+(* Structural checks on an emitted trace: well-formed JSON with a
+   traceEvents array; every event has name/ph/pid/tid; timestamps are
+   monotone non-decreasing per (pid, tid); and every B has a matching E
+   (same name, LIFO order) on its track. *)
+let validate (text : string) : (unit, string) result =
+  match parse_json text with
+  | exception Parse_error msg -> Error ("malformed JSON: " ^ msg)
+  | json -> (
+    let events =
+      match json with
+      | List evs -> Some evs
+      | Obj _ -> ( match field json "traceEvents" with Some (List evs) -> Some evs | _ -> None)
+      | _ -> None
+    in
+    match events with
+    | None -> Error "no traceEvents array"
+    | Some events -> (
+      let stacks : (float * float, string list) Hashtbl.t = Hashtbl.create 16 in
+      let last_ts : (float * float, float) Hashtbl.t = Hashtbl.create 16 in
+      let check i ev =
+        let str k = match field ev k with Some (String s) -> Some s | _ -> None in
+        let num k = match field ev k with Some (Num f) -> Some f | _ -> None in
+        match (str "name", str "ph", num "pid", num "tid") with
+        | None, _, _, _ -> Error (Printf.sprintf "event %d: missing name" i)
+        | _, None, _, _ -> Error (Printf.sprintf "event %d: missing ph" i)
+        | _, _, None, _ | _, _, _, None ->
+          Error (Printf.sprintf "event %d: missing pid/tid" i)
+        | Some name, Some ph, Some pid, Some tid -> (
+          let track = (pid, tid) in
+          match ph with
+          | "M" -> Ok ()
+          | "B" | "E" | "I" | "X" -> (
+            match num "ts" with
+            | None -> Error (Printf.sprintf "event %d: missing ts" i)
+            | Some ts -> (
+              let prev =
+                match Hashtbl.find_opt last_ts track with
+                | Some t -> t
+                | None -> neg_infinity
+              in
+              if ts < prev then
+                Error
+                  (Printf.sprintf
+                     "event %d: ts %.3f goes backwards on pid %g (prev %.3f)" i ts
+                     pid prev)
+              else begin
+                Hashtbl.replace last_ts track ts;
+                match ph with
+                | "B" ->
+                  Hashtbl.replace stacks track
+                    (name
+                    :: (try Hashtbl.find stacks track with Not_found -> []));
+                  Ok ()
+                | "E" -> (
+                  match Hashtbl.find_opt stacks track with
+                  | Some (top :: rest) when top = name ->
+                    Hashtbl.replace stacks track rest;
+                    Ok ()
+                  | Some (top :: _) ->
+                    Error
+                      (Printf.sprintf
+                         "event %d: E '%s' does not match open B '%s'" i name top)
+                  | _ -> Error (Printf.sprintf "event %d: E '%s' without B" i name))
+                | _ -> Ok ()
+              end))
+          | other -> Error (Printf.sprintf "event %d: unknown ph '%s'" i other))
+      in
+      let rec go i = function
+        | [] -> Ok ()
+        | ev :: rest -> ( match check i ev with Ok () -> go (i + 1) rest | e -> e)
+      in
+      match go 0 events with
+      | Error _ as e -> e
+      | Ok () ->
+        Hashtbl.fold
+          (fun (pid, _) stack acc ->
+            match (acc, stack) with
+            | Error _, _ -> acc
+            | Ok (), [] -> acc
+            | Ok (), open_ :: _ ->
+              Error (Printf.sprintf "unclosed B '%s' on pid %g" open_ pid))
+          stacks (Ok ())))

@@ -1,0 +1,17 @@
+(** Chrome trace-event export and validation.
+
+    {!to_json} renders a sink as the JSON object format that Perfetto
+    and [chrome://tracing] load: one process (pid) per track, B/E event
+    pairs nested by parent links, timestamps in simulated microseconds,
+    span attributes as [args].  Wall-clock time is deliberately omitted,
+    so same-seed runs produce byte-identical files.
+
+    {!validate} re-parses an emitted file with a built-in JSON reader
+    and checks the invariants CI relies on: a [traceEvents] array whose
+    events carry name/ph/pid/tid, monotone non-decreasing [ts] per
+    (pid, tid) track, and LIFO-matched B/E pairs. *)
+
+val to_json : Obs.t -> string
+
+val validate : string -> (unit, string) result
+(** [Error msg] pinpoints the first offending event. *)

@@ -1,0 +1,119 @@
+(* part of qt_obs *)
+
+module Histogram = Qt_util.Histogram
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histo = {
+  h_name : string;
+  h_scale : float;  (* raw unit -> histogram integer unit (e.g. 1e6 = µs) *)
+  h_buckets : Histogram.t;
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+type item = Counter of counter | Gauge of gauge | Histo of histo
+
+type t = { mutable items : item list (* registration order, newest first *) }
+
+let create () = { items = [] }
+
+let item_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histo h -> h.h_name
+
+let find t name = List.find_opt (fun i -> item_name i = name) t.items
+
+let counter t name =
+  match find t name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered as another kind")
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    t.items <- Counter c :: t.items;
+    c
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let value c = c.c_value
+
+let gauge t name =
+  match find t name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered as another kind")
+  | None ->
+    let g = { g_name = name; g_value = 0. } in
+    t.items <- Gauge g :: t.items;
+    g
+
+let set g v = g.g_value <- v
+let add g v = g.g_value <- g.g_value +. v
+let peak g v = if v > g.g_value then g.g_value <- v
+let gauge_value g = g.g_value
+
+(* Default histogram domain: 10 simulated seconds at 1 µs granularity,
+   1 ms bucket width — plenty for RFB round trips and queue waits. *)
+let default_scale = 1e6
+let default_hi = 9_999_999
+let default_buckets = 10_000
+
+let histogram ?(lo = 0) ?(hi = default_hi) ?(buckets = default_buckets)
+    ?(scale = default_scale) t name =
+  match find t name with
+  | Some (Histo h) -> h
+  | Some _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " registered as another kind")
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_scale = scale;
+        h_buckets = Histogram.create ~lo ~hi ~buckets;
+        h_count = 0;
+        h_sum = 0.;
+      }
+    in
+    t.items <- Histo h :: t.items;
+    h
+
+let observe h v =
+  Histogram.add h.h_buckets (int_of_float (Float.max 0. (v *. h.h_scale)));
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v
+
+let observations h = h.h_count
+let sum h = h.h_sum
+let mean h = if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count
+
+let percentile h p =
+  if h.h_count = 0 then 0. else Histogram.percentile h.h_buckets p /. h.h_scale
+
+let jf x = Printf.sprintf "%.6g" x
+
+let to_json t =
+  let entries =
+    List.concat_map
+      (fun item ->
+        match item with
+        | Counter c -> [ (c.c_name, string_of_int c.c_value) ]
+        | Gauge g -> [ (g.g_name, jf g.g_value) ]
+        | Histo h ->
+          [
+            (h.h_name ^ ".count", string_of_int h.h_count);
+            (h.h_name ^ ".mean", jf (mean h));
+            (h.h_name ^ ".p50", jf (percentile h 0.5));
+            (h.h_name ^ ".p95", jf (percentile h 0.95));
+            (h.h_name ^ ".p99", jf (percentile h 0.99));
+          ])
+      t.items
+  in
+  let entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "%S:%s" k v))
+    entries;
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,144 @@
+(* part of qt_obs *)
+
+type value = Int of int | Float of float | Str of string
+
+type span = {
+  id : int;
+  parent : int;
+  track : int;
+  cat : string;
+  name : string;
+  t0 : float;
+  mutable t1 : float;
+  mutable wall : float;
+  mutable attrs : (string * value) list;
+}
+
+type t = {
+  on : bool;
+  mutable next_id : int;
+  mutable spans_rev : span list;
+  open_spans : (int, span) Hashtbl.t;
+  names : (int, string) Hashtbl.t;
+}
+
+let disabled =
+  {
+    on = false;
+    next_id = 1;
+    spans_rev = [];
+    open_spans = Hashtbl.create 1;
+    names = Hashtbl.create 1;
+  }
+
+let create () =
+  {
+    on = true;
+    next_id = 1;
+    spans_rev = [];
+    open_spans = Hashtbl.create 32;
+    names = Hashtbl.create 16;
+  }
+
+let enabled t = t.on
+
+let track_name t track name =
+  if t.on && not (Hashtbl.mem t.names track) then Hashtbl.replace t.names track name
+
+let emit t ~cat ~name ~track ?(parent = 0) ?(wall = 0.) ?(attrs = []) ~t0 ~t1 () =
+  if not t.on then 0
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    t.spans_rev <- { id; parent; track; cat; name; t0; t1; wall; attrs } :: t.spans_rev;
+    id
+  end
+
+let instant t ~cat ~name ~track ?parent ?attrs ~at () =
+  emit t ~cat ~name ~track ?parent ?attrs ~t0:at ~t1:at ()
+
+let open_span t ~cat ~name ~track ?(parent = 0) ?(attrs = []) ~t0 () =
+  if not t.on then 0
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let s = { id; parent; track; cat; name; t0; t1 = t0; wall = 0.; attrs } in
+    t.spans_rev <- s :: t.spans_rev;
+    Hashtbl.replace t.open_spans id s;
+    id
+  end
+
+let close t id ?(wall = 0.) ?(attrs = []) ~t1 () =
+  if t.on then
+    match Hashtbl.find_opt t.open_spans id with
+    | None -> ()
+    | Some s ->
+      Hashtbl.remove t.open_spans id;
+      s.t1 <- Float.max s.t0 t1;
+      s.wall <- wall;
+      s.attrs <- s.attrs @ attrs
+
+let spans t = List.rev t.spans_rev
+let span_count t = List.length t.spans_rev
+
+let tracks t =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace tbl s.track ()) t.spans_rev;
+  Hashtbl.iter (fun tr _ -> Hashtbl.replace tbl tr ()) t.names;
+  Hashtbl.fold
+    (fun tr () acc ->
+      let name =
+        match Hashtbl.find_opt t.names tr with
+        | Some n -> n
+        | None -> Printf.sprintf "track %d" tr
+      in
+      (tr, name) :: acc)
+    tbl []
+  |> List.sort compare
+
+let categories t =
+  List.sort_uniq String.compare (List.map (fun s -> s.cat) t.spans_rev)
+
+(* --- phase aggregation ------------------------------------------------
+
+   The trader emits one span per phase section with the section's
+   traffic/time diffs as attributes; summing them in emission order
+   reproduces the legacy [Trader.phase_stats] accumulators bit for bit
+   (same floats added in the same order). *)
+
+type phase_sum = {
+  ps_messages : int;
+  ps_bytes : int;
+  ps_hits : int;
+  ps_misses : int;
+  ps_sim : float;
+  ps_wall : float;
+}
+
+let zero_phase_sum =
+  { ps_messages = 0; ps_bytes = 0; ps_hits = 0; ps_misses = 0; ps_sim = 0.; ps_wall = 0. }
+
+let attr_int attrs key =
+  match List.assoc_opt key attrs with Some (Int n) -> n | _ -> 0
+
+let attr_float attrs key =
+  match List.assoc_opt key attrs with
+  | Some (Float f) -> f
+  | Some (Int n) -> float_of_int n
+  | _ -> 0.
+
+let phase_sum t ~cat ?track () =
+  List.fold_left
+    (fun acc s ->
+      if s.cat <> cat then acc
+      else if (match track with Some tr -> s.track <> tr | None -> false) then acc
+      else
+        {
+          ps_messages = acc.ps_messages + attr_int s.attrs "messages";
+          ps_bytes = acc.ps_bytes + attr_int s.attrs "bytes";
+          ps_hits = acc.ps_hits + attr_int s.attrs "cache_hits";
+          ps_misses = acc.ps_misses + attr_int s.attrs "cache_misses";
+          ps_sim = acc.ps_sim +. attr_float s.attrs "sim";
+          ps_wall = acc.ps_wall +. s.wall;
+        })
+    zero_phase_sum (spans t)

@@ -1,5 +1,6 @@
 module Network = Qt_net.Network
 module Rng = Qt_util.Rng
+module Obs = Qt_obs.Obs
 
 type rpc_config = { timeout : float; max_retries : int; backoff : float }
 
@@ -40,9 +41,11 @@ type t = {
   nodes : (int, node_state) Hashtbl.t;
   mutable now : float;
   c : counters;
+  obs : Obs.t;
 }
 
-let create ?(rpc = default_rpc) ?(faults = Fault_plan.none) ~params ~seed () =
+let create ?(rpc = default_rpc) ?(faults = Fault_plan.none)
+    ?(obs = Obs.disabled) ~params ~seed () =
   if rpc.timeout <= 0. then invalid_arg "Runtime.create: timeout must be positive";
   if rpc.max_retries < 0 then invalid_arg "Runtime.create: negative max_retries";
   if rpc.backoff < 1. then invalid_arg "Runtime.create: backoff must be >= 1";
@@ -55,9 +58,11 @@ let create ?(rpc = default_rpc) ?(faults = Fault_plan.none) ~params ~seed () =
     nodes = Hashtbl.create 32;
     now = 0.;
     c = { events = 0; drops = 0; retries = 0; gave_up = 0; crashes = 0 };
+    obs;
   }
 
 let rpc t = t.rpc
+let obs t = t.obs
 let now t = t.now
 let one_way t ~bytes = Network.one_way t.net ~bytes
 
@@ -158,13 +163,27 @@ let gather_round (type reply) t ~src ~targets ~request_bytes
     round_end := Float.max !round_end at;
     decr pending
   in
+  (* RPC spans are emitted at settle points (reply arrival, drop, final
+     timeout), covering the attempt that settled; retries and drops show
+     up as instants.  All on the caller's track. *)
+  let rpc_attrs target n more =
+    ("target", Obs.Int target) :: ("attempt", Obs.Int n) :: more
+  in
   let rec attempt target st ~n ~at =
     (* Request leg: accounted even when dropped — the sender still put it
        on the wire. *)
     let transit = Network.broadcast t.net ~count:1 ~bytes:request_bytes in
     let arrival = at +. transit +. jitter_draw t in
-    if drop_draw t then t.c.drops <- t.c.drops + 1
-    else schedule t ~at:arrival (fun () -> deliver target st arrival);
+    if drop_draw t then begin
+      t.c.drops <- t.c.drops + 1;
+      if Obs.enabled t.obs then
+        ignore
+          (Obs.instant t.obs ~cat:"rpc" ~name:"drop" ~track:src
+             ~attrs:(rpc_attrs target n [ ("leg", Obs.Str "request") ])
+             ~at ()
+            : int)
+    end
+    else schedule t ~at:arrival (fun () -> deliver target st ~sent:at ~n arrival);
     (* Per-attempt timeout with exponential backoff. *)
     let deadline = at +. (t.rpc.timeout *. (t.rpc.backoff ** float_of_int n)) in
     schedule t ~at:deadline (fun () ->
@@ -173,14 +192,26 @@ let gather_round (type reply) t ~src ~targets ~request_bytes
         | Pending ->
           if n < t.rpc.max_retries then begin
             t.c.retries <- t.c.retries + 1;
+            if Obs.enabled t.obs then
+              ignore
+                (Obs.instant t.obs ~cat:"rpc" ~name:"retry" ~track:src
+                   ~attrs:(rpc_attrs target n []) ~at:deadline ()
+                  : int);
             attempt target st ~n:(n + 1) ~at:deadline
           end
           else begin
             st := Failed;
             t.c.gave_up <- t.c.gave_up + 1;
+            if Obs.enabled t.obs then
+              ignore
+                (Obs.emit t.obs ~cat:"rpc" ~name:"rpc" ~track:src
+                   ~attrs:
+                     (rpc_attrs target n [ ("outcome", Obs.Str "gave_up") ])
+                   ~t0:at ~t1:deadline ()
+                  : int);
             resolve deadline
           end)
-  and deliver target st arrival =
+  and deliver target st ~sent ~n arrival =
     let nd = node t target in
     if nd.alive then begin
       Queue.push
@@ -200,13 +231,33 @@ let gather_round (type reply) t ~src ~targets ~request_bytes
                  other message. *)
               let delay = Network.gather t.net [ (reply_bytes, processing) ] in
               let reply_arrival = arrival +. delay +. jitter_draw t in
-              if drop_draw t then t.c.drops <- t.c.drops + 1
+              if drop_draw t then begin
+                t.c.drops <- t.c.drops + 1;
+                if Obs.enabled t.obs then
+                  ignore
+                    (Obs.instant t.obs ~cat:"rpc" ~name:"drop" ~track:src
+                       ~attrs:(rpc_attrs target n [ ("leg", Obs.Str "reply") ])
+                       ~at:send_at ()
+                      : int)
+              end
               else
                 schedule t ~at:reply_arrival (fun () ->
                     match !st with
                     | Replied _ | Failed -> ()
                     | Pending ->
                       st := Replied reply;
+                      if Obs.enabled t.obs then
+                        ignore
+                          (Obs.emit t.obs ~cat:"rpc" ~name:"rpc" ~track:src
+                             ~attrs:
+                               (rpc_attrs target n
+                                  [
+                                    ("bytes", Obs.Int request_bytes);
+                                    ("reply_bytes", Obs.Int reply_bytes);
+                                    ("outcome", Obs.Str "reply");
+                                  ])
+                             ~t0:sent ~t1:reply_arrival ()
+                            : int);
                       resolve reply_arrival)
             end)
         nd.mailbox;
@@ -226,4 +277,15 @@ let gather_round (type reply) t ~src ~targets ~request_bytes
       (fun (id, st) -> match !st with Replied _ -> None | _ -> Some id)
       states
   in
+  if Obs.enabled t.obs then
+    ignore
+      (Obs.emit t.obs ~cat:"rpc" ~name:"gather" ~track:src
+         ~attrs:
+           [
+             ("targets", Obs.Int (List.length targets));
+             ("replies", Obs.Int (List.length replies));
+             ("unresponsive", Obs.Int (List.length unresponsive));
+           ]
+         ~t0:start ~t1:!round_end ()
+        : int);
   { replies; unresponsive; elapsed = !round_end -. start }

@@ -39,12 +39,23 @@ type stats = {
 val create :
   ?rpc:rpc_config ->
   ?faults:Fault_plan.t ->
+  ?obs:Qt_obs.Obs.t ->
   params:Qt_cost.Params.t ->
   seed:int ->
   unit ->
   t
+(** With [?obs], every RPC settles into a span on the caller's track
+    (category [rpc]): replies cover attempt-send to reply-arrival,
+    timeouts cover the final attempt, and drops/retries appear as
+    instants; each {!gather_round} adds one summary span.  The default
+    {!Qt_obs.Obs.disabled} sink makes all of it a dead branch. *)
 
 val rpc : t -> rpc_config
+
+val obs : t -> Qt_obs.Obs.t
+(** The trace sink the runtime was created with (shared by transports
+    layered on top). *)
+
 val now : t -> float
 (** Virtual time of the last dispatched event. *)
 

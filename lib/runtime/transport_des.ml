@@ -1,7 +1,9 @@
 module Transport = Qt_net.Transport
 module Listx = Qt_util.Listx
+module Obs = Qt_obs.Obs
 
 let create rt ~buyer ~nodes =
+  let obs = Runtime.obs rt in
   Runtime.register rt buyer;
   List.iter (Runtime.register rt) nodes;
   (* Nodes the buyer has written off: their RPCs timed out or their crash
@@ -17,6 +19,16 @@ let create rt ~buyer ~nodes =
         let targets =
           List.filter (fun id -> not (List.mem id !failed)) targets
         in
+        (if Obs.enabled obs then
+           let at = Runtime.node_clock rt buyer in
+           List.iter
+             (fun id ->
+               ignore
+                 (Obs.instant obs ~cat:"message" ~name:"rfb" ~track:buyer
+                    ~attrs:[ ("target", Obs.Int id); ("bytes", Obs.Int request_bytes) ]
+                    ~at ()
+                   : int))
+             targets);
         pending := Some (targets, request_bytes));
     gather_offers =
       (fun ~serve ->

@@ -111,6 +111,32 @@ let sample t rng =
   let b_hi = max b_lo (t.lo + (((b + 1) * width t / n) - 1)) in
   Rng.int_in rng b_lo b_hi
 
+let percentile t p =
+  let p = Float.max 0. (Float.min 1. p) in
+  let tot = total t in
+  if tot <= 0. then float_of_int t.lo
+  else begin
+    let target = p *. tot in
+    let n = bucket_count t in
+    let rec go b acc =
+      if b >= n then n - 1
+      else
+        let acc' = acc +. t.counts.(b) in
+        if acc' >= target && t.counts.(b) > 0. then b else go (b + 1) acc'
+    in
+    let rec cum b acc = if b < 0 then acc else cum (b - 1) (acc +. t.counts.(b)) in
+    let b = go 0 0. in
+    let before = cum (b - 1) 0. in
+    let b_lo = t.lo + (b * width t / n) in
+    let b_hi = max b_lo (t.lo + (((b + 1) * width t / n) - 1)) in
+    (* Linear interpolation of the target rank within the bucket span. *)
+    let frac =
+      if t.counts.(b) <= 0. then 0.
+      else Float.max 0. (Float.min 1. ((target -. before) /. t.counts.(b)))
+    in
+    float_of_int b_lo +. (frac *. float_of_int (b_hi - b_lo))
+  end
+
 let pp ppf t =
   Format.fprintf ppf "hist[%d,%d] %d buckets, %.0f rows" t.lo t.hi (bucket_count t)
     (total t)

@@ -39,6 +39,12 @@ val fraction_in : t -> Interval.t -> float
 val bucket_count : t -> int
 val domain : t -> Interval.t
 
+val percentile : t -> float -> float
+(** [percentile t p] is the interpolated value at quantile [p] (clamped
+    to [0, 1]): the first bucket whose cumulative mass reaches
+    [p * total], linearly interpolated across the bucket's value span.
+    Returns the domain's lower bound when the histogram is empty. *)
+
 val sample : t -> Rng.t -> int
 (** Draw a value from the histogram's distribution: a bucket weighted by
     its mass, then uniform within the bucket.

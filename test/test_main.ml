@@ -13,6 +13,7 @@ let () =
       Test_net.suite;
       Test_runtime.suite;
       Test_transport.suite;
+      Test_obs.suite;
       Test_market.suite;
       Test_exec.suite;
       Test_core.suite;
