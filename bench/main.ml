@@ -1190,6 +1190,123 @@ let r_obs () =
       (100. *. dead_branch_overhead)
 
 (* ------------------------------------------------------------------ *)
+(* R-execsched: measured-time load feedback vs static estimates          *)
+(* ------------------------------------------------------------------ *)
+
+let r_execsched () =
+  heading "R-execsched"
+    "plan execution on the shared timeline: measured-load feedback vs static \
+     estimates, BENCH_execsched.json";
+  let module Market = Qt_market.Market in
+  let module Admission = Qt_market.Admission in
+  let federation =
+    Generator.telecom ~nodes:8
+      ~placement:{ Generator.partitions = 4; replicas = 2 }
+      ()
+  in
+  (* The contended-replica scenario: every buyer wants (a distinct slice
+     of) the same partition, which lives on exactly two replicas, each
+     with one execution worker.  Admission carries no load signal
+     (load_per_contract 0), so any steering comes from the execution
+     scheduler's backlog account alone.  Ranges are distinct so
+     shared-result dedup cannot hide the contention. *)
+  let buyers = 8 in
+  let queries =
+    List.init buyers (fun i ->
+        Workload.telecom_revenue_by_office ~custid_range:(0, 960 + i) ())
+  in
+  let config exec_feedback =
+    {
+      (Market.default_config params) with
+      Market.concurrency = 1;
+      admission =
+        {
+          Admission.default_config with
+          Admission.slots = 8;
+          queue_limit = 8;
+          load_per_contract = 0.;
+        };
+      execute = Some { Market.default_exec with workers = 1; exec_feedback };
+    }
+  in
+  let run exec_feedback = Market.run (config exec_feedback) federation queries in
+  let static = run false in
+  let feedback = run true in
+  let exec (s : Market.stats) = Option.get s.Market.exec in
+  let distinct_seller_sets (s : Market.stats) =
+    List.sort_uniq compare
+      (List.map
+         (fun (t : Market.trade_stats) ->
+           List.sort_uniq compare (List.map fst t.Market.contracts))
+         s.Market.trades)
+    |> List.length
+  in
+  let peak_node_busy (s : Market.stats) =
+    List.fold_left
+      (fun acc (n : Market.exec_node) ->
+        if n.Market.en_node >= 0 then Float.max acc n.Market.en_busy else acc)
+      0. (exec s).Market.exec_nodes
+  in
+  let t =
+    Texttable.create
+      [
+        "load signal"; "done"; "tasks"; "seller sets"; "peak node busy";
+        "trading"; "exec makespan"; "total";
+      ]
+  in
+  let row name (s : Market.stats) =
+    let e = exec s in
+    Texttable.add_row t
+      [
+        name;
+        Printf.sprintf "%d/%d" s.Market.completed buyers;
+        string_of_int e.Market.tasks_run;
+        string_of_int (distinct_seller_sets s);
+        Printf.sprintf "%.4fs" (peak_node_busy s);
+        Printf.sprintf "%.4fs" s.Market.trading_makespan;
+        Printf.sprintf "%.4fs" e.Market.exec_makespan;
+        Printf.sprintf "%.4fs" s.Market.makespan;
+      ]
+  in
+  row "static estimates" static;
+  row "measured feedback" feedback;
+  Texttable.print t;
+  let sm = (exec static).Market.exec_makespan in
+  let fm = (exec feedback).Market.exec_makespan in
+  let snapshot =
+    [
+      ("scenario", Bench_json.S "execsched");
+      ("buyers", Bench_json.I buyers);
+      ("static_exec_makespan", Bench_json.F sm);
+      ("feedback_exec_makespan", Bench_json.F fm);
+      ("speedup", Bench_json.F (if fm > 0. then sm /. fm else 0.));
+      ("static_peak_node_busy", Bench_json.F (peak_node_busy static));
+      ("feedback_peak_node_busy", Bench_json.F (peak_node_busy feedback));
+      ("static_seller_sets", Bench_json.I (distinct_seller_sets static));
+      ("feedback_seller_sets", Bench_json.I (distinct_seller_sets feedback));
+      ("tasks", Bench_json.I (exec feedback).Market.tasks_run);
+      ("static_trading_makespan", Bench_json.F static.Market.trading_makespan);
+      ( "feedback_trading_makespan",
+        Bench_json.F feedback.Market.trading_makespan );
+    ]
+  in
+  bench ~scenario:"execsched" (List.tl snapshot);
+  Bench_json.to_file "BENCH_execsched.json" snapshot;
+  Printf.printf "wrote BENCH_execsched.json\n";
+  if fm >= sm then begin
+    Printf.printf
+      "FAIL: measured-load feedback did not reduce execution makespan \
+       (%.4fs >= %.4fs)\n"
+      fm sm;
+    exit 1
+  end
+  else
+    Printf.printf
+      "PASS: measured-load feedback cut execution makespan %.4fs -> %.4fs \
+       (%.2fx)\n"
+      sm fm (sm /. fm)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1285,6 +1402,7 @@ let all =
     ("trading", r_trading);
     ("market", r_market);
     ("obs", r_obs);
+    ("execsched", r_execsched);
     ("micro", micro);
   ]
 

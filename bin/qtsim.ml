@@ -169,6 +169,16 @@ let build_federation schema nodes partitions replicas views =
          schema)
   | _ -> failwith (Printf.sprintf "unknown schema %s (try telecom or chain:3)" schema)
 
+(* Positional, order-insensitive result comparison against the oracle
+   (optimized plans may name aggregate columns differently). *)
+let tables_agree a b =
+  let sa = Qt_exec.Table.sort_rows a and sb = Qt_exec.Table.sort_rows b in
+  Qt_exec.Table.cardinality a = Qt_exec.Table.cardinality b
+  && Array.length a.Qt_exec.Table.cols = Array.length b.Qt_exec.Table.cols
+  && List.for_all2
+       (fun r1 r2 -> Array.for_all2 Qt_exec.Value.equal r1 r2)
+       sa.Qt_exec.Table.rows sb.Qt_exec.Table.rows
+
 let build_config ?(subcontracting = false) ?(price = 0.) params competitive auction =
   let strategy =
     if competitive then Qt_trading.Strategy.default_competitive
@@ -328,14 +338,7 @@ let run_optimize sql schema nodes partitions replicas views profile execute
       let oracle = Qt_exec.Naive.run_global store query in
       Printf.printf "\nResult (%d rows):\n" (Qt_exec.Table.cardinality result);
       Format.printf "%a" (Qt_exec.Table.pp ~max_rows:15) result;
-      let sorted_result = Qt_exec.Table.sort_rows result in
-      let sorted_oracle = Qt_exec.Table.sort_rows oracle in
-      let agree =
-        Qt_exec.Table.cardinality result = Qt_exec.Table.cardinality oracle
-        && List.for_all2
-             (fun r1 r2 -> Array.for_all2 Qt_exec.Value.equal r1 r2)
-             sorted_result.Qt_exec.Table.rows sorted_oracle.Qt_exec.Table.rows
-      in
+      let agree = tables_agree result oracle in
       Printf.printf "Matches direct evaluation: %b\n" agree;
       if not agree then exit 1
     end;
@@ -530,7 +533,8 @@ let workload_cmd =
 (* ------------------------------------------------------------------ *)
 
 let run_market schema nodes partitions replicas profile count concurrency slots
-    queue policy no_batching seed competitive json trace metrics =
+    queue policy no_batching seed competitive json trace metrics execute workers
+    exec_seed no_exec_feedback no_sharing =
   let module Market = Qt_market.Market in
   let module Admission = Qt_market.Admission in
   let params = params_of_profile profile in
@@ -580,10 +584,38 @@ let run_market schema nodes partitions replicas profile count concurrency slots
       batching = not no_batching;
       concurrency;
       seed;
+      execute =
+        (if execute then
+           Some
+             {
+               Market.workers;
+               store_seed = exec_seed;
+               exec_feedback = not no_exec_feedback;
+               share_results = not no_sharing;
+             }
+         else None);
     }
   in
   let obs = obs_of_trace trace in
   let s = Market.run ~obs config federation queries in
+  (* Every executed answer must equal direct global evaluation — the same
+     oracle `optimize --execute` uses, here across concurrent trades. *)
+  let exec_failures =
+    if not execute then 0
+    else begin
+      let store = Qt_exec.Store.generate ~seed:exec_seed federation in
+      Qt_exec.Naive.materialize_views store federation;
+      List.fold_left
+        (fun acc (trade, _plan, table) ->
+          let oracle = Qt_exec.Naive.run_global store (List.nth queries trade) in
+          if tables_agree table oracle then acc
+          else begin
+            Printf.eprintf "trade %d: executed result diverges from oracle\n" trade;
+            acc + 1
+          end)
+        0 s.Market.results
+    end
+  in
   Option.iter
     (fun path ->
       write_file path (Qt_obs.Chrome_trace.to_json obs);
@@ -599,9 +631,26 @@ let run_market schema nodes partitions replicas profile count concurrency slots
   else begin
     Printf.printf "trades: %d completed, %d failed, %d admission retries\n"
       s.Market.completed s.Market.failed s.Market.admission_retries;
-    Printf.printf "makespan: %.4fs   wire: %d messages, %.1f KiB\n"
-      s.Market.makespan s.Market.wire_messages
+    Printf.printf "makespan: %.4fs (trading %.4fs)   wire: %d messages, %.1f KiB\n"
+      s.Market.makespan s.Market.trading_makespan s.Market.wire_messages
       (float_of_int s.Market.wire_bytes /. 1024.);
+    Option.iter
+      (fun (e : Market.exec_stats) ->
+        Printf.printf
+          "execution: %d tasks, %d shared results, exec makespan %.4fs, every \
+           answer checked against the oracle\n"
+          e.Market.tasks_run e.Market.shared_results e.Market.exec_makespan;
+        List.iter
+          (fun (n : Market.exec_node) ->
+            Printf.printf
+              "  node %s: %d tasks, busy %.4fs, utilization %.3f\n"
+              (if n.Market.en_node < 0 then
+                 Printf.sprintf "%d (buyer %d)" n.Market.en_node
+                   (-n.Market.en_node - 1)
+               else string_of_int n.Market.en_node)
+              n.Market.en_tasks n.Market.en_busy n.Market.en_utilization)
+          e.Market.exec_nodes)
+      s.Market.exec;
     let b = s.Market.batcher in
     Printf.printf
       "rfb batching (%s): %d waves, %d envelopes vs %d unbatched (%d messages \
@@ -642,7 +691,7 @@ let run_market schema nodes partitions replicas profile count concurrency slots
                 t.Market.contracts)))
       s.Market.trades
   end;
-  0
+  if exec_failures > 0 then 1 else 0
 
 let market_cmd =
   let doc =
@@ -688,13 +737,49 @@ let market_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the full market statistics as one JSON line.")
   in
+  let market_execute_arg =
+    Arg.(
+      value & flag
+      & info [ "execute" ]
+          ~doc:
+            "Execute every admitted plan on the distributed scheduler (tasks \
+             interleaved on the shared timeline) and verify each answer \
+             against direct evaluation.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Parallel execution servers per node (with --execute).")
+  in
+  let exec_seed_arg =
+    Arg.(
+      value & opt int 11
+      & info [ "exec-seed" ] ~docv:"SEED"
+          ~doc:"Data-generation seed for --execute.")
+  in
+  let no_exec_feedback_arg =
+    Arg.(
+      value & flag
+      & info [ "no-exec-feedback" ]
+          ~doc:
+            "Hide measured execution backlog from seller pricing (static \
+             estimates only).")
+  in
+  let no_sharing_arg =
+    Arg.(
+      value & flag
+      & info [ "no-sharing" ]
+          ~doc:"Execute identical purchased sub-queries separately per trade.")
+  in
   Cmd.v
     (Cmd.info "market" ~doc)
     Term.(
       const run_market $ schema_arg $ nodes_arg $ partitions_arg $ replicas_arg
       $ profile_arg $ count_arg $ concurrency_arg $ slots_arg $ queue_arg
       $ policy_arg $ no_batching_arg $ seed_arg $ competitive_arg $ json_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ market_execute_arg $ workers_arg
+      $ exec_seed_arg $ no_exec_feedback_arg $ no_sharing_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check-trace                                                          *)

@@ -16,11 +16,62 @@ let op_name = function
   | Plan.Distinct _ -> "distinct"
   | Plan.Remote _ -> "remote"
 
+let children = function
+  | Plan.Scan _ | Plan.Remote _ -> []
+  | Plan.Filter { input; _ } -> [ input ]
+  | Plan.Join { build; probe; _ } -> [ build; probe ]
+  | Plan.Union { inputs; _ } -> inputs
+  | Plan.Project { input; _ } -> [ input ]
+  | Plan.Sort { input; _ } -> [ input ]
+  | Plan.Aggregate { input; _ } -> [ input ]
+  | Plan.Distinct { input; _ } -> [ input ]
+
+let apply_rename answer = function
+  | None -> answer
+  | Some cols ->
+    if List.length cols <> Array.length answer.Table.cols then
+      invalid_arg "Engine.run: remote rename width mismatch";
+    let renamed =
+      Array.of_list (List.map (fun (alias, name) -> { Table.alias; name }) cols)
+    in
+    Table.create renamed answer.Table.rows
+
+let eval_op store federation op ~children =
+  match (op, children) with
+  | Plan.Scan s, [] -> (
+    match Store.view_table store ~node:s.Plan.node ~view:s.Plan.rel with
+    | Some view -> Table.retag view ~alias:s.Plan.alias
+    | None ->
+      Table.retag
+        (Store.fragment_table store ~rel:s.Plan.rel ~range:s.Plan.range)
+        ~alias:s.Plan.alias)
+  | Plan.Filter f, [ input ] -> Ops.filter input f.preds
+  | Plan.Join j, [ build; probe ] -> (
+    match j.algo with
+    | Plan.Hash -> Ops.hash_join build probe j.preds
+    | Plan.Sort_merge -> Ops.merge_join build probe j.preds
+    | Plan.Nested_loop -> Ops.nested_loop_join build probe j.preds)
+  | Plan.Union _, [] -> invalid_arg "Engine.run: empty union"
+  | Plan.Union _, first :: rest -> List.fold_left Table.append first rest
+  | Plan.Project p, [ input ] -> Ops.project input p.select
+  | Plan.Sort s, [ input ] -> Ops.sort input s.keys
+  | Plan.Aggregate a, [ input ] ->
+    Ops.aggregate input ~group_by:a.group_by a.select
+  | Plan.Distinct _, [ input ] -> Ops.distinct input
+  | Plan.Remote r, [] ->
+    apply_rename
+      (Naive.run_at_node ~imports:r.imports store federation ~node:r.seller
+         r.query)
+      r.rename
+  | _ -> invalid_arg "Engine.eval_op: operator arity mismatch"
+
 let run ?(obs = Obs.disabled) ?(track = -1) store federation plan =
-  (* Execution has no simulated clock of its own, so spans sit on a
+  (* A standalone run has no simulated clock of its own, so spans sit on a
      deterministic preorder ordinal timeline: each operator ticks once on
      entry and once after its children, giving properly nested intervals
-     whose order mirrors the interpreter's evaluation order. *)
+     whose order mirrors the interpreter's evaluation order.  (Under the
+     execution scheduler the operators run as Qt_execsched tasks instead,
+     whose spans carry real simulated timestamps.) *)
   let tick = ref 0. in
   let next () =
     let t = !tick in
@@ -29,41 +80,8 @@ let run ?(obs = Obs.disabled) ?(track = -1) store federation plan =
   in
   let rec go ~parent plan =
     let eval parent =
-      match plan with
-      | Plan.Scan s -> (
-        match Store.view_table store ~node:s.node ~view:s.rel with
-        | Some view -> Table.retag view ~alias:s.alias
-        | None ->
-          Table.retag (Store.fragment_table store ~rel:s.rel ~range:s.range) ~alias:s.alias)
-      | Plan.Filter f -> Ops.filter (go ~parent f.input) f.preds
-      | Plan.Join j -> (
-        match j.algo with
-        | Plan.Hash -> Ops.hash_join (go ~parent j.build) (go ~parent j.probe) j.preds
-        | Plan.Sort_merge ->
-          Ops.merge_join (go ~parent j.build) (go ~parent j.probe) j.preds
-        | Plan.Nested_loop ->
-          Ops.nested_loop_join (go ~parent j.build) (go ~parent j.probe) j.preds)
-      | Plan.Union u -> (
-        match List.map (go ~parent) u.inputs with
-        | [] -> invalid_arg "Engine.run: empty union"
-        | first :: rest -> List.fold_left Table.append first rest)
-      | Plan.Project p -> Ops.project (go ~parent p.input) p.select
-      | Plan.Sort s -> Ops.sort (go ~parent s.input) s.keys
-      | Plan.Aggregate a -> Ops.aggregate (go ~parent a.input) ~group_by:a.group_by a.select
-      | Plan.Distinct d -> Ops.distinct (go ~parent d.input)
-      | Plan.Remote r -> (
-        let answer =
-          Naive.run_at_node ~imports:r.imports store federation ~node:r.seller r.query
-        in
-        match r.rename with
-        | None -> answer
-        | Some cols ->
-          if List.length cols <> Array.length answer.Table.cols then
-            invalid_arg "Engine.run: remote rename width mismatch";
-          let renamed =
-            Array.of_list (List.map (fun (alias, name) -> { Table.alias; name }) cols)
-          in
-          Table.create renamed answer.Table.rows)
+      eval_op store federation plan
+        ~children:(List.map (go ~parent) (children plan))
     in
     if not (Obs.enabled obs) then eval parent
     else begin

@@ -16,11 +16,45 @@ val run :
   Qt_optimizer.Plan.t ->
   Table.t
 (** [obs] (default: no-op) records one [exec]-category span per operator,
-    nested by plan structure on a deterministic preorder ordinal timeline
-    (execution has no simulated clock).  Operators run on [track] (default
-    [-1], the buyer); [Remote] leaves run on their seller's track and
-    carry a [seller] attribute.  Every span reports the [rows] it
-    produced.
+    nested by plan structure.  A {e standalone} run has no simulated clock,
+    so its spans sit on a deterministic preorder ordinal timeline; when a
+    plan instead executes under the distributed execution scheduler
+    ([Qt_execsched]), the scheduler runs each operator through {!eval_op}
+    as a task of its own and emits the [exec] spans itself, carrying real
+    simulated timestamps on the executing node's track.  Operators run on
+    [track] (default [-1], the buyer); [Remote] leaves run on their
+    seller's track and carry a [seller] attribute.  Every span reports the
+    [rows] it produced.
 
     @raise Invalid_argument on malformed plans (unknown columns, aggregate
     items in a projection, ...). *)
+
+val op_name : Qt_optimizer.Plan.t -> string
+(** Display name of the root operator ([scan], [hash_join], [remote], …) —
+    the span name used by both this interpreter and the execution
+    scheduler. *)
+
+val children : Qt_optimizer.Plan.t -> Qt_optimizer.Plan.t list
+(** The root operator's inputs in canonical evaluation order ([Join]:
+    build then probe; leaves: empty) — the order {!eval_op} expects its
+    [children] tables in. *)
+
+val apply_rename : Table.t -> (string * string) list option -> Table.t
+(** Positional rename of a remote answer's columns to [(alias, name)]
+    pairs (identity on [None]) — the compensation applied to offers served
+    from materialized views.
+    @raise Invalid_argument on a width mismatch. *)
+
+val eval_op :
+  Store.t ->
+  Qt_catalog.Federation.t ->
+  Qt_optimizer.Plan.t ->
+  children:Table.t list ->
+  Table.t
+(** Evaluate exactly one operator given its already-evaluated inputs (in
+    {!children} order; leaves take [[]]).  {!run} and the execution
+    scheduler both evaluate through this function, which is what makes
+    scheduled-concurrent execution byte-identical to a serial run.
+    [Remote] leaves evaluate their purchased sub-query at the seller and
+    apply their rename.
+    @raise Invalid_argument on arity mismatch or malformed operators. *)

@@ -12,11 +12,26 @@ module Event_queue = Qt_runtime.Event_queue
 module Federation = Qt_catalog.Federation
 module Obs = Qt_obs.Obs
 module Metrics = Qt_obs.Metrics
+module Plan = Qt_optimizer.Plan
+module Store = Qt_exec.Store
+module Naive = Qt_exec.Naive
+module Table = Qt_exec.Table
+module Execsched = Qt_execsched.Execsched
 
 (* The market scheduler's own trace track: buyers occupy -(i+1), sellers
    the non-negative node ids, so a far-negative reserved id never
    collides with either. *)
 let market_track = -1000
+
+type exec_config = {
+  workers : int;
+  store_seed : int;
+  exec_feedback : bool;
+  share_results : bool;
+}
+
+let default_exec =
+  { workers = 1; store_seed = 11; exec_feedback = true; share_results = true }
 
 type config = {
   trader : Trader.config;
@@ -28,6 +43,7 @@ type config = {
   priority_of : int -> int;
   cache_entries : int;
   seed : int;
+  execute : exec_config option;
 }
 
 let default_config params =
@@ -41,6 +57,7 @@ let default_config params =
     priority_of = (fun _ -> 0);
     cache_entries = 4096;
     seed = 7;
+    execute = None;
   }
 
 type status = Completed | No_plan | Admission_failed
@@ -74,6 +91,28 @@ let summarize (h : Metrics.histo) =
     l_p99 = Metrics.percentile h 0.99;
   }
 
+type exec_trade = {
+  et_trade : int;
+  et_rows : int;
+  et_digest : int;
+  et_finished_at : float;
+}
+
+type exec_node = {
+  en_node : int;
+  en_tasks : int;
+  en_busy : float;
+  en_utilization : float;
+}
+
+type exec_stats = {
+  exec_makespan : float;
+  tasks_run : int;
+  shared_results : int;
+  exec_trades : exec_trade list;
+  exec_nodes : exec_node list;
+}
+
 type stats = {
   trades : trade_stats list;
   sellers : seller_stats list;
@@ -82,11 +121,14 @@ type stats = {
   completed : int;
   failed : int;
   admission_retries : int;
+  trading_makespan : float;
   makespan : float;
   wire_messages : int;
   wire_bytes : int;
   offer_rtt : latency_summary;
   queue_wait : latency_summary;
+  exec : exec_stats option;
+  results : (int * Plan.t * Table.t) list;
 }
 
 (* A trade fiber suspends here when it broadcasts an RFB: everything the
@@ -138,6 +180,7 @@ type trade = {
   mutable t_finished_at : float;
   mutable t_phases : Trader.phase_stats;
       (* Accumulated across this trade's optimization attempts. *)
+  mutable t_plan : Plan.t option;  (* The admitted plan, when executing. *)
 }
 
 type market = {
@@ -148,6 +191,7 @@ type market = {
   batcher : Batcher.t;
   admissions : (int, Admission.t) Hashtbl.t;
   completions : (int * Admission.handle) Event_queue.t;
+  sched : Execsched.t option;  (* plan execution, when [cfg.execute] is set *)
   mutable mclock : float;  (* monotone market time: last window close *)
   mutable retries : int;
   obs : Obs.t;
@@ -197,6 +241,16 @@ let rec drain_completions st ~upto =
       drain_completions st ~upto)
   | _ -> ()
 
+(* Advance both event streams together: contract completions (costing
+   work at the admission layer) and execution-task completions (row work
+   at the scheduler), so backlog-derived load is current whenever a
+   pricing round reads it. *)
+let drain_all st ~upto =
+  drain_completions st ~upto;
+  match st.sched with
+  | Some sched -> Execsched.drain sched ~upto
+  | None -> ()
+
 let schedule_promoted st seller ~now promoted =
   List.iter
     (fun p ->
@@ -210,6 +264,11 @@ let schedule_promoted st seller ~now promoted =
    cache (keyed on load) invalidates exactly when it changes. *)
 let trader_config st tr =
   let base = st.cfg.trader.Trader.load_of in
+  let exec_load =
+    match (st.sched, st.cfg.execute) with
+    | Some sched, Some { exec_feedback = true; _ } -> Execsched.load_of sched
+    | _ -> fun _ -> 0.
+  in
   {
     st.cfg.trader with
     Trader.allow_subcontracting = false;
@@ -217,6 +276,7 @@ let trader_config st tr =
       (fun node ->
         base node
         +. Admission.offered_load (admission_of st node)
+        +. exec_load node
         +. Option.value (List.assoc_opt node tr.t_penalized) ~default:0.);
   }
 
@@ -266,6 +326,19 @@ let contracts_of (outcome : Trader.outcome) =
     outcome.Trader.purchased;
   Hashtbl.fold (fun s w acc -> (s, w) :: acc) tbl [] |> List.sort compare
 
+(* Order-sensitive structural digest of a result table (header included).
+   Scheduled execution is deterministic, so equal digests across runs mean
+   equal tables; [Hashtbl.hash] is applied per value because its traversal
+   depth is too shallow for whole-table hashing. *)
+let table_digest (tb : Table.t) =
+  let mix acc v = ((acc * 31) + Hashtbl.hash v) land max_int in
+  let header =
+    Array.fold_left
+      (fun acc (c : Table.col) -> mix (mix acc c.Table.alias) c.Table.name)
+      17 tb.Table.cols
+  in
+  List.fold_left (fun acc row -> Array.fold_left mix acc row) header tb.Table.rows
+
 let penalize tr seller amount =
   let prev = Option.value (List.assoc_opt seller tr.t_penalized) ~default:0. in
   tr.t_penalized <- (seller, prev +. amount) :: List.remove_assoc seller tr.t_penalized
@@ -312,6 +385,21 @@ let try_admit st tr ~now works =
 
 let run ?(obs = Obs.disabled) cfg federation queries =
   let metrics = Metrics.create () in
+  let sched =
+    match cfg.execute with
+    | None -> None
+    | Some e ->
+      let store = Store.generate ~seed:e.store_seed federation in
+      Naive.materialize_views store federation;
+      Some
+        (Execsched.create ~obs
+           {
+             Execsched.workers = e.workers;
+             share_results = e.share_results;
+             load_scale = Execsched.default_config.Execsched.load_scale;
+           }
+           cfg.trader.Trader.params store federation)
+  in
   let st =
     {
       cfg;
@@ -321,6 +409,7 @@ let run ?(obs = Obs.disabled) cfg federation queries =
       batcher = Batcher.create ~batching:cfg.batching;
       admissions = Hashtbl.create 16;
       completions = Event_queue.create ();
+      sched;
       mclock = 0.;
       retries = 0;
       obs;
@@ -355,6 +444,7 @@ let run ?(obs = Obs.disabled) cfg federation queries =
              t_contracts = [];
              t_finished_at = 0.;
              t_phases = Trader.zero_phase_stats;
+             t_plan = None;
            })
          queries)
   in
@@ -369,7 +459,7 @@ let run ?(obs = Obs.disabled) cfg federation queries =
   let running = ref 0 in
   let handle_ok tr (outcome : Trader.outcome) =
     let now = Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock in
-    drain_completions st ~upto:now;
+    drain_all st ~upto:now;
     st.mclock <- Float.max st.mclock now;
     let works = contracts_of outcome in
     match try_admit st tr ~now works with
@@ -377,7 +467,13 @@ let run ?(obs = Obs.disabled) cfg federation queries =
       tr.t_status <- Some Completed;
       tr.t_plan_cost <- Cost.response outcome.Trader.cost;
       tr.t_contracts <- works;
-      tr.t_finished_at <- now
+      tr.t_finished_at <- now;
+      tr.t_plan <- Some outcome.Trader.plan;
+      (match st.sched with
+      | Some sched ->
+        Execsched.submit sched ~trade:tr.t_index ~buyer:tr.t_buyer ~at:now
+          outcome.Trader.plan
+      | None -> ())
     | Error seller ->
       if tr.t_attempts <= cfg.max_admission_retries then begin
         st.retries <- st.retries + 1;
@@ -443,7 +539,7 @@ let run ?(obs = Obs.disabled) cfg federation queries =
         st.mclock waiting
     in
     st.mclock <- t_close;
-    drain_completions st ~upto:t_close;
+    drain_all st ~upto:t_close;
     let reqs =
       List.map
         (fun (i, (r : round_request), _) ->
@@ -562,16 +658,70 @@ let run ?(obs = Obs.disabled) cfg federation queries =
     end
   in
   market_loop ();
-  drain_completions st ~upto:infinity;
-  let makespan =
+  drain_all st ~upto:infinity;
+  let trading_makespan =
     Array.fold_left (fun acc tr -> Float.max acc tr.t_finished_at) st.mclock trades
+  in
+  let exec, results =
+    match (st.sched, cfg.execute) with
+    | Some sched, Some e ->
+      let es = Execsched.stats sched in
+      let exec_nodes =
+        List.map
+          (fun (n : Execsched.node_stats) ->
+            let window = n.Execsched.ns_last_finish -. n.Execsched.ns_first_start in
+            let capacity = float_of_int e.workers *. window in
+            {
+              en_node = n.Execsched.ns_node;
+              en_tasks = n.Execsched.ns_tasks;
+              en_busy = n.Execsched.ns_busy;
+              en_utilization =
+                (if capacity > 0. then n.Execsched.ns_busy /. capacity else 0.);
+            })
+          es.Execsched.exec_nodes
+      in
+      let exec_trades, results =
+        Array.fold_right
+          (fun tr (ets, res) ->
+            match (Execsched.result sched ~trade:tr.t_index, tr.t_plan) with
+            | Some table, Some plan ->
+              let et =
+                {
+                  et_trade = tr.t_index;
+                  et_rows = List.length table.Table.rows;
+                  et_digest = table_digest table;
+                  et_finished_at =
+                    Option.value
+                      (Execsched.finished_at sched ~trade:tr.t_index)
+                      ~default:0.;
+                }
+              in
+              (et :: ets, (tr.t_index, plan, table) :: res)
+            | _ -> (ets, res))
+          trades ([], [])
+      in
+      ( Some
+          {
+            exec_makespan = es.Execsched.exec_makespan;
+            tasks_run = es.Execsched.tasks_run;
+            shared_results = es.Execsched.shared_results;
+            exec_trades;
+            exec_nodes;
+          },
+        results )
+    | _ -> (None, [])
+  in
+  let makespan =
+    match exec with
+    | Some e -> Float.max trading_makespan e.exec_makespan
+    | None -> trading_makespan
   in
   let sellers =
     List.sort compare (Federation.node_ids federation)
     |> List.map (fun id ->
            let adm = admission_of st id in
            let a = Admission.stats adm in
-           let capacity = float_of_int (Admission.slots adm) *. makespan in
+           let capacity = float_of_int (Admission.slots adm) *. trading_makespan in
            {
              seller = id;
              admission = a;
@@ -608,11 +758,14 @@ let run ?(obs = Obs.disabled) cfg federation queries =
     completed;
     failed = List.length trade_list - completed;
     admission_retries = st.retries;
+    trading_makespan;
     makespan;
     wire_messages = wire.Runtime.messages;
     wire_bytes = wire.Runtime.bytes;
     offer_rtt = summarize st.rtt;
     queue_wait = summarize st.waits;
+    exec;
+    results;
   }
 
 (* Canonical JSON: fixed key order, no wall-clock or process-local
@@ -691,9 +844,34 @@ let to_json (s : stats) =
        s.cache.Seller.evictions);
   add
     (Printf.sprintf
-       ",\"completed\":%d,\"failed\":%d,\"admission_retries\":%d,\"makespan\":%s,\"wire_messages\":%d,\"wire_bytes\":%d,\"offer_rtt\":%s,\"queue_wait\":%s}"
-       s.completed s.failed s.admission_retries (jf s.makespan) s.wire_messages
-       s.wire_bytes (latency_json s.offer_rtt) (latency_json s.queue_wait));
+       ",\"completed\":%d,\"failed\":%d,\"admission_retries\":%d,\"trading_makespan\":%s,\"makespan\":%s,\"wire_messages\":%d,\"wire_bytes\":%d,\"offer_rtt\":%s,\"queue_wait\":%s"
+       s.completed s.failed s.admission_retries (jf s.trading_makespan)
+       (jf s.makespan) s.wire_messages s.wire_bytes (latency_json s.offer_rtt)
+       (latency_json s.queue_wait));
+  (match s.exec with
+  | None -> add ",\"exec\":null"
+  | Some e ->
+    add
+      (Printf.sprintf
+         ",\"exec\":{\"makespan\":%s,\"tasks\":%d,\"shared_results\":%d,\"trades\":"
+         (jf e.exec_makespan) e.tasks_run e.shared_results);
+    list
+      (fun (t : exec_trade) ->
+        add
+          (Printf.sprintf
+             "{\"trade\":%d,\"rows\":%d,\"digest\":%d,\"finished_at\":%s}"
+             t.et_trade t.et_rows t.et_digest (jf t.et_finished_at)))
+      e.exec_trades;
+    add ",\"nodes\":";
+    list
+      (fun (n : exec_node) ->
+        add
+          (Printf.sprintf
+             "{\"node\":%d,\"tasks\":%d,\"busy\":%s,\"utilization\":%s}"
+             n.en_node n.en_tasks (jf n.en_busy) (jf n.en_utilization)))
+      e.exec_nodes;
+    add "}");
+  add "}";
   Buffer.contents b
 
 (* Flat metrics rendering of a finished run — what [--metrics FILE]
@@ -708,7 +886,21 @@ let metrics_json (s : stats) =
   c "market.admission_retries" s.admission_retries;
   c "market.wire_messages" s.wire_messages;
   c "market.wire_bytes" s.wire_bytes;
+  g "market.trading_makespan" s.trading_makespan;
   g "market.makespan" s.makespan;
+  (match s.exec with
+  | None -> ()
+  | Some e ->
+    c "exec.tasks" e.tasks_run;
+    c "exec.shared_results" e.shared_results;
+    g "exec.makespan" e.exec_makespan;
+    List.iter
+      (fun (n : exec_node) ->
+        let p = Printf.sprintf "exec.node.%d." n.en_node in
+        c (p ^ "tasks") n.en_tasks;
+        g (p ^ "busy") n.en_busy;
+        g (p ^ "utilization") n.en_utilization)
+      e.exec_nodes);
   c "batcher.waves" s.batcher.Batcher.waves;
   c "batcher.sent_messages" s.batcher.Batcher.sent_messages;
   c "batcher.sent_bytes" s.batcher.Batcher.sent_bytes;

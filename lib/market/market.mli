@@ -29,6 +29,23 @@
     {!stats} — the same (workload, config, seed) replays byte-for-byte,
     which {!to_json} makes checkable. *)
 
+type exec_config = {
+  workers : int;  (** Parallel execution servers per node. *)
+  store_seed : int;  (** Seed for materializing the federation data. *)
+  exec_feedback : bool;
+      (** Feed each node's measured execution backlog into the buyers'
+          [load_of] (and therefore seller pricing).  Off, sellers price
+          from admission's static work estimates alone. *)
+  share_results : bool;
+      (** Execute byte-identical purchased [Remote] sub-queries once per
+          seller and share the answer across trades (MQO-style reuse). *)
+}
+(** Plan execution settings ({!Qt_execsched.Execsched} behind the
+    market). *)
+
+val default_exec : exec_config
+(** 1 worker per node, store seed 11, feedback on, sharing on. *)
+
 type config = {
   trader : Qt_core.Trader.config;
       (** Per-trade optimizer settings.  [load_of] becomes the {e base}
@@ -49,12 +66,20 @@ type config = {
           [Proportional_share] arbitration policies. *)
   cache_entries : int;  (** Per-seller bid-cache LRU capacity. *)
   seed : int;  (** Runtime seed (latency jitter, if configured). *)
+  execute : exec_config option;
+      (** When set, every admitted plan also {e executes}: the market
+          materializes the federation data ([store_seed]), decomposes each
+          purchased plan into per-operator tasks on the execution
+          scheduler's per-node work queues, and runs them on the shared
+          virtual timeline.  With [exec_feedback] on, measured task times
+          flow back into seller load, closing the trade → execute →
+          re-price loop. *)
 }
 
 val default_config : Qt_cost.Params.t -> config
 (** Default trader, default admission, batching on, unlimited
     concurrency, 2 retries, penalty 2.0, uniform priority, 4096 cache
-    entries, seed 7. *)
+    entries, seed 7, no execution. *)
 
 type status =
   | Completed  (** Planned and every contract admitted. *)
@@ -93,6 +118,33 @@ type latency_summary = {
 (** Interpolated percentiles (virtual seconds) over one of the market's
     latency histograms. *)
 
+type exec_trade = {
+  et_trade : int;
+  et_rows : int;  (** Rows of the trade's executed answer. *)
+  et_digest : int;
+      (** Order-sensitive structural digest of the answer (header
+          included) — equal digests across same-seed runs mean equal
+          tables. *)
+  et_finished_at : float;  (** Virtual time the last task completed. *)
+}
+
+type exec_node = {
+  en_node : int;
+  en_tasks : int;  (** Execution tasks completed on this node. *)
+  en_busy : float;  (** Seconds of task service time. *)
+  en_utilization : float;
+      (** Busy seconds over [workers * (last finish - first start)]; 0
+          when the node ran nothing. *)
+}
+
+type exec_stats = {
+  exec_makespan : float;  (** Latest task completion on the timeline. *)
+  tasks_run : int;
+  shared_results : int;  (** Remote executions saved by result sharing. *)
+  exec_trades : exec_trade list;  (** Executed trades, by index. *)
+  exec_nodes : exec_node list;  (** Ascending node id, active nodes only. *)
+}
+
 type stats = {
   trades : trade_stats list;  (** By trade index. *)
   sellers : seller_stats list;  (** Ascending seller id, every node. *)
@@ -101,9 +153,13 @@ type stats = {
   completed : int;
   failed : int;
   admission_retries : int;  (** Re-optimizations forced by rejections. *)
-  makespan : float;
+  trading_makespan : float;
       (** Virtual time when the last contract completed (or last trade
-          ended, if later). *)
+          ended, if later) — the marketplace's own horizon, execution
+          excluded. *)
+  makespan : float;
+      (** End of everything: [trading_makespan], extended to the last
+          execution-task completion when the run executes plans. *)
   wire_messages : int;  (** Total messages on the shared runtime. *)
   wire_bytes : int;
   offer_rtt : latency_summary;
@@ -112,6 +168,11 @@ type stats = {
   queue_wait : latency_summary;
       (** Admission queue waits across all sellers: contract submission
           to service start (0 for immediate starts). *)
+  exec : exec_stats option;  (** Present when [config.execute] was set. *)
+  results : (int * Qt_optimizer.Plan.t * Qt_exec.Table.t) list;
+      (** Each executed trade's [(index, admitted plan, answer table)] —
+          the parity tests' raw material.  Not serialized by
+          {!to_json}. *)
 }
 
 val run :

@@ -27,13 +27,16 @@ type result = {
   per_query_cost : float list;
   node_busy : (int * float) list;
   makespan : float;
+  trading_makespan : float;
+  exec_makespan : float;
+  total_makespan : float;
   balance_cv : float;
   failures : int;
   cache : Seller.cache_stats;
 }
 
 let run_concurrent ?(concurrency = 0) ?(batching = true) ?admission ?(seed = 7)
-    config federation queries =
+    ?execute config federation queries =
   let module Market = Qt_market.Market in
   let module Admission = Qt_market.Admission in
   let market_config =
@@ -55,6 +58,7 @@ let run_concurrent ?(concurrency = 0) ?(batching = true) ?admission ?(seed = 7)
       batching;
       concurrency;
       seed;
+      execute;
     }
   in
   let stats = Market.run market_config federation queries in
@@ -98,6 +102,12 @@ let run_concurrent ?(concurrency = 0) ?(batching = true) ?admission ?(seed = 7)
       per_query_cost = costs;
       node_busy;
       makespan;
+      trading_makespan = stats.Market.trading_makespan;
+      exec_makespan =
+        (match stats.Market.exec with
+        | Some e -> e.Market.exec_makespan
+        | None -> 0.);
+      total_makespan = stats.Market.makespan;
       balance_cv;
       failures = stats.Market.failed;
       cache = stats.Market.cache;
@@ -172,6 +182,9 @@ let run config federation queries =
     per_query_cost = costs;
     node_busy;
     makespan;
+    trading_makespan = makespan;
+    exec_makespan = 0.;
+    total_makespan = makespan;
     balance_cv;
     failures = !failures;
     cache = Seller.pool_stats caches;

@@ -38,6 +38,16 @@ type result = {
   node_busy : (int * float) list;
       (** Total purchased work (seconds) accumulated per node. *)
   makespan : float;  (** Max of [node_busy] — the bottleneck node. *)
+  trading_makespan : float;
+      (** Concurrent runs: virtual time when trading finished (last
+          contract completion or trade end).  Sequential runs: equal to
+          [makespan]. *)
+  exec_makespan : float;
+      (** Concurrent runs with [~execute]: virtual time the last
+          execution task completed; [0.] otherwise. *)
+  total_makespan : float;
+      (** Max of the two above — when everything, trading and row work,
+          was done. *)
   balance_cv : float;
       (** Coefficient of variation of busy time across nodes that did any
           work; 0 = perfectly balanced. *)
@@ -55,6 +65,7 @@ val run_concurrent :
   ?batching:bool ->
   ?admission:Qt_market.Admission.config ->
   ?seed:int ->
+  ?execute:Qt_market.Market.exec_config ->
   config ->
   Qt_catalog.Federation.t ->
   Qt_sql.Ast.t list ->
@@ -66,4 +77,7 @@ val run_concurrent :
     than from this module's decay model, so [load_decay],
     [load_per_second] and [feedback] are not consulted.  [node_busy] and
     [makespan] are derived from admitted contract work, making the
-    result directly comparable with {!run}. *)
+    result directly comparable with {!run}.  [execute] additionally runs
+    every admitted plan on the execution scheduler (see
+    {!Qt_market.Market.exec_config}); the three makespan fields then
+    separate the trading horizon from the execution horizon. *)

@@ -15,6 +15,7 @@ let () =
       Test_transport.suite;
       Test_obs.suite;
       Test_market.suite;
+      Test_execsched.suite;
       Test_exec.suite;
       Test_core.suite;
       Test_baseline.suite;
