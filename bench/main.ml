@@ -1307,6 +1307,145 @@ let r_execsched () =
       sm fm (sm /. fm)
 
 (* ------------------------------------------------------------------ *)
+(* R-stream: open-stream overload, load shedding vs none               *)
+(* ------------------------------------------------------------------ *)
+
+let r_stream () =
+  heading "R-stream"
+    "open-stream overload: admission-time load shedding vs serving everyone, \
+     BENCH_stream.json";
+  let module Market = Qt_market.Market in
+  let module Admission = Qt_market.Admission in
+  let module Sla = Qt_stream.Sla in
+  let module Arrivals = Qt_stream.Arrivals in
+  let module Shedding = Qt_stream.Shedding in
+  (* A cheap-to-optimize federation so the 10k-arrival horizon stays
+     tractable: what we are stressing is the open-stream machinery
+     (queues, deadlines, retries), not the optimizer. *)
+  let nodes = 8 in
+  let queries = 10_000 in
+  let rate = 5.0 in
+  let federation =
+    Generator.chain ~nodes ~relations:2
+      ~placement:{ Generator.partitions = 4; replicas = 1 }
+      ()
+  in
+  let templates =
+    Array.of_list
+      (Workload.random_chain_queries ~seed:11 ~count:12 ~relations:2
+         ~max_joins:1)
+  in
+  let arrivals =
+    Arrivals.generate ~seed:13
+      ~process:(Arrivals.Poisson { rate })
+      ~horizon:(Arrivals.Count queries) ~templates:(Array.length templates)
+      ~theta:0.9 ~mix:Sla.default_mix
+  in
+  (* Deadlines loose enough that an uncontended query meets them with
+     room to spare; shallow per-seller queues so overload shows up as
+     rejections and retry churn rather than quiet queueing. *)
+  let spec_of klass =
+    let s = Sla.default_spec klass in
+    match klass with
+    | Sla.Interactive -> { s with Sla.deadline = 4.0 }
+    | Sla.Batch -> { s with Sla.deadline = 12.0 }
+    | Sla.Besteffort -> s
+  in
+  let scfg shedding =
+    let d = Market.default_stream_config params in
+    {
+      Market.base =
+        {
+          d.Market.base with
+          Market.admission =
+            {
+              d.Market.base.Market.admission with
+              Admission.slots = 2;
+              queue_limit = 4;
+            };
+          max_admission_retries = 10;
+        };
+      spec_of;
+      shedding;
+    }
+  in
+  let run shedding =
+    Market.run_stream (scfg shedding) federation ~templates arrivals
+  in
+  let shed_policy = Shedding.Occupancy 0.9 in
+  let none = run Shedding.Keep_all in
+  let shed = run shed_policy in
+  let t =
+    Texttable.create
+      [
+        "policy"; "arrivals"; "hits"; "shed"; "expired"; "failed"; "goodput";
+        "p95 interactive"; "makespan";
+      ]
+  in
+  let p95_interactive (s : Market.stream_stats) =
+    let c =
+      List.find
+        (fun (c : Market.class_stats) -> c.Market.cs_klass = Sla.Interactive)
+        s.Market.str_classes
+    in
+    c.Market.cs_latency.Market.l_p95
+  in
+  let row name (s : Market.stream_stats) =
+    Texttable.add_row t
+      [
+        name;
+        string_of_int s.Market.str_arrivals;
+        string_of_int s.Market.str_hits;
+        string_of_int s.Market.str_shed;
+        string_of_int s.Market.str_expired;
+        string_of_int s.Market.str_failed;
+        Printf.sprintf "%.4f" s.Market.str_goodput;
+        (if s.Market.str_latency.Market.l_count = 0 then "-"
+         else Printf.sprintf "%.3fs" (p95_interactive s));
+        Printf.sprintf "%.1fs" s.Market.str_makespan;
+      ]
+  in
+  row "none" none;
+  row (Shedding.to_string shed_policy) shed;
+  Texttable.print t;
+  let snapshot =
+    [
+      ("scenario", Bench_json.S "stream");
+      ("nodes", Bench_json.I nodes);
+      ("arrivals", Bench_json.I queries);
+      ("rate", Bench_json.F rate);
+      ("shed_policy", Bench_json.S (Shedding.to_string shed_policy));
+      ("none_goodput", Bench_json.F none.Market.str_goodput);
+      ("shed_goodput", Bench_json.F shed.Market.str_goodput);
+      ("none_hits", Bench_json.I none.Market.str_hits);
+      ("shed_hits", Bench_json.I shed.Market.str_hits);
+      ("none_expired", Bench_json.I none.Market.str_expired);
+      ("shed_expired", Bench_json.I shed.Market.str_expired);
+      ("none_failed", Bench_json.I none.Market.str_failed);
+      ("shed_shed", Bench_json.I shed.Market.str_shed);
+      ("none_p95_interactive", Bench_json.F (p95_interactive none));
+      ("shed_p95_interactive", Bench_json.F (p95_interactive shed));
+      ("none_makespan", Bench_json.F none.Market.str_makespan);
+      ("shed_makespan", Bench_json.F shed.Market.str_makespan);
+    ]
+  in
+  bench ~scenario:"stream" (List.tl snapshot);
+  Bench_json.to_file "BENCH_stream.json" snapshot;
+  Printf.printf "wrote BENCH_stream.json\n";
+  if shed.Market.str_goodput <= none.Market.str_goodput then begin
+    Printf.printf
+      "FAIL: shedding did not improve goodput under overload (%.4f <= %.4f)\n"
+      shed.Market.str_goodput none.Market.str_goodput;
+    exit 1
+  end
+  else
+    Printf.printf
+      "PASS: shedding raised goodput under overload %.4f -> %.4f (%d of %d \
+       arrivals shed)\n"
+      none.Market.str_goodput shed.Market.str_goodput shed.Market.str_shed
+      queries
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1403,6 +1542,7 @@ let all =
     ("market", r_market);
     ("obs", r_obs);
     ("execsched", r_execsched);
+    ("stream", r_stream);
     ("micro", micro);
   ]
 

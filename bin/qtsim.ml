@@ -72,8 +72,19 @@ let auction_arg =
     value & flag
     & info [ "auction" ] ~doc:"Negotiate lots with a reverse auction (implies several rounds).")
 
+(* The seed knobs are deliberately separate axes of determinism:
+   --seed fixes the simulated world (catalog statistics, runtime
+   jitter), --exec-seed fixes the synthetic data the execution layer
+   materializes, and --arrival-seed (stream only) fixes the arrival
+   schedule.  Changing one axis never perturbs the draws of another. *)
 let seed_arg =
-  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Data-generation seed.")
+  Arg.(
+    value & opt int 7
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Simulation seed: catalog data generation and runtime latency \
+           jitter.  Independent of $(b,--exec-seed) and \
+           $(b,--arrival-seed).")
 
 let subcontracting_arg =
   Arg.(
@@ -681,7 +692,9 @@ let run_market schema nodes partitions replicas profile count concurrency slots
           (match t.Market.status with
           | Market.Completed -> "completed"
           | Market.No_plan -> "no plan"
-          | Market.Admission_failed -> "admission failed")
+          | Market.Admission_failed -> "admission failed"
+          | Market.Shed -> "shed"
+          | Market.Expired -> "expired")
           t.Market.attempts
           (if t.Market.attempts = 1 then "" else "s")
           t.Market.plan_cost
@@ -756,7 +769,9 @@ let market_cmd =
     Arg.(
       value & opt int 11
       & info [ "exec-seed" ] ~docv:"SEED"
-          ~doc:"Data-generation seed for --execute.")
+          ~doc:
+            "Seed for the synthetic data --execute materializes; \
+             independent of $(b,--seed).")
   in
   let no_exec_feedback_arg =
     Arg.(
@@ -780,6 +795,383 @@ let market_cmd =
       $ policy_arg $ no_batching_arg $ seed_arg $ competitive_arg $ json_arg
       $ trace_arg $ metrics_arg $ market_execute_arg $ workers_arg
       $ exec_seed_arg $ no_exec_feedback_arg $ no_sharing_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stream                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_stream schema nodes partitions replicas profile rate process burst_on
+    burst_off queries duration templates zipf mix deadlines shedding concurrency
+    slots queue policy admission_retries no_batching seed arrival_seed
+    competitive json trace metrics execute workers exec_seed no_exec_feedback
+    no_sharing record replay =
+  let module Market = Qt_market.Market in
+  let module Admission = Qt_market.Admission in
+  let module Sla = Qt_stream.Sla in
+  let module Arrivals = Qt_stream.Arrivals in
+  let module Shedding = Qt_stream.Shedding in
+  let ok_or_fail = function Ok v -> v | Error msg -> failwith msg in
+  let params = params_of_profile profile in
+  let federation = build_federation schema nodes partitions replicas false in
+  let template_pool =
+    if String.length schema >= 5 && String.sub schema 0 5 = "chain" then
+      let relations =
+        match String.split_on_char ':' schema with
+        | [ "chain"; k ] -> int_of_string k
+        | _ -> 2
+      in
+      Qt_sim.Workload.random_chain_queries ~seed:11 ~count:templates ~relations
+        ~max_joins:(relations - 1)
+    else Qt_sim.Workload.telecom_templates ~seed:11 ~count:templates
+  in
+  let mix = ok_or_fail (Sla.mix_of_string mix) in
+  let spec_of =
+    match deadlines with
+    | "" -> Sla.default_spec
+    | s -> ok_or_fail (Sla.deadlines_of_string s) Sla.default_spec
+  in
+  let shedding = ok_or_fail (Shedding.of_string shedding) in
+  let arrivals =
+    match replay with
+    | Some path -> ok_or_fail (Arrivals.of_trace (read_file path))
+    | None ->
+      let process =
+        ok_or_fail
+          (Arrivals.process_of_string process ~rate ~on_mean:burst_on
+             ~off_mean:burst_off)
+      in
+      let horizon =
+        match duration with
+        | Some d -> Arrivals.Duration d
+        | None -> Arrivals.Count queries
+      in
+      Arrivals.generate ~seed:arrival_seed ~process ~horizon ~templates
+        ~theta:zipf ~mix
+  in
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Arrivals.to_trace arrivals);
+      close_out oc)
+    record;
+  let policy =
+    match Admission.policy_of_string policy with
+    | Some p -> p
+    | None ->
+      failwith
+        (Printf.sprintf
+           "unknown admission policy %s (try fifo, priority or proportional)"
+           policy)
+  in
+  let strategy =
+    if competitive then Qt_trading.Strategy.default_competitive
+    else Qt_trading.Strategy.Cooperative
+  in
+  let base =
+    {
+      (Market.default_config params) with
+      Market.trader =
+        {
+          (Qt_core.Trader.default_config params) with
+          Qt_core.Trader.strategy_of = (fun _ -> strategy);
+          seller_template =
+            {
+              (Qt_core.Seller.default_config params) with
+              Qt_core.Seller.strategy = strategy;
+            };
+        };
+      admission =
+        { Admission.default_config with Admission.slots; queue_limit = queue; policy };
+      max_admission_retries = admission_retries;
+      batching = not no_batching;
+      concurrency;
+      seed;
+      execute =
+        (if execute then
+           Some
+             {
+               Market.workers;
+               store_seed = exec_seed;
+               exec_feedback = not no_exec_feedback;
+               share_results = not no_sharing;
+             }
+         else None);
+    }
+  in
+  let scfg = { Market.base; spec_of; shedding } in
+  let obs = obs_of_trace trace in
+  let s =
+    Market.run_stream ~obs scfg federation
+      ~templates:(Array.of_list template_pool)
+      arrivals
+  in
+  Option.iter
+    (fun path ->
+      write_file path (Qt_obs.Chrome_trace.to_json obs);
+      if not json then
+        Printf.printf "trace: %d spans, %d categories, %d tracks -> %s\n"
+          (Qt_obs.Obs.span_count obs)
+          (List.length (Qt_obs.Obs.categories obs))
+          (List.length (Qt_obs.Obs.tracks obs))
+          path)
+    trace;
+  Option.iter (fun path -> write_file path (Market.stream_metrics_json s)) metrics;
+  if json then print_endline (Market.stream_to_json s)
+  else begin
+    Printf.printf
+      "arrivals: %d   completed %d (deadline hits %d), shed %d, expired %d, \
+       failed %d\n"
+      s.Market.str_arrivals s.Market.str_completed s.Market.str_hits
+      s.Market.str_shed s.Market.str_expired s.Market.str_failed;
+    Printf.printf "goodput: %.3f   shedding: %s\n" s.Market.str_goodput
+      (Shedding.to_string shedding);
+    let lat label (l : Market.latency_summary) =
+      if l.Market.l_count = 0 then
+        Printf.printf "  %-12s %8d  %9s %9s %9s\n" label l.Market.l_count "-" "-" "-"
+      else
+        Printf.printf "  %-12s %8d  %8.3fs %8.3fs %8.3fs\n" label
+          l.Market.l_count l.Market.l_p50 l.Market.l_p95 l.Market.l_p99
+    in
+    Printf.printf "end-to-end latency (completed queries):\n";
+    Printf.printf "  %-12s %8s  %9s %9s %9s\n" "class" "count" "p50" "p95" "p99";
+    lat "all" s.Market.str_latency;
+    List.iter
+      (fun (c : Market.class_stats) ->
+        lat (Qt_stream.Sla.to_string c.Market.cs_klass) c.Market.cs_latency)
+      s.Market.str_classes;
+    List.iter
+      (fun (c : Market.class_stats) ->
+        Printf.printf
+          "  %-12s %d arrivals: %d completed, %d shed, %d expired, %d failed \
+           (goodput %.3f)\n"
+          (Qt_stream.Sla.to_string c.Market.cs_klass)
+          c.Market.cs_arrivals c.Market.cs_completed c.Market.cs_shed
+          c.Market.cs_expired c.Market.cs_failed c.Market.cs_goodput)
+      s.Market.str_classes;
+    Printf.printf
+      "makespan: %.4fs   wire: %d messages, %.1f KiB   admission retries: %d\n"
+      s.Market.str_makespan s.Market.str_wire_messages
+      (float_of_int s.Market.str_wire_bytes /. 1024.)
+      s.Market.str_admission_retries;
+    Printf.printf "bid cache: %d hits, %d misses, %d invalidations, %d evictions\n"
+      s.Market.str_cache.Qt_core.Seller.hits
+      s.Market.str_cache.Qt_core.Seller.misses
+      s.Market.str_cache.Qt_core.Seller.invalidations
+      s.Market.str_cache.Qt_core.Seller.evictions;
+    Option.iter
+      (fun (e : Market.exec_stats) ->
+        Printf.printf "execution: %d tasks, %d shared results, exec makespan %.4fs\n"
+          e.Market.tasks_run e.Market.shared_results e.Market.exec_makespan)
+      s.Market.str_exec;
+    List.iter
+      (fun (x : Market.seller_stats) ->
+        let a = x.Market.admission in
+        if a.Admission.accepted + a.Admission.rejected > 0 then
+          Printf.printf
+            "  seller %d: %d admitted, %d rejected, %d canceled, peak queue %d, \
+             utilization %.3f\n"
+            x.Market.seller a.Admission.admitted a.Admission.rejected
+            a.Admission.canceled a.Admission.peak_queue x.Market.utilization)
+      s.Market.str_sellers
+  end;
+  0
+
+let stream_cmd =
+  let doc =
+    "Drive the marketplace as an open stream: continuous arrivals, SLA \
+     deadlines with cancellation, and admission-time load shedding."
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 24.0
+      & info [ "rate" ] ~docv:"QPS" ~doc:"Mean arrival rate, queries/second.")
+  in
+  let process_arg =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "process" ] ~docv:"PROCESS"
+          ~doc:"Interarrival process: poisson or bursty (on/off phases).")
+  in
+  let burst_on_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "burst-on" ] ~docv:"S"
+          ~doc:"Mean on-phase length for --process bursty, seconds.")
+  in
+  let burst_off_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "burst-off" ] ~docv:"S"
+          ~doc:"Mean silent off-phase length for --process bursty, seconds.")
+  in
+  let queries_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "queries" ] ~docv:"N"
+          ~doc:"Horizon as an arrival count (ignored with --duration).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "duration" ] ~docv:"S"
+          ~doc:"Horizon as virtual seconds of arrivals instead of a count.")
+  in
+  let templates_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "templates" ] ~docv:"N"
+          ~doc:"Query-template pool size (Zipf-ranked by popularity).")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "zipf" ] ~docv:"THETA"
+          ~doc:"Zipf skew of template popularity (0 = uniform).")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt string "interactive=0.5,batch=0.3,besteffort=0.2"
+      & info [ "mix" ] ~docv:"SPEC" ~doc:"SLA class arrival weights.")
+  in
+  let deadlines_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "deadlines" ] ~docv:"SPEC"
+          ~doc:
+            "Override relative SLA deadlines, e.g. \
+             'interactive=1.5,batch=6' (seconds from arrival; defaults: \
+             interactive 1.5, batch 6, besteffort none).")
+  in
+  let shedding_arg =
+    Arg.(
+      value & opt string "none"
+      & info [ "shedding" ] ~docv:"POLICY"
+          ~doc:
+            "Load shedding at arrival: none, or occupancy[:T] to shed while \
+             the most saturated seller's admission occupancy is at least T \
+             (default 0.75).")
+  in
+  let concurrency_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "concurrency" ] ~docv:"N"
+          ~doc:"Max trades optimizing at once (0 = unlimited).")
+  in
+  let slots_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "slots" ] ~docv:"N" ~doc:"Concurrent contract slots per seller.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue depth per seller before rejection.")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "priority"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Admission arbitration: fifo, priority or proportional \
+             (priority reads each query's SLA class).")
+  in
+  let admission_retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "admission-retries" ] ~docv:"N"
+          ~doc:
+            "Re-optimization attempts after an admission rejection before a \
+             query is abandoned (stream mode also stops retrying at the \
+             deadline).")
+  in
+  let no_batching_arg =
+    Arg.(
+      value & flag
+      & info [ "no-batching" ]
+          ~doc:"Disable cross-trade RFB coalescing (baseline traffic).")
+  in
+  let arrival_seed_arg =
+    Arg.(
+      value & opt int 13
+      & info [ "arrival-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed for the arrival schedule (interarrival times, template \
+             popularity, SLA mix); independent of $(b,--seed) and \
+             $(b,--exec-seed).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the stream statistics as one JSON line.")
+  in
+  let stream_execute_arg =
+    Arg.(
+      value & flag
+      & info [ "execute" ]
+          ~doc:
+            "Execute completed plans on the distributed scheduler; measured \
+             backlog re-prices sellers under the stream.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Parallel execution servers per node (with --execute).")
+  in
+  let exec_seed_arg =
+    Arg.(
+      value & opt int 11
+      & info [ "exec-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed for the synthetic data --execute materializes; independent \
+             of $(b,--seed) and $(b,--arrival-seed).")
+  in
+  let no_exec_feedback_arg =
+    Arg.(
+      value & flag
+      & info [ "no-exec-feedback" ]
+          ~doc:"Hide measured execution backlog from seller pricing.")
+  in
+  let no_sharing_arg =
+    Arg.(
+      value & flag
+      & info [ "no-sharing" ]
+          ~doc:"Execute identical purchased sub-queries separately per trade.")
+  in
+  let record_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:"Write the arrival schedule as a replayable trace file.")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay arrivals from a trace file (written by --record) instead \
+             of generating them; generator options are ignored.")
+  in
+  Cmd.v
+    (Cmd.info "stream" ~doc)
+    Term.(
+      const run_stream $ schema_arg $ nodes_arg $ partitions_arg $ replicas_arg
+      $ profile_arg $ rate_arg $ process_arg $ burst_on_arg $ burst_off_arg
+      $ queries_arg $ duration_arg $ templates_arg $ zipf_arg $ mix_arg
+      $ deadlines_arg $ shedding_arg $ concurrency_arg $ slots_arg $ queue_arg
+      $ policy_arg $ admission_retries_arg $ no_batching_arg $ seed_arg
+      $ arrival_seed_arg
+      $ competitive_arg $ json_arg $ trace_arg $ metrics_arg
+      $ stream_execute_arg $ workers_arg $ exec_seed_arg $ no_exec_feedback_arg
+      $ no_sharing_arg $ record_arg $ replay_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check-trace                                                          *)
@@ -825,6 +1217,7 @@ let main_cmd =
       trace_cmd;
       workload_cmd;
       market_cmd;
+      stream_cmd;
       check_trace_cmd;
     ]
 

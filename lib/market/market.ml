@@ -60,7 +60,12 @@ let default_config params =
     execute = None;
   }
 
-type status = Completed | No_plan | Admission_failed
+type status =
+  | Completed
+  | No_plan
+  | Admission_failed
+  | Shed  (* stream only: rejected at arrival by the shedding policy *)
+  | Expired  (* stream only: SLA deadline passed before completion *)
 
 type trade_stats = {
   trade : int;
@@ -181,7 +186,38 @@ type trade = {
   mutable t_phases : Trader.phase_stats;
       (* Accumulated across this trade's optimization attempts. *)
   mutable t_plan : Plan.t option;  (* The admitted plan, when executing. *)
+  (* Open-stream fields; inert in batch runs. *)
+  t_arrival : float;  (* arrival time on the market timeline *)
+  t_deadline : float;  (* absolute completion deadline; [infinity] = none *)
+  t_klass : Qt_stream.Sla.klass option;  (* [None] in batch runs *)
+  mutable t_pending : int;  (* admitted contracts not yet completed *)
+  mutable t_completed_at : float;  (* last contract completion time *)
 }
+
+let make_trade ?(arrival = 0.) ?(deadline = infinity) ?klass ~index ~priority
+    query =
+  {
+    t_index = index;
+    t_buyer = -(index + 1);
+    t_query = query;
+    t_priority = priority;
+    t_messages = 0;
+    t_bytes = 0;
+    t_attempts = 0;
+    t_rounds = 0;
+    t_penalized = [];
+    t_status = None;
+    t_plan_cost = 0.;
+    t_contracts = [];
+    t_finished_at = 0.;
+    t_phases = Trader.zero_phase_stats;
+    t_plan = None;
+    t_arrival = arrival;
+    t_deadline = deadline;
+    t_klass = klass;
+    t_pending = 0;
+    t_completed_at = 0.;
+  }
 
 type market = {
   cfg : config;
@@ -198,6 +234,9 @@ type market = {
   metrics : Metrics.t;
   rtt : Metrics.histo;  (* offer round trips, RFB window close -> reply *)
   waits : Metrics.histo;  (* admission queue waits, all sellers *)
+  mutable on_complete : int -> float -> unit;
+      (* Called as [(trade, time)] when one of the trade's contracts
+         finishes; the stream runner hooks end-to-end accounting here. *)
 }
 
 let admission_of st node =
@@ -208,36 +247,42 @@ let admission_of st node =
     Hashtbl.replace st.admissions node a;
     a
 
-(* Fire every contract completion up to [upto]: free the slot, start the
-   promoted waiters and schedule their completions.  Events whose
-   contract was canceled in the meantime are skipped. *)
+(* Fire one contract-completion event: free the slot, start the promoted
+   waiters and schedule their completions.  Events whose contract was
+   canceled in the meantime are skipped — the stale-event guard that
+   deadline cancellation leans on. *)
+let fire_completion st t seller h =
+  let adm = admission_of st seller in
+  if Admission.is_active adm h then begin
+    st.mclock <- Float.max st.mclock t;
+    if Obs.enabled st.obs then
+      ignore
+        (Obs.emit st.obs ~cat:"contract" ~name:"contract" ~track:seller
+           ~attrs:
+             [
+               ("trade", Obs.Int (Admission.trade_of h));
+               ("work", Obs.Float (Admission.work h));
+             ]
+           ~t0:(Admission.started_at h) ~t1:t ()
+          : int);
+    let promoted = Admission.finish adm ~now:t h in
+    List.iter
+      (fun p ->
+        Event_queue.push st.completions
+          ~time:(t +. Admission.work p)
+          (seller, p))
+      promoted;
+    st.on_complete (Admission.trade_of h) t
+  end
+
+(* Fire every contract completion up to [upto]. *)
 let rec drain_completions st ~upto =
   match Event_queue.peek_time st.completions with
   | Some t when t <= upto -> (
     match Event_queue.pop st.completions with
     | None -> ()
     | Some (t, (seller, h)) ->
-      let adm = admission_of st seller in
-      if Admission.is_active adm h then begin
-        st.mclock <- Float.max st.mclock t;
-        if Obs.enabled st.obs then
-          ignore
-            (Obs.emit st.obs ~cat:"contract" ~name:"contract" ~track:seller
-               ~attrs:
-                 [
-                   ("trade", Obs.Int (Admission.trade_of h));
-                   ("work", Obs.Float (Admission.work h));
-                 ]
-               ~t0:(Admission.started_at h) ~t1:t ()
-              : int);
-        let promoted = Admission.finish adm ~now:t h in
-        List.iter
-          (fun p ->
-            Event_queue.push st.completions
-              ~time:(t +. Admission.work p)
-              (seller, p))
-          promoted
-      end;
+      fire_completion st t seller h;
       drain_completions st ~upto)
   | _ -> ()
 
@@ -383,7 +428,169 @@ let try_admit st tr ~now works =
   in
   go [] works
 
-let run ?(obs = Obs.disabled) cfg federation queries =
+(* (Re)start a trade's optimization fiber and hand its first step to
+   [drive].  The buyer's clock is floored at market time and at the
+   trade's arrival time: a query cannot start trading before it exists,
+   nor before the window in which the market got around to it. *)
+let launch_fiber st tr ~drive =
+  tr.t_attempts <- tr.t_attempts + 1;
+  let floor = Float.max st.mclock tr.t_arrival in
+  let c = Runtime.node_clock st.rt tr.t_buyer in
+  if floor > c then Runtime.advance st.rt ~node:tr.t_buyer (floor -. c);
+  let transport = make_transport st tr in
+  let tcfg = trader_config st tr in
+  drive tr
+    (Effect.Deep.match_with
+       (fun () ->
+         Trader.optimize ~caches:st.caches ~transport ~obs:st.obs
+           ~obs_track:tr.t_buyer tcfg st.federation tr.t_query)
+       () handler)
+
+(* Close an RFB window over the suspended fibers: market time advances
+   to the latest suspended buyer clock. *)
+let wave_close st trades waiting =
+  let t_close =
+    List.fold_left
+      (fun acc (i, _, _) ->
+        Float.max acc (Runtime.node_clock st.rt trades.(i).t_buyer))
+      st.mclock waiting
+  in
+  st.mclock <- t_close;
+  t_close
+
+(* Serve one closed wave: coalesce the suspended broadcasts into
+   per-seller envelopes, serve each envelope's trades back-to-back on
+   the seller's clock (real contention), then resume every fiber in
+   trade order via [drive]. *)
+let serve_wave st trades waiting ~t_close ~drive =
+  let reqs =
+    List.map
+      (fun (i, (r : round_request), _) ->
+        {
+          Batcher.trade = i;
+          targets = r.rr_targets;
+          signatures = r.rr_signatures;
+          bytes = r.rr_bytes;
+        })
+      waiting
+  in
+  (* Sorting by (seller, trades) makes the per-seller service order
+     identical whether or not envelopes were merged — the heart of the
+     batched/unbatched parity property. *)
+  let envelopes =
+    List.sort
+      (fun (a : Batcher.envelope) b ->
+        compare (a.seller, a.trades) (b.seller, b.trades))
+      (Batcher.coalesce st.batcher reqs)
+  in
+  let wave_span =
+    if Obs.enabled st.obs then
+      Obs.open_span st.obs ~cat:"wave" ~name:"wave" ~track:market_track
+        ~attrs:
+          [
+            ("trades", Obs.Int (List.length waiting));
+            ("envelopes", Obs.Int (List.length envelopes));
+          ]
+        ~t0:t_close ()
+    else 0
+  in
+  let wave_end = ref t_close in
+  (* (trade, seller) -> (reply, arrival time back at the buyer) *)
+  let reply_of = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Batcher.envelope) ->
+      (* The envelope goes on the wire once; its bytes are attributed
+         to the first participating trade. *)
+      (match e.trades with
+      | first :: _ ->
+        let tr = trades.(first) in
+        tr.t_messages <- tr.t_messages + 1;
+        tr.t_bytes <- tr.t_bytes + e.env_bytes;
+        Runtime.chatter st.rt ~node:tr.t_buyer ~count:1 ~bytes_each:e.env_bytes
+          ~elapsed:0.
+      | [] -> ());
+      let arrival = t_close +. Runtime.one_way st.rt ~bytes:e.env_bytes in
+      if Obs.enabled st.obs then
+        ignore
+          (Obs.emit st.obs ~cat:"message" ~name:"envelope" ~track:e.seller
+             ~parent:wave_span
+             ~attrs:
+               [
+                 ("bytes", Obs.Int e.env_bytes);
+                 ("trades", Obs.Int (List.length e.trades));
+                 ("signatures", Obs.Int (List.length e.env_signatures));
+               ]
+             ~t0:t_close ~t1:arrival ()
+            : int);
+      let sc = Runtime.node_clock st.rt e.seller in
+      if arrival > sc then Runtime.advance st.rt ~node:e.seller (arrival -. sc);
+      List.iter
+        (fun ti ->
+          match List.find_opt (fun (i, _, _) -> i = ti) waiting with
+          | None -> ()
+          | Some (_, req, _) ->
+            if List.mem e.seller req.rr_targets then begin
+              let reply, processing, rbytes = req.rr_serve e.seller in
+              Runtime.advance st.rt ~node:e.seller processing;
+              let finish = Runtime.node_clock st.rt e.seller in
+              let back = finish +. Runtime.one_way st.rt ~bytes:rbytes in
+              let tr = trades.(ti) in
+              tr.t_messages <- tr.t_messages + 1;
+              tr.t_bytes <- tr.t_bytes + rbytes;
+              Runtime.chatter st.rt ~node:tr.t_buyer ~count:1 ~bytes_each:rbytes
+                ~elapsed:0.;
+              Metrics.observe st.rtt (back -. t_close);
+              wave_end := Float.max !wave_end back;
+              Hashtbl.replace reply_of (ti, e.seller) (reply, back)
+            end)
+        e.trades)
+    envelopes;
+  List.iter
+    (fun (ti, (req : round_request), k) ->
+      let tr = trades.(ti) in
+      let replies =
+        List.filter_map
+          (fun s ->
+            Option.map
+              (fun (reply, _) -> (s, reply))
+              (Hashtbl.find_opt reply_of (ti, s)))
+          req.rr_targets
+      in
+      let resolution =
+        List.fold_left
+          (fun acc s ->
+            match Hashtbl.find_opt reply_of (ti, s) with
+            | Some (_, back) -> Float.max acc back
+            | None -> acc)
+          t_close req.rr_targets
+      in
+      let c = Runtime.node_clock st.rt tr.t_buyer in
+      if resolution > c then
+        Runtime.advance st.rt ~node:tr.t_buyer (resolution -. c);
+      drive tr
+        (Effect.Deep.continue k
+           { Transport.replies; failed = []; fresh_failures = false }))
+    waiting;
+  Obs.close st.obs wave_span ~t1:!wave_end ()
+
+(* Terminate a suspended fiber without serving it: feed it all-failed
+   rounds until the trader gives up through its crash-recovery path.
+   Bounded by the trader's iteration cap, cheap (no seller work, no wire
+   traffic), and it unwinds the fiber normally, so observability spans
+   close and [drive] sees a regular [Finished].  Used on trades whose
+   deadline expired while they were parked in a wave. *)
+let rec poison_fiber tr ~drive (req : round_request) k =
+  match
+    Effect.Deep.continue k
+      { Transport.replies = []; failed = req.rr_targets; fresh_failures = true }
+  with
+  | Awaiting (req', k') -> poison_fiber tr ~drive req' k'
+  | Finished _ as step -> drive tr step
+
+(* Shared marketplace construction: metrics registry, optional execution
+   scheduler over a freshly materialized store, runtime, and one
+   admission controller per federation node. *)
+let make_market ~obs cfg federation =
   let metrics = Metrics.create () in
   let sched =
     match cfg.execute with
@@ -416,6 +623,7 @@ let run ?(obs = Obs.disabled) cfg federation queries =
       metrics;
       rtt = Metrics.histogram metrics "market.offer_rtt";
       waits = Metrics.histogram metrics "market.queue_wait";
+      on_complete = (fun _ _ -> ());
     }
   in
   Obs.track_name obs market_track "market";
@@ -425,27 +633,41 @@ let run ?(obs = Obs.disabled) cfg federation queries =
       Runtime.register st.rt id;
       ignore (admission_of st id : Admission.t))
     (Federation.node_ids federation);
+  st
+
+let exec_node_stats workers (es : Execsched.stats) =
+  List.map
+    (fun (n : Execsched.node_stats) ->
+      let window = n.Execsched.ns_last_finish -. n.Execsched.ns_first_start in
+      let capacity = float_of_int workers *. window in
+      {
+        en_node = n.Execsched.ns_node;
+        en_tasks = n.Execsched.ns_tasks;
+        en_busy = n.Execsched.ns_busy;
+        en_utilization =
+          (if capacity > 0. then n.Execsched.ns_busy /. capacity else 0.);
+      })
+    es.Execsched.exec_nodes
+
+let seller_stats_of st ~horizon =
+  List.sort compare (Federation.node_ids st.federation)
+  |> List.map (fun id ->
+         let adm = admission_of st id in
+         let a = Admission.stats adm in
+         let capacity = float_of_int (Admission.slots adm) *. horizon in
+         {
+           seller = id;
+           admission = a;
+           utilization =
+             (if capacity > 0. then a.Admission.busy /. capacity else 0.);
+         })
+
+let run ?(obs = Obs.disabled) cfg federation queries =
+  let st = make_market ~obs cfg federation in
   let trades =
     Array.of_list
       (List.mapi
-         (fun i q ->
-           {
-             t_index = i;
-             t_buyer = -(i + 1);
-             t_query = q;
-             t_priority = cfg.priority_of i;
-             t_messages = 0;
-             t_bytes = 0;
-             t_attempts = 0;
-             t_rounds = 0;
-             t_penalized = [];
-             t_status = None;
-             t_plan_cost = 0.;
-             t_contracts = [];
-             t_finished_at = 0.;
-             t_phases = Trader.zero_phase_stats;
-             t_plan = None;
-           })
+         (fun i q -> make_trade ~index:i ~priority:(cfg.priority_of i) q)
          queries)
   in
   Array.iter
@@ -501,154 +723,19 @@ let run ?(obs = Obs.disabled) cfg federation queries =
         tr.t_finished_at <-
           Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock)
   in
-  let start_fiber tr =
-    tr.t_attempts <- tr.t_attempts + 1;
-    incr running;
-    (* A trade (re)starting after the market has advanced begins at
-       market time, not at 0. *)
-    let c = Runtime.node_clock st.rt tr.t_buyer in
-    if st.mclock > c then Runtime.advance st.rt ~node:tr.t_buyer (st.mclock -. c);
-    let transport = make_transport st tr in
-    let tcfg = trader_config st tr in
-    drive tr
-      (Effect.Deep.match_with
-         (fun () ->
-           Trader.optimize ~caches:st.caches ~transport ~obs
-             ~obs_track:tr.t_buyer tcfg federation tr.t_query)
-         () handler)
-  in
   let cap = if cfg.concurrency <= 0 then max_int else cfg.concurrency in
   let start_more () =
     while !running < cap && not (Queue.is_empty ready) do
-      start_fiber trades.(Queue.pop ready)
+      incr running;
+      launch_fiber st trades.(Queue.pop ready) ~drive
     done
   in
-  (* One wave: close the window at the latest suspended buyer clock,
-     coalesce the suspended broadcasts into per-seller envelopes, serve
-     each envelope's trades back-to-back on the seller's clock (real
-     contention), then resume every fiber in trade order. *)
   let execute_wave () =
-    let waiting =
-      List.sort (fun (a, _, _) (b, _, _) -> compare a b) !parked
-    in
+    let waiting = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !parked in
     parked := [];
-    let t_close =
-      List.fold_left
-        (fun acc (i, _, _) ->
-          Float.max acc (Runtime.node_clock st.rt trades.(i).t_buyer))
-        st.mclock waiting
-    in
-    st.mclock <- t_close;
+    let t_close = wave_close st trades waiting in
     drain_all st ~upto:t_close;
-    let reqs =
-      List.map
-        (fun (i, (r : round_request), _) ->
-          {
-            Batcher.trade = i;
-            targets = r.rr_targets;
-            signatures = r.rr_signatures;
-            bytes = r.rr_bytes;
-          })
-        waiting
-    in
-    (* Sorting by (seller, trades) makes the per-seller service order
-       identical whether or not envelopes were merged — the heart of the
-       batched/unbatched parity property. *)
-    let envelopes =
-      List.sort
-        (fun (a : Batcher.envelope) b -> compare (a.seller, a.trades) (b.seller, b.trades))
-        (Batcher.coalesce st.batcher reqs)
-    in
-    let wave_span =
-      if Obs.enabled st.obs then
-        Obs.open_span st.obs ~cat:"wave" ~name:"wave" ~track:market_track
-          ~attrs:
-            [
-              ("trades", Obs.Int (List.length waiting));
-              ("envelopes", Obs.Int (List.length envelopes));
-            ]
-          ~t0:t_close ()
-      else 0
-    in
-    let wave_end = ref t_close in
-    (* (trade, seller) -> (reply, arrival time back at the buyer) *)
-    let reply_of = Hashtbl.create 32 in
-    List.iter
-      (fun (e : Batcher.envelope) ->
-        (* The envelope goes on the wire once; its bytes are attributed
-           to the first participating trade. *)
-        (match e.trades with
-        | first :: _ ->
-          let tr = trades.(first) in
-          tr.t_messages <- tr.t_messages + 1;
-          tr.t_bytes <- tr.t_bytes + e.env_bytes;
-          Runtime.chatter st.rt ~node:tr.t_buyer ~count:1
-            ~bytes_each:e.env_bytes ~elapsed:0.
-        | [] -> ());
-        let arrival = t_close +. Runtime.one_way st.rt ~bytes:e.env_bytes in
-        if Obs.enabled st.obs then
-          ignore
-            (Obs.emit st.obs ~cat:"message" ~name:"envelope" ~track:e.seller
-               ~parent:wave_span
-               ~attrs:
-                 [
-                   ("bytes", Obs.Int e.env_bytes);
-                   ("trades", Obs.Int (List.length e.trades));
-                   ("signatures", Obs.Int (List.length e.env_signatures));
-                 ]
-               ~t0:t_close ~t1:arrival ()
-              : int);
-        let sc = Runtime.node_clock st.rt e.seller in
-        if arrival > sc then
-          Runtime.advance st.rt ~node:e.seller (arrival -. sc);
-        List.iter
-          (fun ti ->
-            match List.find_opt (fun (i, _, _) -> i = ti) waiting with
-            | None -> ()
-            | Some (_, req, _) ->
-              if List.mem e.seller req.rr_targets then begin
-                let reply, processing, rbytes = req.rr_serve e.seller in
-                Runtime.advance st.rt ~node:e.seller processing;
-                let finish = Runtime.node_clock st.rt e.seller in
-                let back = finish +. Runtime.one_way st.rt ~bytes:rbytes in
-                let tr = trades.(ti) in
-                tr.t_messages <- tr.t_messages + 1;
-                tr.t_bytes <- tr.t_bytes + rbytes;
-                Runtime.chatter st.rt ~node:tr.t_buyer ~count:1
-                  ~bytes_each:rbytes ~elapsed:0.;
-                Metrics.observe st.rtt (back -. t_close);
-                wave_end := Float.max !wave_end back;
-                Hashtbl.replace reply_of (ti, e.seller) (reply, back)
-              end)
-          e.trades)
-      envelopes;
-    List.iter
-      (fun (ti, (req : round_request), k) ->
-        let tr = trades.(ti) in
-        let replies =
-          List.filter_map
-            (fun s ->
-              Option.map
-                (fun (reply, _) -> (s, reply))
-                (Hashtbl.find_opt reply_of (ti, s)))
-            req.rr_targets
-        in
-        let resolution =
-          List.fold_left
-            (fun acc s ->
-              match Hashtbl.find_opt reply_of (ti, s) with
-              | Some (_, back) -> Float.max acc back
-              | None -> acc)
-            t_close req.rr_targets
-        in
-        let c = Runtime.node_clock st.rt tr.t_buyer in
-        if resolution > c then
-          Runtime.advance st.rt ~node:tr.t_buyer (resolution -. c);
-        drive tr
-          (Effect.Deep.continue k
-             { Transport.replies; failed = []; fresh_failures = false }))
-      waiting;
-    Obs.close st.obs wave_span ~t1:!wave_end ()
+    serve_wave st trades waiting ~t_close ~drive
   in
   let rec market_loop () =
     start_more ();
@@ -666,20 +753,7 @@ let run ?(obs = Obs.disabled) cfg federation queries =
     match (st.sched, cfg.execute) with
     | Some sched, Some e ->
       let es = Execsched.stats sched in
-      let exec_nodes =
-        List.map
-          (fun (n : Execsched.node_stats) ->
-            let window = n.Execsched.ns_last_finish -. n.Execsched.ns_first_start in
-            let capacity = float_of_int e.workers *. window in
-            {
-              en_node = n.Execsched.ns_node;
-              en_tasks = n.Execsched.ns_tasks;
-              en_busy = n.Execsched.ns_busy;
-              en_utilization =
-                (if capacity > 0. then n.Execsched.ns_busy /. capacity else 0.);
-            })
-          es.Execsched.exec_nodes
-      in
+      let exec_nodes = exec_node_stats e.workers es in
       let exec_trades, results =
         Array.fold_right
           (fun tr (ets, res) ->
@@ -716,18 +790,7 @@ let run ?(obs = Obs.disabled) cfg federation queries =
     | Some e -> Float.max trading_makespan e.exec_makespan
     | None -> trading_makespan
   in
-  let sellers =
-    List.sort compare (Federation.node_ids federation)
-    |> List.map (fun id ->
-           let adm = admission_of st id in
-           let a = Admission.stats adm in
-           let capacity = float_of_int (Admission.slots adm) *. trading_makespan in
-           {
-             seller = id;
-             admission = a;
-             utilization = (if capacity > 0. then a.Admission.busy /. capacity else 0.);
-           })
-  in
+  let sellers = seller_stats_of st ~horizon:trading_makespan in
   let trade_list =
     Array.to_list
       (Array.map
@@ -776,6 +839,8 @@ let status_to_string = function
   | Completed -> "completed"
   | No_plan -> "no_plan"
   | Admission_failed -> "admission_failed"
+  | Shed -> "shed"
+  | Expired -> "expired"
 
 let jf x = Printf.sprintf "%.6g" x
 
@@ -795,8 +860,35 @@ let phases_json (ph : Trader.phase_stats) =
     ph.Trader.requests_deduped ph.Trader.rebroadcasts_skipped
 
 let latency_json (l : latency_summary) =
+  (* No observations means no percentiles: render null, not a fake 0. *)
+  let stat v = if l.l_count = 0 then "null" else jf v in
   Printf.sprintf "{\"count\":%d,\"p50\":%s,\"p95\":%s,\"p99\":%s}" l.l_count
-    (jf l.l_p50) (jf l.l_p95) (jf l.l_p99)
+    (stat l.l_p50) (stat l.l_p95) (stat l.l_p99)
+
+let seller_json (x : seller_stats) =
+  let a = x.admission in
+  Printf.sprintf
+    "{\"seller\":%d,\"admitted\":%d,\"accepted\":%d,\"rejected\":%d,\"completed\":%d,\"canceled\":%d,\"peak_queue\":%d,\"peak_active\":%d,\"busy\":%s,\"utilization\":%s}"
+    x.seller a.Admission.admitted a.Admission.accepted a.Admission.rejected
+    a.Admission.completed a.Admission.canceled a.Admission.peak_queue
+    a.Admission.peak_active (jf a.Admission.busy) (jf x.utilization)
+
+let batcher_json (bt : Batcher.stats) =
+  Printf.sprintf
+    "{\"batching\":%b,\"waves\":%d,\"sent_messages\":%d,\"sent_bytes\":%d,\"unbatched_messages\":%d,\"unbatched_bytes\":%d,\"messages_saved\":%d,\"bytes_saved\":%d,\"dup_signatures_merged\":%d}"
+    bt.Batcher.batching bt.Batcher.waves bt.Batcher.sent_messages
+    bt.Batcher.sent_bytes bt.Batcher.unbatched_messages
+    bt.Batcher.unbatched_bytes bt.Batcher.messages_saved bt.Batcher.bytes_saved
+    bt.Batcher.dup_signatures_merged
+
+let cache_json (c : Seller.cache_stats) =
+  Printf.sprintf
+    "{\"hits\":%d,\"misses\":%d,\"invalidations\":%d,\"evictions\":%d}"
+    c.Seller.hits c.Seller.misses c.Seller.invalidations c.Seller.evictions
+
+let exec_node_json (n : exec_node) =
+  Printf.sprintf "{\"node\":%d,\"tasks\":%d,\"busy\":%s,\"utilization\":%s}"
+    n.en_node n.en_tasks (jf n.en_busy) (jf n.en_utilization)
 
 let to_json (s : stats) =
   let b = Buffer.create 2048 in
@@ -818,30 +910,9 @@ let to_json (s : stats) =
       add "}")
     s.trades;
   add ",\"sellers\":";
-  list
-    (fun (x : seller_stats) ->
-      let a = x.admission in
-      add
-        (Printf.sprintf
-           "{\"seller\":%d,\"admitted\":%d,\"accepted\":%d,\"rejected\":%d,\"completed\":%d,\"canceled\":%d,\"peak_queue\":%d,\"peak_active\":%d,\"busy\":%s,\"utilization\":%s}"
-           x.seller a.Admission.admitted a.Admission.accepted
-           a.Admission.rejected a.Admission.completed a.Admission.canceled
-           a.Admission.peak_queue a.Admission.peak_active (jf a.Admission.busy)
-           (jf x.utilization)))
-    s.sellers;
-  let bt = s.batcher in
-  add
-    (Printf.sprintf
-       ",\"batcher\":{\"batching\":%b,\"waves\":%d,\"sent_messages\":%d,\"sent_bytes\":%d,\"unbatched_messages\":%d,\"unbatched_bytes\":%d,\"messages_saved\":%d,\"bytes_saved\":%d,\"dup_signatures_merged\":%d}"
-       bt.Batcher.batching bt.Batcher.waves bt.Batcher.sent_messages
-       bt.Batcher.sent_bytes bt.Batcher.unbatched_messages
-       bt.Batcher.unbatched_bytes bt.Batcher.messages_saved
-       bt.Batcher.bytes_saved bt.Batcher.dup_signatures_merged);
-  add
-    (Printf.sprintf
-       ",\"cache\":{\"hits\":%d,\"misses\":%d,\"invalidations\":%d,\"evictions\":%d}"
-       s.cache.Seller.hits s.cache.Seller.misses s.cache.Seller.invalidations
-       s.cache.Seller.evictions);
+  list (fun (x : seller_stats) -> add (seller_json x)) s.sellers;
+  add (",\"batcher\":" ^ batcher_json s.batcher);
+  add (",\"cache\":" ^ cache_json s.cache);
   add
     (Printf.sprintf
        ",\"completed\":%d,\"failed\":%d,\"admission_retries\":%d,\"trading_makespan\":%s,\"makespan\":%s,\"wire_messages\":%d,\"wire_bytes\":%d,\"offer_rtt\":%s,\"queue_wait\":%s"
@@ -863,23 +934,62 @@ let to_json (s : stats) =
              t.et_trade t.et_rows t.et_digest (jf t.et_finished_at)))
       e.exec_trades;
     add ",\"nodes\":";
-    list
-      (fun (n : exec_node) ->
-        add
-          (Printf.sprintf
-             "{\"node\":%d,\"tasks\":%d,\"busy\":%s,\"utilization\":%s}"
-             n.en_node n.en_tasks (jf n.en_busy) (jf n.en_utilization)))
-      e.exec_nodes;
+    list (fun (n : exec_node) -> add (exec_node_json n)) e.exec_nodes;
     add "}");
   add "}";
   Buffer.contents b
+
+(* Shared pieces of the flat metrics renderings: counters and gauges the
+   batch and stream reports have in common. *)
+let metrics_c m name v = Metrics.incr ~by:v (Metrics.counter m name)
+let metrics_g m name v = Metrics.set (Metrics.gauge m name) v
+
+let metrics_lat m name (l : latency_summary) =
+  metrics_c m (name ^ ".count") l.l_count;
+  metrics_g m (name ^ ".p50") l.l_p50;
+  metrics_g m (name ^ ".p95") l.l_p95;
+  metrics_g m (name ^ ".p99") l.l_p99
+
+let metrics_exec m = function
+  | None -> ()
+  | Some e ->
+    metrics_c m "exec.tasks" e.tasks_run;
+    metrics_c m "exec.shared_results" e.shared_results;
+    metrics_g m "exec.makespan" e.exec_makespan;
+    List.iter
+      (fun (n : exec_node) ->
+        let p = Printf.sprintf "exec.node.%d." n.en_node in
+        metrics_c m (p ^ "tasks") n.en_tasks;
+        metrics_g m (p ^ "busy") n.en_busy;
+        metrics_g m (p ^ "utilization") n.en_utilization)
+      e.exec_nodes
+
+let metrics_shared m ~sellers ~(batcher : Batcher.stats) ~(cache : Seller.cache_stats) =
+  metrics_c m "batcher.waves" batcher.Batcher.waves;
+  metrics_c m "batcher.sent_messages" batcher.Batcher.sent_messages;
+  metrics_c m "batcher.sent_bytes" batcher.Batcher.sent_bytes;
+  metrics_c m "batcher.messages_saved" batcher.Batcher.messages_saved;
+  metrics_c m "batcher.bytes_saved" batcher.Batcher.bytes_saved;
+  metrics_c m "batcher.dup_signatures_merged" batcher.Batcher.dup_signatures_merged;
+  metrics_c m "cache.hits" cache.Seller.hits;
+  metrics_c m "cache.misses" cache.Seller.misses;
+  metrics_c m "cache.invalidations" cache.Seller.invalidations;
+  metrics_c m "cache.evictions" cache.Seller.evictions;
+  List.iter
+    (fun (x : seller_stats) ->
+      let p = Printf.sprintf "seller.%d." x.seller in
+      metrics_c m (p ^ "admitted") x.admission.Admission.admitted;
+      metrics_c m (p ^ "rejected") x.admission.Admission.rejected;
+      metrics_c m (p ^ "completed") x.admission.Admission.completed;
+      metrics_g m (p ^ "busy") x.admission.Admission.busy;
+      metrics_g m (p ^ "utilization") x.utilization)
+    sellers
 
 (* Flat metrics rendering of a finished run — what [--metrics FILE]
    writes.  Derived entirely from [stats], so it shares its determinism. *)
 let metrics_json (s : stats) =
   let m = Metrics.create () in
-  let c name v = Metrics.incr ~by:v (Metrics.counter m name) in
-  let g name v = Metrics.set (Metrics.gauge m name) v in
+  let c = metrics_c m and g = metrics_g m in
   c "market.trades" (List.length s.trades);
   c "market.completed" s.completed;
   c "market.failed" s.failed;
@@ -888,44 +998,527 @@ let metrics_json (s : stats) =
   c "market.wire_bytes" s.wire_bytes;
   g "market.trading_makespan" s.trading_makespan;
   g "market.makespan" s.makespan;
-  (match s.exec with
-  | None -> ()
-  | Some e ->
-    c "exec.tasks" e.tasks_run;
-    c "exec.shared_results" e.shared_results;
-    g "exec.makespan" e.exec_makespan;
-    List.iter
-      (fun (n : exec_node) ->
-        let p = Printf.sprintf "exec.node.%d." n.en_node in
-        c (p ^ "tasks") n.en_tasks;
-        g (p ^ "busy") n.en_busy;
-        g (p ^ "utilization") n.en_utilization)
-      e.exec_nodes);
-  c "batcher.waves" s.batcher.Batcher.waves;
-  c "batcher.sent_messages" s.batcher.Batcher.sent_messages;
-  c "batcher.sent_bytes" s.batcher.Batcher.sent_bytes;
-  c "batcher.messages_saved" s.batcher.Batcher.messages_saved;
-  c "batcher.bytes_saved" s.batcher.Batcher.bytes_saved;
-  c "batcher.dup_signatures_merged" s.batcher.Batcher.dup_signatures_merged;
-  c "cache.hits" s.cache.Seller.hits;
-  c "cache.misses" s.cache.Seller.misses;
-  c "cache.invalidations" s.cache.Seller.invalidations;
-  c "cache.evictions" s.cache.Seller.evictions;
-  List.iter
-    (fun (x : seller_stats) ->
-      let p = Printf.sprintf "seller.%d." x.seller in
-      c (p ^ "admitted") x.admission.Admission.admitted;
-      c (p ^ "rejected") x.admission.Admission.rejected;
-      c (p ^ "completed") x.admission.Admission.completed;
-      g (p ^ "busy") x.admission.Admission.busy;
-      g (p ^ "utilization") x.utilization)
-    s.sellers;
-  let lat name (l : latency_summary) =
-    c (name ^ ".count") l.l_count;
-    g (name ^ ".p50") l.l_p50;
-    g (name ^ ".p95") l.l_p95;
-    g (name ^ ".p99") l.l_p99
+  metrics_exec m s.exec;
+  metrics_shared m ~sellers:s.sellers ~batcher:s.batcher ~cache:s.cache;
+  metrics_lat m "market.offer_rtt" s.offer_rtt;
+  metrics_lat m "market.queue_wait" s.queue_wait;
+  Metrics.to_json m
+
+(* ------------------------------------------------------------------- *)
+(* Open-stream marketplace: continuous arrivals, SLA deadlines,
+   cancellation and load shedding on top of the same wave scheduler. *)
+
+module Sla = Qt_stream.Sla
+module Arrivals = Qt_stream.Arrivals
+module Shedding = Qt_stream.Shedding
+
+type stream_config = {
+  base : config;
+  spec_of : Sla.klass -> Sla.spec;
+  shedding : Shedding.policy;
+}
+
+let default_stream_config params =
+  {
+    base =
+      {
+        (default_config params) with
+        admission =
+          { Admission.default_config with Admission.policy = Admission.Priority };
+        concurrency = 32;
+      };
+    spec_of = Sla.default_spec;
+    shedding = Shedding.Keep_all;
+  }
+
+type class_stats = {
+  cs_klass : Sla.klass;
+  cs_arrivals : int;
+  cs_completed : int;
+  cs_hits : int;
+  cs_shed : int;
+  cs_expired : int;
+  cs_failed : int;
+  cs_goodput : float;
+  cs_latency : latency_summary;
+}
+
+type stream_stats = {
+  str_arrivals : int;
+  str_completed : int;
+  str_hits : int;
+  str_shed : int;
+  str_expired : int;
+  str_failed : int;
+  str_goodput : float;
+  str_latency : latency_summary;
+  str_classes : class_stats list;
+  str_sellers : seller_stats list;
+  str_batcher : Batcher.stats;
+  str_cache : Seller.cache_stats;
+  str_admission_retries : int;
+  str_makespan : float;
+  str_wire_messages : int;
+  str_wire_bytes : int;
+  str_offer_rtt : latency_summary;
+  str_queue_wait : latency_summary;
+  str_exec : exec_stats option;
+}
+
+(* Stream latencies outlive the default 10-second metrics domain (an
+   overloaded queue can hold a batch query for minutes), so the
+   end-to-end histograms use 10 ms buckets over a 1000-second span. *)
+let stream_latency_histogram metrics name =
+  Metrics.histogram ~hi:9_999_999 ~buckets:100_000 ~scale:1e4 metrics name
+
+let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
+  let cfg = scfg.base in
+  if Array.length templates = 0 then
+    invalid_arg "Market.run_stream: empty template pool";
+  let st = make_market ~obs cfg federation in
+  let seller_ids = List.sort compare (Federation.node_ids federation) in
+  (* The shedding policy's input: the occupancy of the most saturated
+     seller (contracts in service or queued over its slot + queue
+     capacity).  Under skewed template popularity load concentrates on a
+     few hot sellers, so a federation-wide average would stay low while
+     the bottleneck queue overflows; the max tracks the queue that
+     actually dooms deadlines. *)
+  let capacity =
+    float_of_int
+      (cfg.admission.Admission.slots + cfg.admission.Admission.queue_limit)
   in
-  lat "market.offer_rtt" s.offer_rtt;
-  lat "market.queue_wait" s.queue_wait;
+  let occupancy () =
+    if capacity <= 0. then 1.
+    else
+      List.fold_left
+        (fun acc id ->
+          let adm = admission_of st id in
+          let used = Admission.in_service adm + Admission.queue_depth adm in
+          Float.max acc (float_of_int used /. capacity))
+        0. seller_ids
+  in
+  let trades =
+    Array.of_list arrivals
+    |> Array.mapi (fun i (a : Arrivals.arrival) ->
+           let spec = scfg.spec_of a.Arrivals.klass in
+           let deadline =
+             if spec.Sla.deadline = infinity then infinity
+             else a.Arrivals.at +. spec.Sla.deadline
+           in
+           make_trade ~arrival:a.Arrivals.at ~deadline ~klass:a.Arrivals.klass
+             ~index:i ~priority:spec.Sla.priority
+             templates.(a.Arrivals.template mod Array.length templates))
+  in
+  Array.iter
+    (fun tr ->
+      Obs.track_name obs tr.t_buyer (Printf.sprintf "trade %d" tr.t_index);
+      Runtime.register st.rt tr.t_buyer)
+    trades;
+  let lat_all = stream_latency_histogram st.metrics "stream.latency.all" in
+  let lat_class =
+    let tbl =
+      List.map
+        (fun k ->
+          ( k,
+            stream_latency_histogram st.metrics
+              ("stream.latency." ^ Sla.to_string k) ))
+        Sla.all
+    in
+    fun k -> List.assoc k tbl
+  in
+  let observe_latency tr t =
+    let lat = t -. tr.t_arrival in
+    Metrics.observe lat_all lat;
+    match tr.t_klass with
+    | Some k -> Metrics.observe (lat_class k) lat
+    | None -> ()
+  in
+  let deadlines : int Event_queue.t = Event_queue.create () in
+  let ready = Queue.create () in
+  let parked = ref [] in
+  let running = ref 0 in
+  let next = ref 0 in
+  let stream_instant tr ~at name =
+    if Obs.enabled st.obs then
+      ignore
+        (Obs.instant st.obs ~cat:"stream" ~name ~track:tr.t_buyer
+           ~attrs:[ ("trade", Obs.Int tr.t_index) ]
+           ~at ()
+          : int)
+  in
+  (* End-to-end accounting at contract completion; hooked into
+     [fire_completion], so it also runs for promotions and late drains. *)
+  st.on_complete <-
+    (fun ti t ->
+      let tr = trades.(ti) in
+      if tr.t_status = Some Completed && tr.t_pending > 0 then begin
+        tr.t_pending <- tr.t_pending - 1;
+        if tr.t_pending = 0 then begin
+          tr.t_completed_at <- t;
+          observe_latency tr t;
+          (* Execution is submitted only once every contract completed:
+             a trade canceled at its deadline never reaches the
+             execution scheduler. *)
+          match (st.sched, tr.t_plan) with
+          | Some sched, Some plan ->
+            Execsched.submit sched ~trade:ti ~buyer:tr.t_buyer ~at:t plan
+          | _ -> ()
+        end
+      end);
+  (* An SLA deadline fires: a trade still trading, or holding
+     uncompleted contracts, expires.  In-flight contracts are withdrawn
+     through the admission cancel path — their already-scheduled
+     completion events turn stale and the [is_active] guard in
+     [fire_completion] skips them. *)
+  let fire_deadline i d =
+    let tr = trades.(i) in
+    let expire () =
+      st.mclock <- Float.max st.mclock d;
+      tr.t_status <- Some Expired;
+      tr.t_finished_at <- d;
+      stream_instant tr ~at:d "expired"
+    in
+    match tr.t_status with
+    | Some Completed when tr.t_pending > 0 ->
+      List.iter
+        (fun (seller, _) ->
+          let promoted =
+            Admission.cancel (admission_of st seller) ~now:d ~trade:i
+          in
+          schedule_promoted st seller ~now:d promoted)
+        tr.t_contracts;
+      tr.t_pending <- 0;
+      expire ()
+    | None -> expire ()
+    | Some _ -> ()
+  in
+  (* Advance contract completions and deadline expiries together in
+     time order (completions win ties: finishing exactly at the
+     deadline counts), then settle execution up to the same point. *)
+  let rec drain_events ~upto =
+    let tc = Event_queue.peek_time st.completions in
+    let td = Event_queue.peek_time deadlines in
+    let completion_first =
+      match (tc, td) with
+      | Some t, Some d -> t <= d && t <= upto
+      | Some t, None -> t <= upto
+      | None, _ -> false
+    in
+    if completion_first then begin
+      (match Event_queue.pop st.completions with
+      | Some (t, (seller, h)) -> fire_completion st t seller h
+      | None -> ());
+      drain_events ~upto
+    end
+    else
+      match td with
+      | Some d when d <= upto ->
+        (match Event_queue.pop deadlines with
+        | Some (d, i) -> fire_deadline i d
+        | None -> ());
+        drain_events ~upto
+      | _ -> ()
+  in
+  let drain ~upto =
+    drain_events ~upto;
+    match st.sched with
+    | Some sched -> Execsched.drain sched ~upto
+    | None -> ()
+  in
+  let handle_ok tr (outcome : Trader.outcome) =
+    let now = Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock in
+    drain ~upto:now;
+    st.mclock <- Float.max st.mclock now;
+    if tr.t_status = Some Expired then ()
+      (* The drain fired this trade's deadline: too late to admit. *)
+    else if now > tr.t_deadline then begin
+      (* Belt and braces — the deadline event at [t_deadline < now]
+         should already have fired in the drain above. *)
+      tr.t_status <- Some Expired;
+      tr.t_finished_at <- tr.t_deadline;
+      stream_instant tr ~at:tr.t_deadline "expired"
+    end
+    else begin
+      let works = contracts_of outcome in
+      match try_admit st tr ~now works with
+      | Ok () ->
+        tr.t_status <- Some Completed;
+        tr.t_plan_cost <- Cost.response outcome.Trader.cost;
+        tr.t_contracts <- works;
+        tr.t_finished_at <- now;
+        tr.t_plan <- Some outcome.Trader.plan;
+        tr.t_pending <- List.length works;
+        if works = [] then begin
+          tr.t_completed_at <- now;
+          observe_latency tr now;
+          match st.sched with
+          | Some sched ->
+            Execsched.submit sched ~trade:tr.t_index ~buyer:tr.t_buyer ~at:now
+              outcome.Trader.plan
+          | None -> ()
+        end
+      | Error seller ->
+        if tr.t_attempts <= cfg.max_admission_retries && now < tr.t_deadline
+        then begin
+          st.retries <- st.retries + 1;
+          penalize tr seller cfg.rejection_penalty;
+          Queue.add tr.t_index ready
+        end
+        else begin
+          tr.t_status <- Some Admission_failed;
+          tr.t_finished_at <- now
+        end
+    end
+  in
+  let drive tr step =
+    match step with
+    | Awaiting (req, k) ->
+      tr.t_rounds <- tr.t_rounds + 1;
+      parked := (tr.t_index, req, k) :: !parked
+    | Finished res -> (
+      decr running;
+      match tr.t_status with
+      | Some Expired -> ()  (* poisoned mid-optimization; already counted *)
+      | _ -> (
+        match res with
+        | Ok outcome ->
+          tr.t_phases <- Trader.add_phase_stats tr.t_phases outcome.Trader.phases;
+          handle_ok tr outcome
+        | Error _ ->
+          tr.t_status <- Some No_plan;
+          tr.t_finished_at <-
+            Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock))
+  in
+  (* Release every arrival up to market time: shed it outright if the
+     marketplace is saturated, otherwise queue it for a fiber and arm
+     its deadline. *)
+  let release () =
+    while !next < Array.length trades && trades.(!next).t_arrival <= st.mclock do
+      let tr = trades.(!next) in
+      incr next;
+      stream_instant tr ~at:tr.t_arrival "arrive";
+      if Shedding.sheds scfg.shedding ~occupancy:(occupancy ()) then begin
+        tr.t_status <- Some Shed;
+        tr.t_finished_at <- tr.t_arrival;
+        stream_instant tr ~at:tr.t_arrival "shed"
+      end
+      else begin
+        Queue.add tr.t_index ready;
+        if tr.t_deadline < infinity then
+          Event_queue.push deadlines ~time:tr.t_deadline tr.t_index
+      end
+    done
+  in
+  let cap = if cfg.concurrency <= 0 then max_int else cfg.concurrency in
+  let start_more () =
+    while !running < cap && not (Queue.is_empty ready) do
+      let tr = trades.(Queue.pop ready) in
+      (* Trades that expired while waiting for a fiber are skipped —
+         they were already accounted by their deadline event. *)
+      if tr.t_status = None then begin
+        incr running;
+        launch_fiber st tr ~drive
+      end
+    done
+  in
+  let execute_wave () =
+    let waiting = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !parked in
+    parked := [];
+    let t_close = wave_close st trades waiting in
+    drain ~upto:t_close;
+    (* Deadlines fired during the drain may have expired parked trades:
+       poison their fibers instead of serving them. *)
+    let expired, live =
+      List.partition
+        (fun (i, _, _) -> trades.(i).t_status = Some Expired)
+        waiting
+    in
+    List.iter (fun (i, req, k) -> poison_fiber trades.(i) ~drive req k) expired;
+    if live <> [] then serve_wave st trades live ~t_close ~drive
+  in
+  let rec stream_loop () =
+    release ();
+    start_more ();
+    if !parked <> [] then begin
+      execute_wave ();
+      stream_loop ()
+    end
+    else if !next < Array.length trades then begin
+      (* Idle marketplace: jump to the next arrival, settling
+         completions and deadlines on the way. *)
+      let t = Float.max trades.(!next).t_arrival st.mclock in
+      drain ~upto:t;
+      st.mclock <- Float.max st.mclock t;
+      stream_loop ()
+    end
+  in
+  stream_loop ();
+  drain ~upto:infinity;
+  let trading_makespan =
+    Array.fold_left
+      (fun acc tr -> Float.max acc (Float.max tr.t_finished_at tr.t_completed_at))
+      st.mclock trades
+  in
+  let exec =
+    match (st.sched, cfg.execute) with
+    | Some sched, Some e ->
+      let es = Execsched.stats sched in
+      Some
+        {
+          exec_makespan = es.Execsched.exec_makespan;
+          tasks_run = es.Execsched.tasks_run;
+          shared_results = es.Execsched.shared_results;
+          exec_trades = [];  (* per-trade tables are not kept at stream scale *)
+          exec_nodes = exec_node_stats e.workers es;
+        }
+    | _ -> None
+  in
+  let makespan =
+    match exec with
+    | Some e -> Float.max trading_makespan e.exec_makespan
+    | None -> trading_makespan
+  in
+  let count pred =
+    Array.fold_left (fun acc tr -> if pred tr then acc + 1 else acc) 0 trades
+  in
+  let is_hit tr =
+    tr.t_status = Some Completed && tr.t_completed_at <= tr.t_deadline
+  in
+  let bucket pred =
+    let arrivals = count pred in
+    let completed = count (fun tr -> pred tr && tr.t_status = Some Completed) in
+    let hits = count (fun tr -> pred tr && is_hit tr) in
+    let shed = count (fun tr -> pred tr && tr.t_status = Some Shed) in
+    let expired = count (fun tr -> pred tr && tr.t_status = Some Expired) in
+    let failed =
+      count (fun tr ->
+          pred tr
+          && (tr.t_status = Some No_plan || tr.t_status = Some Admission_failed))
+    in
+    let goodput =
+      if arrivals = 0 then 0. else float_of_int hits /. float_of_int arrivals
+    in
+    (arrivals, completed, hits, shed, expired, failed, goodput)
+  in
+  let classes =
+    List.map
+      (fun k ->
+        let arrivals, completed, hits, shed, expired, failed, goodput =
+          bucket (fun tr -> tr.t_klass = Some k)
+        in
+        {
+          cs_klass = k;
+          cs_arrivals = arrivals;
+          cs_completed = completed;
+          cs_hits = hits;
+          cs_shed = shed;
+          cs_expired = expired;
+          cs_failed = failed;
+          cs_goodput = goodput;
+          cs_latency = summarize (lat_class k);
+        })
+      Sla.all
+  in
+  let arrivals, completed, hits, shed, expired, failed, goodput =
+    bucket (fun _ -> true)
+  in
+  let wire = Runtime.stats st.rt in
+  {
+    str_arrivals = arrivals;
+    str_completed = completed;
+    str_hits = hits;
+    str_shed = shed;
+    str_expired = expired;
+    str_failed = failed;
+    str_goodput = goodput;
+    str_latency = summarize lat_all;
+    str_classes = classes;
+    str_sellers = seller_stats_of st ~horizon:trading_makespan;
+    str_batcher = Batcher.stats st.batcher;
+    str_cache = Seller.pool_stats st.caches;
+    str_admission_retries = st.retries;
+    str_makespan = makespan;
+    str_wire_messages = wire.Runtime.messages;
+    str_wire_bytes = wire.Runtime.bytes;
+    str_offer_rtt = summarize st.rtt;
+    str_queue_wait = summarize st.waits;
+    str_exec = exec;
+  }
+
+let class_json (c : class_stats) =
+  Printf.sprintf
+    "{\"class\":%S,\"arrivals\":%d,\"completed\":%d,\"hits\":%d,\"shed\":%d,\"expired\":%d,\"failed\":%d,\"goodput\":%s,\"latency\":%s}"
+    (Sla.to_string c.cs_klass) c.cs_arrivals c.cs_completed c.cs_hits c.cs_shed
+    c.cs_expired c.cs_failed (jf c.cs_goodput) (latency_json c.cs_latency)
+
+let stream_to_json (s : stream_stats) =
+  let b = Buffer.create 1024 in
+  let add = Buffer.add_string b in
+  let list f xs =
+    add "[";
+    List.iteri (fun i x -> if i > 0 then add ","; f x) xs;
+    add "]"
+  in
+  add
+    (Printf.sprintf
+       "{\"arrivals\":%d,\"completed\":%d,\"hits\":%d,\"shed\":%d,\"expired\":%d,\"failed\":%d,\"goodput\":%s,\"latency\":%s"
+       s.str_arrivals s.str_completed s.str_hits s.str_shed s.str_expired
+       s.str_failed (jf s.str_goodput) (latency_json s.str_latency));
+  add ",\"classes\":";
+  list (fun c -> add (class_json c)) s.str_classes;
+  add ",\"sellers\":";
+  list (fun x -> add (seller_json x)) s.str_sellers;
+  add (",\"batcher\":" ^ batcher_json s.str_batcher);
+  add (",\"cache\":" ^ cache_json s.str_cache);
+  add
+    (Printf.sprintf
+       ",\"admission_retries\":%d,\"makespan\":%s,\"wire_messages\":%d,\"wire_bytes\":%d,\"offer_rtt\":%s,\"queue_wait\":%s"
+       s.str_admission_retries (jf s.str_makespan) s.str_wire_messages
+       s.str_wire_bytes
+       (latency_json s.str_offer_rtt)
+       (latency_json s.str_queue_wait));
+  (match s.str_exec with
+  | None -> add ",\"exec\":null"
+  | Some e ->
+    add
+      (Printf.sprintf
+         ",\"exec\":{\"makespan\":%s,\"tasks\":%d,\"shared_results\":%d,\"nodes\":"
+         (jf e.exec_makespan) e.tasks_run e.shared_results);
+    list (fun n -> add (exec_node_json n)) e.exec_nodes;
+    add "}");
+  add "}";
+  Buffer.contents b
+
+let stream_metrics_json (s : stream_stats) =
+  let m = Metrics.create () in
+  let c = metrics_c m and g = metrics_g m in
+  c "stream.arrivals" s.str_arrivals;
+  c "stream.completed" s.str_completed;
+  c "stream.hits" s.str_hits;
+  c "stream.shed" s.str_shed;
+  c "stream.expired" s.str_expired;
+  c "stream.failed" s.str_failed;
+  c "stream.admission_retries" s.str_admission_retries;
+  c "stream.wire_messages" s.str_wire_messages;
+  c "stream.wire_bytes" s.str_wire_bytes;
+  g "stream.goodput" s.str_goodput;
+  g "stream.makespan" s.str_makespan;
+  metrics_lat m "stream.latency" s.str_latency;
+  List.iter
+    (fun cl ->
+      let p = Printf.sprintf "stream.class.%s." (Sla.to_string cl.cs_klass) in
+      c (p ^ "arrivals") cl.cs_arrivals;
+      c (p ^ "completed") cl.cs_completed;
+      c (p ^ "hits") cl.cs_hits;
+      c (p ^ "shed") cl.cs_shed;
+      c (p ^ "expired") cl.cs_expired;
+      c (p ^ "failed") cl.cs_failed;
+      g (p ^ "goodput") cl.cs_goodput;
+      metrics_lat m (p ^ "latency") cl.cs_latency)
+    s.str_classes;
+  metrics_exec m s.str_exec;
+  metrics_shared m ~sellers:s.str_sellers ~batcher:s.str_batcher
+    ~cache:s.str_cache;
+  metrics_lat m "market.offer_rtt" s.str_offer_rtt;
+  metrics_lat m "market.queue_wait" s.str_queue_wait;
   Metrics.to_json m

@@ -85,6 +85,12 @@ type status =
   | Completed  (** Planned and every contract admitted. *)
   | No_plan  (** The trading loop ended with no candidate plan. *)
   | Admission_failed  (** Rejected on every allowed attempt. *)
+  | Shed
+      (** Stream runs only: rejected at arrival by the load-shedding
+          policy, before any optimization work. *)
+  | Expired
+      (** Stream runs only: the SLA deadline passed before the trade's
+          contracts completed; any in-flight work was canceled. *)
 
 type trade_stats = {
   trade : int;
@@ -202,3 +208,102 @@ val to_json : stats -> string
 val metrics_json : stats -> string
 (** Flat metrics-registry rendering of the same run (keys sorted) — what
     [qtsim market --metrics FILE] writes. *)
+
+(** {1 Open-stream marketplace}
+
+    {!run} trades a fixed batch; {!run_stream} drives the same wave
+    scheduler as an open system: queries arrive continuously (see
+    {!Qt_stream.Arrivals}), each carries an SLA class resolving to a
+    completion deadline and an admission priority
+    ({!Qt_stream.Sla}), and the marketplace enforces the deadlines —
+    expiring queries still waiting for capacity, poisoning optimization
+    fibers mid-trade, and withdrawing admitted contracts through the
+    {!Admission.cancel} path (already-scheduled completion events turn
+    stale and are skipped by the {!Admission.is_active} guard).  Under
+    saturation an optional shedding policy ({!Qt_stream.Shedding})
+    rejects arrivals at the door before they cost any optimization or
+    wire work.
+
+    Everything stays deterministic: arrivals are a pre-generated
+    schedule, deadline events live in a tie-broken event queue drained
+    in time order against contract completions (completions win ties),
+    and no wall-clock value reaches {!stream_stats}. *)
+
+type stream_config = {
+  base : config;
+      (** The batch marketplace settings underneath.  [priority_of] is
+          ignored — stream priorities come from each query's SLA spec. *)
+  spec_of : Qt_stream.Sla.klass -> Qt_stream.Sla.spec;
+      (** Resolve an arrival's class to its deadline and priority. *)
+  shedding : Qt_stream.Shedding.policy;
+}
+
+val default_stream_config : Qt_cost.Params.t -> stream_config
+(** {!default_config} with [Priority] admission arbitration and
+    concurrency 32, default SLA specs, no shedding. *)
+
+type class_stats = {
+  cs_klass : Qt_stream.Sla.klass;
+  cs_arrivals : int;
+  cs_completed : int;  (** Every contract completed (not canceled). *)
+  cs_hits : int;  (** Completed within the deadline — goodput numerator. *)
+  cs_shed : int;
+  cs_expired : int;
+  cs_failed : int;  (** [No_plan] + [Admission_failed]. *)
+  cs_goodput : float;  (** [hits / arrivals]; 0 with no arrivals. *)
+  cs_latency : latency_summary;
+      (** End-to-end (arrival to last contract completion) for completed
+          queries of this class. *)
+}
+
+type stream_stats = {
+  str_arrivals : int;
+  str_completed : int;
+  str_hits : int;
+  str_shed : int;
+  str_expired : int;
+  str_failed : int;
+  str_goodput : float;
+  str_latency : latency_summary;  (** End-to-end, all classes. *)
+  str_classes : class_stats list;  (** In {!Qt_stream.Sla.all} order. *)
+  str_sellers : seller_stats list;
+  str_batcher : Batcher.stats;
+  str_cache : Qt_core.Seller.cache_stats;
+  str_admission_retries : int;
+  str_makespan : float;
+      (** Last event on the timeline: trading, contracts and (when
+          executing) execution tasks. *)
+  str_wire_messages : int;
+  str_wire_bytes : int;
+  str_offer_rtt : latency_summary;
+  str_queue_wait : latency_summary;
+  str_exec : exec_stats option;
+      (** Aggregate only ([exec_trades] is empty): per-trade answer
+          tables are not retained at stream scale.  Execution of a
+          trade's plan is submitted when its last contract completes, so
+          canceled trades never reach the execution scheduler. *)
+}
+
+val run_stream :
+  ?obs:Qt_obs.Obs.t ->
+  stream_config ->
+  Qt_catalog.Federation.t ->
+  templates:Qt_sql.Ast.t array ->
+  Qt_stream.Arrivals.arrival list ->
+  stream_stats
+(** Run the open stream to completion: release each arrival at its
+    timestamp (template index taken modulo the pool), shed or admit it,
+    trade admitted queries concurrently under [base.concurrency], and
+    keep draining until every arrival is accounted as completed, shed,
+    expired or failed.  A query completes end-to-end when its last
+    admitted contract finishes; it counts as a goodput {e hit} iff that
+    happens by its deadline.
+    @raise Invalid_argument on an empty template pool. *)
+
+val stream_to_json : stream_stats -> string
+(** Canonical single-line JSON (aggregate; no per-trade list).  Same
+    determinism contract as {!to_json}: same seeds, same bytes. *)
+
+val stream_metrics_json : stream_stats -> string
+(** Flat metrics-registry rendering — what [qtsim stream --metrics FILE]
+    writes. *)

@@ -98,12 +98,15 @@ let to_json t =
         | Counter c -> [ (c.c_name, string_of_int c.c_value) ]
         | Gauge g -> [ (g.g_name, jf g.g_value) ]
         | Histo h ->
+          (* An empty histogram has no measurements: render null rather
+             than a bare 0. indistinguishable from a real observation. *)
+          let stat v = if h.h_count = 0 then "null" else jf v in
           [
             (h.h_name ^ ".count", string_of_int h.h_count);
-            (h.h_name ^ ".mean", jf (mean h));
-            (h.h_name ^ ".p50", jf (percentile h 0.5));
-            (h.h_name ^ ".p95", jf (percentile h 0.95));
-            (h.h_name ^ ".p99", jf (percentile h 0.99));
+            (h.h_name ^ ".mean", stat (mean h));
+            (h.h_name ^ ".p50", stat (percentile h 0.5));
+            (h.h_name ^ ".p95", stat (percentile h 0.95));
+            (h.h_name ^ ".p99", stat (percentile h 0.99));
           ])
       t.items
   in

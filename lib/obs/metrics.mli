@@ -54,8 +54,15 @@ val sum : histo -> float
 val mean : histo -> float
 
 val percentile : histo -> float -> float
-(** Interpolated quantile in raw units; 0 when empty. *)
+(** Interpolated quantile in raw units, [p] clamped to [0, 1].  With a
+    single sample both bounds land in its bucket: [p = 0] returns the
+    bucket's lower edge and [p = 1] its upper edge, so the spread is at
+    most one bucket width.  Returns 0 when the histogram is empty —
+    check {!observations} (or rely on [to_json]'s [null]s) to tell an
+    empty histogram from a genuine zero measurement. *)
 
 val to_json : t -> string
 (** One flat JSON object, keys sorted; histograms expand to
-    [name.count/.mean/.p50/.p95/.p99]. *)
+    [name.count/.mean/.p50/.p95/.p99].  Empty histograms render their
+    [.mean]/[.p*] fields as [null] (the [.count] 0 stays numeric) so
+    downstream tooling cannot mistake "no data" for a measured 0. *)

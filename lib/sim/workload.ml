@@ -135,3 +135,12 @@ let random_chain_queries ~seed ~count ~relations ~max_joins =
       let select_fraction = Qt_util.Rng.pick rng [ 1.0; 0.5; 0.25; 0.1 ] in
       let aggregate = Rng.bool rng in
       chain_query ~joins ~select_fraction ~aggregate ~relations ())
+
+let telecom_templates ~seed ~count =
+  let rng = Rng.create seed in
+  List.init count (fun i ->
+      if i mod 4 = 3 then telecom_customer_lookup ~custid:(Rng.int rng 4000)
+      else
+        let lo = Rng.int rng 2000 in
+        let width = 500 + Rng.int rng 2500 in
+        telecom_revenue_by_office ~custid_range:(lo, lo + width) ())

@@ -43,3 +43,10 @@ val random_chain_queries :
   Qt_sql.Ast.t list
 (** A reproducible mixed workload of chain queries with varying join
     counts, selectivities and aggregation. *)
+
+val telecom_templates : seed:int -> count:int -> Qt_sql.Ast.t list
+(** A reproducible template pool for open-stream runs: revenue-by-office
+    slices of varying position and width, with every fourth template a
+    customer point lookup.  Template 0 is the stream's hottest query
+    under Zipf popularity, so distinct seeds exercise distinct cache
+    behavior. *)

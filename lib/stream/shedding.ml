@@ -1,0 +1,24 @@
+type policy = Keep_all | Occupancy of float
+
+let sheds policy ~occupancy =
+  match policy with
+  | Keep_all -> false
+  | Occupancy threshold -> occupancy >= threshold
+
+let to_string = function
+  | Keep_all -> "none"
+  | Occupancy t -> Printf.sprintf "occupancy:%g" t
+
+let default_threshold = 0.75
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "none" | "keep-all" | "keepall" -> Ok Keep_all
+  | "occupancy" -> Ok (Occupancy default_threshold)
+  | s when String.length s > 10 && String.sub s 0 10 = "occupancy:" -> (
+      let v = String.sub s 10 (String.length s - 10) in
+      match float_of_string_opt v with
+      | Some t when t > 0. && t <= 1. -> Ok (Occupancy t)
+      | Some t -> Error (Printf.sprintf "occupancy threshold %g outside (0, 1]" t)
+      | None -> Error (Printf.sprintf "bad occupancy threshold %S" v))
+  | other -> Error (Printf.sprintf "unknown shedding policy %S (none|occupancy[:T])" other)

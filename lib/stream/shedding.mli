@@ -1,0 +1,33 @@
+(** Admission-time load shedding for the open stream.
+
+    Under sustained overload an open queueing system left alone serves
+    {e nobody}: every admission queue fills, every query waits behind a
+    backlog longer than its deadline, and goodput collapses even though
+    the sellers never idle.  The classical fix is to shed at the door —
+    reject new arrivals outright while the marketplace is saturated so
+    the queries that {e are} admitted still have a chance of meeting
+    their deadlines.
+
+    The policy here is deliberately simple and deterministic: shed when
+    the most saturated seller's admission occupancy (contracts in
+    service plus queued, over its slot plus queue capacity) is at or
+    above a threshold.  The max — not the federation average — is the
+    right signal because Zipf-skewed template popularity concentrates
+    load on a few hot sellers: the bottleneck queue overflows long
+    before the average moves.  Shed queries are counted and reported
+    separately from expired ones — shedding is cheap (no optimization,
+    no wire traffic), expiry is not. *)
+
+type policy =
+  | Keep_all  (** Never shed; every arrival enters the marketplace. *)
+  | Occupancy of float
+      (** Shed arrivals while occupancy >= the threshold (in [0, 1]). *)
+
+val sheds : policy -> occupancy:float -> bool
+
+val to_string : policy -> string
+(** ["none"] or ["occupancy:T"]. *)
+
+val of_string : string -> (policy, string) result
+(** Accepts ["none"], ["occupancy"] (threshold 0.75), or
+    ["occupancy:T"] with [T] in (0, 1]. *)

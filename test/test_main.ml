@@ -16,6 +16,7 @@ let () =
       Test_obs.suite;
       Test_market.suite;
       Test_execsched.suite;
+      Test_stream.suite;
       Test_exec.suite;
       Test_core.suite;
       Test_baseline.suite;

@@ -93,6 +93,32 @@ let test_metrics_kind_clash () =
     (Invalid_argument "Metrics.gauge: x registered as another kind")
     (fun () -> ignore (Metrics.gauge m "x"))
 
+let test_metrics_empty_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "e.lat" in
+  Alcotest.(check int) "no observations" 0 (Metrics.observations h);
+  Alcotest.(check (float 0.)) "empty percentile is 0" 0.
+    (Metrics.percentile h 0.5);
+  Alcotest.(check string)
+    "empty histogram renders null, not a fake zero"
+    "{\"e.lat.count\":0,\"e.lat.mean\":null,\"e.lat.p50\":null,\
+     \"e.lat.p95\":null,\"e.lat.p99\":null}"
+    (Metrics.to_json m)
+
+let test_metrics_single_sample_bounds () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "s.lat" in
+  Metrics.observe h 0.0042;
+  let p0 = Metrics.percentile h 0. and p1 = Metrics.percentile h 1. in
+  (* Both extremes land in the lone sample's bucket (1 ms wide at the
+     default scale), p0 at its lower edge and p1 at its upper. *)
+  Alcotest.(check bool) "p0 <= p1" true (p0 <= p1);
+  Alcotest.(check bool) "spread is at most one bucket" true (p1 -. p0 <= 0.001);
+  Alcotest.(check bool) "bounds bracket the sample's bucket" true
+    (p0 <= 0.0042 && 0.0042 <= p1 +. 1e-9);
+  Alcotest.(check bool) "out-of-range p clamps" true
+    (Metrics.percentile h (-3.) = p0 && Metrics.percentile h 7. = p1)
+
 let test_histogram_percentile () =
   let h = Qt_util.Histogram.create ~lo:0 ~hi:99 ~buckets:100 in
   for v = 0 to 99 do
@@ -248,6 +274,9 @@ let suite =
       quick "track names" test_track_names;
       quick "metrics golden json" test_metrics_golden_json;
       quick "metrics kind clash" test_metrics_kind_clash;
+      quick "metrics: empty histogram renders null" test_metrics_empty_histogram;
+      quick "metrics: single-sample percentile bounds"
+        test_metrics_single_sample_bounds;
       quick "histogram percentile" test_histogram_percentile;
       quick "trader phase parity" test_phase_parity;
       quick "noop sink equivalence" test_noop_sink_equivalence;
