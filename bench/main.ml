@@ -1446,6 +1446,140 @@ let r_stream () =
       queries
 
 (* ------------------------------------------------------------------ *)
+(* R-optimizer: bitset DP core + domain pool vs the legacy enumeration  *)
+(* ------------------------------------------------------------------ *)
+
+let r_optimizer () =
+  heading "R-optimizer"
+    "market optimize wall-clock: legacy string-list DP (serial seed) vs the \
+     bitset core at --domains 1/4, BENCH_optimizer.json";
+  let module Market = Qt_market.Market in
+  let module Pool = Qt_optimizer.Pool in
+  (* Join-heavy chain queries over a replicated federation: every trade
+     runs the buyer plan generator per RFB round and every seller prices
+     per coalesced request, so optimizer enumeration dominates the wall
+     clock — exactly the path the bitset refactor targets. *)
+  let relations = 8 in
+  let buyers = 8 in
+  let federation =
+    Generator.chain ~nodes:16 ~relations
+      ~placement:{ Generator.partitions = 4; replicas = 2 }
+      ()
+  in
+  let queries =
+    (* Full-length chains with distinct selectivities: every buyer drives
+       the enumeration over all [relations] aliases, and the distinct
+       signatures keep the batcher and bid caches from collapsing the
+       workload into one priced request. *)
+    List.init buyers (fun i ->
+        Workload.chain_query
+          ~joins:(relations - 1)
+          ~select_fraction:(0.5 +. (0.06 *. float_of_int i))
+          ~aggregate:(i mod 2 = 0) ~relations ())
+  in
+  let config ~legacy pool =
+    {
+      (Market.default_config params) with
+      Market.trader =
+        {
+          (Trader.default_config params) with
+          Trader.pool;
+          seller_template =
+            {
+              (Seller.default_config params) with
+              Seller.pool;
+              legacy_dp = legacy;
+            };
+        };
+      pool;
+    }
+  in
+  (* Wall clock, not [Sys.time]: CPU seconds sum across domains, which
+     would charge the pooled runs for time they did not spend waiting. *)
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let run ~legacy domains =
+    if domains <= 1 then
+      wall (fun () -> Market.run (config ~legacy None) federation queries)
+    else begin
+      let p = Pool.create ~domains in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown p)
+        (fun () ->
+          wall (fun () -> Market.run (config ~legacy (Some p)) federation queries))
+    end
+  in
+  (* Warm-up, then median of 3 per configuration: the gate below is a
+     ratio of wall clocks and must not flap on scheduler noise. *)
+  ignore (run ~legacy:false 1);
+  let median3 f =
+    let runs = List.init 3 (fun _ -> f ()) in
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) runs in
+    List.nth sorted 1
+  in
+  let legacy_s, legacy_stats = median3 (fun () -> run ~legacy:true 1) in
+  let d1_s, d1 = median3 (fun () -> run ~legacy:false 1) in
+  let d4_s, d4 = median3 (fun () -> run ~legacy:false 4) in
+  let identical = Market.to_json d1 = Market.to_json d4 in
+  let legacy_identical = Market.to_json legacy_stats = Market.to_json d1 in
+  let speedup = if d4_s > 0. then legacy_s /. d4_s else 0. in
+  let t = Texttable.create [ "configuration"; "wall (s)"; "vs legacy"; "done" ] in
+  let row name s (st : Market.stats) =
+    Texttable.add_row t
+      [
+        name;
+        Printf.sprintf "%.3f" s;
+        Printf.sprintf "%.2fx" (legacy_s /. s);
+        Printf.sprintf "%d/%d" st.Market.completed buyers;
+      ]
+  in
+  row "legacy string-list DP (seed)" legacy_s legacy_stats;
+  row "bitset core, domains=1" d1_s d1;
+  row "bitset core, domains=4" d4_s d4;
+  Texttable.print t;
+  let snapshot =
+    [
+      ("scenario", Bench_json.S "optimizer");
+      ("relations", Bench_json.I relations);
+      ("buyers", Bench_json.I buyers);
+      ("legacy_wall_s", Bench_json.F legacy_s);
+      ("d1_wall_s", Bench_json.F d1_s);
+      ("d4_wall_s", Bench_json.F d4_s);
+      ("speedup_d4_vs_legacy", Bench_json.F speedup);
+      ("speedup_d1_vs_legacy", Bench_json.F (if d1_s > 0. then legacy_s /. d1_s else 0.));
+      ("identical_d1_d4", Bench_json.B identical);
+      ("identical_legacy_d1", Bench_json.B legacy_identical);
+      ("completed", Bench_json.I d4.Market.completed);
+    ]
+  in
+  bench ~scenario:"optimizer" (List.tl snapshot);
+  Bench_json.to_file "BENCH_optimizer.json" snapshot;
+  Printf.printf "wrote BENCH_optimizer.json\n";
+  if not identical then begin
+    Printf.printf
+      "FAIL: market stats differ between domains=1 and domains=4\n";
+    exit 1
+  end;
+  if not legacy_identical then begin
+    Printf.printf "FAIL: bitset core changed results vs the legacy DP\n";
+    exit 1
+  end;
+  if speedup < 3.0 then begin
+    Printf.printf
+      "FAIL: domains=4 speedup %.2fx < 3x over the serial seed (%.3fs -> %.3fs)\n"
+      speedup legacy_s d4_s;
+    exit 1
+  end
+  else
+    Printf.printf
+      "PASS: market optimize wall clock cut %.3fs -> %.3fs (%.2fx >= 3x), \
+       results byte-identical across pool sizes\n"
+      legacy_s d4_s speedup
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1543,6 +1677,7 @@ let all =
     ("obs", r_obs);
     ("execsched", r_execsched);
     ("stream", r_stream);
+    ("optimizer", r_optimizer);
     ("micro", micro);
   ]
 

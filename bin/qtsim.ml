@@ -86,6 +86,26 @@ let seed_arg =
            jitter.  Independent of $(b,--exec-seed) and \
            $(b,--arrival-seed).")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run plan enumeration and wave pricing on $(docv) OCaml domains \
+           (default 1 = serial).  Purchases, plans and JSON output are \
+           byte-identical at any value; only wall-clock time changes.")
+
+(* One pool per invocation, shared by buyer plan generation, seller
+   pricing DP and market wave serving; joined before exit. *)
+let with_pool domains f =
+  if domains <= 1 then f None
+  else begin
+    let pool = Qt_optimizer.Pool.create ~domains in
+    Fun.protect
+      ~finally:(fun () -> Qt_optimizer.Pool.shutdown pool)
+      (fun () -> f (Some pool))
+  end
+
 let subcontracting_arg =
   Arg.(
     value & flag
@@ -190,7 +210,8 @@ let tables_agree a b =
        (fun r1 r2 -> Array.for_all2 Qt_exec.Value.equal r1 r2)
        sa.Qt_exec.Table.rows sb.Qt_exec.Table.rows
 
-let build_config ?(subcontracting = false) ?(price = 0.) params competitive auction =
+let build_config ?(subcontracting = false) ?(price = 0.) ?pool params competitive
+    auction =
   let strategy =
     if competitive then Qt_trading.Strategy.default_competitive
     else Qt_trading.Strategy.Cooperative
@@ -202,11 +223,13 @@ let build_config ?(subcontracting = false) ?(price = 0.) params competitive auct
        else Qt_trading.Protocol.Bidding);
     strategy_of = (fun _ -> strategy);
     allow_subcontracting = subcontracting;
+    pool;
     seller_template =
       {
         (Qt_core.Seller.default_config params) with
         Qt_core.Seller.strategy = strategy;
         price_per_mb = price;
+        pool;
       };
   }
 
@@ -262,11 +285,12 @@ let optimize_metrics_json (outcome : Qt_core.Trader.outcome) =
 
 let run_optimize sql schema nodes partitions replicas views profile execute
     competitive auction seed subcontracting price faults timeout retries backoff
-    stats trace metrics =
+    stats trace metrics domains =
+  with_pool domains @@ fun pool ->
   let params = params_of_profile profile in
   let federation = build_federation schema nodes partitions replicas views in
   let query = Qt_sql.Parser.parse sql in
-  let config = build_config ~subcontracting ~price params competitive auction in
+  let config = build_config ~subcontracting ~price ?pool params competitive auction in
   let obs = obs_of_trace trace in
   let fault_plan =
     if faults = "" then Qt_runtime.Fault_plan.none
@@ -342,6 +366,13 @@ let run_optimize sql schema nodes partitions replicas views profile execute
     if outcome.stats.seller_surplus > 0. then
       Printf.printf "Seller surplus extracted: %.4fs\n" outcome.stats.seller_surplus;
     if stats then print_phase_stats outcome.phases;
+    (match pool with
+    | Some p when stats ->
+      let s = Qt_optimizer.Pool.stats p in
+      Printf.printf "Domain pool: %d domains, %d parallel jobs, %d items\n"
+        s.Qt_optimizer.Pool.s_domains s.Qt_optimizer.Pool.s_jobs
+        (Array.fold_left ( + ) 0 s.Qt_optimizer.Pool.s_items)
+    | _ -> ());
     if execute then begin
       let store = Qt_exec.Store.generate ~seed federation in
       Qt_exec.Naive.materialize_views store federation;
@@ -373,7 +404,7 @@ let optimize_cmd =
       $ replicas_arg $ views_arg $ profile_arg $ execute_arg $ competitive_arg
       $ auction_arg $ seed_arg $ subcontracting_arg $ price_arg $ faults_arg
       $ timeout_arg $ retries_arg $ backoff_arg $ stats_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                              *)
@@ -545,7 +576,8 @@ let workload_cmd =
 
 let run_market schema nodes partitions replicas profile count concurrency slots
     queue policy no_batching seed competitive json trace metrics execute workers
-    exec_seed no_exec_feedback no_sharing =
+    exec_seed no_exec_feedback no_sharing domains =
+  with_pool domains @@ fun pool ->
   let module Market = Qt_market.Market in
   let module Admission = Qt_market.Admission in
   let params = params_of_profile profile in
@@ -584,10 +616,12 @@ let run_market schema nodes partitions replicas profile count concurrency slots
         {
           (Qt_core.Trader.default_config params) with
           Qt_core.Trader.strategy_of = (fun _ -> strategy);
+          pool;
           seller_template =
             {
               (Qt_core.Seller.default_config params) with
               Qt_core.Seller.strategy = strategy;
+              pool;
             };
         };
       admission =
@@ -605,6 +639,7 @@ let run_market schema nodes partitions replicas profile count concurrency slots
                share_results = not no_sharing;
              }
          else None);
+      pool;
     }
   in
   let obs = obs_of_trace trace in
@@ -794,7 +829,7 @@ let market_cmd =
       $ profile_arg $ count_arg $ concurrency_arg $ slots_arg $ queue_arg
       $ policy_arg $ no_batching_arg $ seed_arg $ competitive_arg $ json_arg
       $ trace_arg $ metrics_arg $ market_execute_arg $ workers_arg
-      $ exec_seed_arg $ no_exec_feedback_arg $ no_sharing_arg)
+      $ exec_seed_arg $ no_exec_feedback_arg $ no_sharing_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stream                                                               *)
@@ -811,7 +846,8 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
     burst_off queries duration templates zipf mix deadlines shedding concurrency
     slots queue policy admission_retries no_batching seed arrival_seed
     competitive json trace metrics execute workers exec_seed no_exec_feedback
-    no_sharing record replay =
+    no_sharing record replay domains =
+  with_pool domains @@ fun pool ->
   let module Market = Qt_market.Market in
   let module Admission = Qt_market.Admission in
   let module Sla = Qt_stream.Sla in
@@ -881,10 +917,12 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
         {
           (Qt_core.Trader.default_config params) with
           Qt_core.Trader.strategy_of = (fun _ -> strategy);
+          pool;
           seller_template =
             {
               (Qt_core.Seller.default_config params) with
               Qt_core.Seller.strategy = strategy;
+              pool;
             };
         };
       admission =
@@ -903,6 +941,7 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
                share_results = not no_sharing;
              }
          else None);
+      pool;
     }
   in
   let scfg = { Market.base; spec_of; shedding } in
@@ -1171,7 +1210,7 @@ let stream_cmd =
       $ arrival_seed_arg
       $ competitive_arg $ json_arg $ trace_arg $ metrics_arg
       $ stream_execute_arg $ workers_arg $ exec_seed_arg $ no_exec_feedback_arg
-      $ no_sharing_arg $ record_arg $ replay_arg)
+      $ no_sharing_arg $ record_arg $ replay_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check-trace                                                          *)

@@ -7,6 +7,8 @@ module Estimate = Qt_stats.Estimate
 module Cost = Qt_cost.Cost
 module Plan = Qt_optimizer.Plan
 module Dp = Qt_optimizer.Dp
+module Bitset = Qt_optimizer.Bitset
+module Pool = Qt_optimizer.Pool
 module Localize = Qt_rewrite.Localize
 module View_match = Qt_views.View_match
 
@@ -226,17 +228,27 @@ let union_blocks weights schema q subset offers =
 (* Candidate generation                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let connecting (q : Ast.t) left right =
-  List.filter
+let key subset = String.concat "|" (List.sort String.compare subset)
+
+(* Join predicates fully interned in [ctx], with their alias masks, in
+   WHERE order — the bitset equivalent of the legacy [connecting]
+   membership scans (a predicate referencing an alias outside the
+   universe can never be fully covered, so it is excluded up front). *)
+let connecting_preds ctx (q : Ast.t) =
+  List.filter_map
     (fun p ->
       let als = Analysis.predicate_aliases p in
-      List.length als > 1
-      && List.exists (fun a -> List.mem a left) als
-      && List.exists (fun a -> List.mem a right) als
-      && List.for_all (fun a -> List.mem a left || List.mem a right) als)
+      if List.length als > 1 then
+        let rec mask_of acc = function
+          | [] -> Some acc
+          | a :: rest -> (
+            match Bitset.bit_opt ctx a with
+            | Some b -> mask_of (acc lor b) rest
+            | None -> None)
+        in
+        Option.map (fun m -> (p, m)) (mask_of 0 als)
+      else None)
     q.Ast.where
-
-let key subset = String.concat "|" (List.sort String.compare subset)
 
 let maybe_sort (q : Ast.t) plan =
   if q.order_by = [] || Plan.satisfies_order plan q.order_by then plan
@@ -265,9 +277,11 @@ let singleton_blocks ~params ~weights ~schema ~offers (q : Ast.t) =
         (Listx.min_by (fun p -> Cost.response (Plan.cost params p)) (full @ unions)))
     (Analysis.aliases q)
 
-let generate ~params ~weights ~mode ~schema ~offers (q : Ast.t) =
+let generate ~params ~weights ~mode ~schema ~offers ?pool (q : Ast.t) =
   let aliases = Analysis.aliases q in
   let n = List.length aliases in
+  let ctx = Bitset.make aliases in
+  let abit a = Bitset.bit ctx a in
   let agg_shaped, spj_offers = List.partition (is_agg_shaped q) offers in
   (* --- direct final answers -------------------------------------- *)
   let full_subset = List.sort String.compare aliases in
@@ -361,14 +375,27 @@ let generate ~params ~weights ~mode ~schema ~offers (q : Ast.t) =
   in
   (* Each block is stored with its cost: enumeration compares and prunes
      blocks many times, and recosting a whole sub-plan per comparison is
-     where the generator used to spend its time. *)
-  let block_table : (string, Plan.t * Cost.t) Hashtbl.t = Hashtbl.create 32 in
+     where the generator used to spend its time.  Keys are alias bitsets
+     over the query's own universe; offer subsets mentioning a foreign
+     alias could never be joined into the enumeration anyway and are
+     skipped. *)
+  let block_table : (Plan.t * Cost.t) Bitset.table = Bitset.table_create ctx in
+  let mask_of subset =
+    List.fold_left
+      (fun acc a ->
+        match (acc, Bitset.bit_opt ctx a) with
+        | Some m, Some b -> Some (m lor b)
+        | _ -> None)
+      (Some 0) subset
+  in
   let consider subset plan =
-    let k = key subset in
-    let cost = Plan.cost params plan in
-    match Hashtbl.find_opt block_table k with
-    | Some (_, existing) when Cost.compare existing cost <= 0 -> ()
-    | Some _ | None -> Hashtbl.replace block_table k (plan, cost)
+    match mask_of subset with
+    | None -> ()
+    | Some m -> (
+      let cost = Plan.cost params plan in
+      match Bitset.table_get block_table m with
+      | Some (_, existing) when Cost.compare existing cost <= 0 -> ()
+      | Some _ | None -> Bitset.table_set block_table m (plan, cost))
   in
   List.iter
     (fun (_, group) ->
@@ -391,7 +418,7 @@ let generate ~params ~weights ~mode ~schema ~offers (q : Ast.t) =
     let base_rows =
       List.map
         (fun alias ->
-          match Hashtbl.find_opt block_table (key [ alias ]) with
+          match Bitset.table_get block_table (abit alias) with
           | Some (plan, _) -> (alias, Plan.rows plan)
           | None -> (
             match Analysis.relation_of_alias q alias with
@@ -414,85 +441,105 @@ let generate ~params ~weights ~mode ~schema ~offers (q : Ast.t) =
     Estimate.env_of_fragments ~key_ranges schema q base_rows
   in
   let prune = match mode with Mode_dp -> None | Mode_idp (k, m) -> Some (k, m) in
-  let levels : (int, string list list) Hashtbl.t = Hashtbl.create 8 in
+  let conn_preds = connecting_preds ctx q in
+  let adj = Bitset.adjacency ctx (List.map Analysis.predicate_aliases q.Ast.where) in
+  let from_bits = List.map abit aliases in
+  (* Best plan for one subset: the pre-built block (one offer or a union)
+     competes against every join split of smaller blocks.  Reads only
+     strictly smaller memo entries plus its own pre-installed block, so a
+     level's subsets can be computed concurrently; results are merged in
+     enumeration order to stay byte-identical at any domain count. *)
+  let compute_subset smask =
+    let first_bit = Bitset.lowest_bit smask in
+    let rest_mask = smask land lnot first_bit in
+    let out_rows = lazy (Estimate.subset_rows env q (Bitset.to_list ctx smask)) in
+    let candidates = ref [] in
+    (match Bitset.table_get block_table smask with
+    | Some block -> candidates := [ block ]
+    | None -> ());
+    List.iter
+      (fun right ->
+        let left = smask land lnot right in
+        match (Bitset.table_get block_table left, Bitset.table_get block_table right) with
+        | Some (lp, _), Some (rp, _) ->
+          let preds =
+            List.filter_map
+              (fun (p, pm) ->
+                if pm land left <> 0 && pm land right <> 0 && pm land lnot smask = 0
+                then Some p
+                else None)
+              conn_preds
+          in
+          if preds <> [] then begin
+            let out_rows = Lazy.force out_rows in
+            let hash_build, hash_probe =
+              if Plan.rows lp <= Plan.rows rp then (lp, rp) else (rp, lp)
+            in
+            let costed plan = (plan, Plan.cost params plan) in
+            candidates :=
+              costed
+                (Plan.Join
+                   { algo = Plan.Hash; build = hash_build;
+                     probe = hash_probe; preds; rows = out_rows })
+              :: costed
+                   (Plan.Join
+                      { algo = Plan.Sort_merge; build = lp; probe = rp;
+                        preds; rows = out_rows })
+              :: !candidates
+          end
+        | None, _ | _, None -> ())
+      (Bitset.nonempty_submasks rest_mask);
+    Option.map
+      (fun best -> (smask, best))
+      (Listx.min_by (fun (_, c) -> Cost.response c) !candidates)
+  in
+  let levels : (int, int list) Hashtbl.t = Hashtbl.create 8 in
   Hashtbl.replace levels 1
-    (List.filter (fun a -> Hashtbl.mem block_table (key [ a ])) aliases
-    |> List.map (fun a -> [ a ]));
+    (List.filter (fun a -> Bitset.table_get block_table (abit a) <> None) aliases
+    |> List.map abit);
   for size = 2 to n do
     let subsets =
-      List.filter (Analysis.connected q) (Listx.subsets_of_size size aliases)
+      List.filter (Bitset.connected adj) (Bitset.subsets_of_size size from_bits)
+    in
+    let computed =
+      match pool with
+      | Some p when Pool.domains p > 1 && List.length subsets > 1 ->
+        Array.to_list (Pool.map p compute_subset (Array.of_list subsets))
+      | Some _ | None -> List.map compute_subset subsets
     in
     let built =
       List.filter_map
-        (fun subset ->
-          let sorted = List.sort String.compare subset in
-          let first = List.hd sorted and rest = List.tl sorted in
-          let candidates = ref [] in
-          (* A pre-built block (one offer or a union) for this subset is
-             itself a candidate; join splits compete against it. *)
-          (match Hashtbl.find_opt block_table (key sorted) with
-          | Some block -> candidates := [ block ]
-          | None -> ());
-          List.iter
-            (fun right ->
-              if right <> [] then begin
-                let left = first :: List.filter (fun a -> not (List.mem a right)) rest in
-                match
-                  ( Hashtbl.find_opt block_table (key left),
-                    Hashtbl.find_opt block_table (key right) )
-                with
-                | Some (lp, _), Some (rp, _) ->
-                  let preds = connecting q left right in
-                  if preds <> [] then begin
-                    let out_rows = Estimate.subset_rows env q sorted in
-                    let hash_build, hash_probe =
-                      if Plan.rows lp <= Plan.rows rp then (lp, rp) else (rp, lp)
-                    in
-                    let costed plan = (plan, Plan.cost params plan) in
-                    candidates :=
-                      costed
-                        (Plan.Join
-                           { algo = Plan.Hash; build = hash_build;
-                             probe = hash_probe; preds; rows = out_rows })
-                      :: costed
-                           (Plan.Join
-                              { algo = Plan.Sort_merge; build = lp; probe = rp;
-                                preds; rows = out_rows })
-                      :: !candidates
-                  end
-                | None, _ | _, None -> ()
-              end)
-            (Listx.nonempty_subsets rest);
-          match
-            Listx.min_by (fun (_, c) -> Cost.response c) !candidates
-          with
-          | Some best ->
-            Hashtbl.replace block_table (key sorted) best;
-            Some sorted
-          | None -> None)
-        subsets
+        (function
+          | None -> None
+          | Some (smask, best) ->
+            Bitset.table_set block_table smask best;
+            Some smask)
+        computed
     in
     Hashtbl.replace levels size built;
     match prune with
     | Some (k, m) when size = k && List.length built > m ->
+      let cost_of smask =
+        match Bitset.table_get block_table smask with
+        | Some (_, c) -> c
+        | None -> Cost.make ~net:infinity ()
+      in
       let ranked =
-        List.sort
-          (fun a b ->
-            Cost.compare
-              (snd (Hashtbl.find block_table (key a)))
-              (snd (Hashtbl.find block_table (key b))))
-          built
+        List.sort (fun a b -> Cost.compare (cost_of a) (cost_of b)) built
       in
       let keep = Listx.take m ranked in
+      let keep_set = Hashtbl.create (2 * m) in
+      List.iter (fun s -> Hashtbl.replace keep_set s ()) keep;
       List.iter
-        (fun subset ->
-          if not (List.mem subset keep) then Hashtbl.remove block_table (key subset))
+        (fun smask ->
+          if not (Hashtbl.mem keep_set smask) then
+            Bitset.table_remove block_table smask)
         built;
       Hashtbl.replace levels size keep
     | Some _ | None -> ()
   done;
   let joined_candidate =
-    match Hashtbl.find_opt block_table (key full_subset) with
+    match Bitset.table_get block_table (Bitset.full ctx) with
     | None -> []
     | Some (plan, _) ->
       let finalized = Dp.finalize ~params ~env q plan in

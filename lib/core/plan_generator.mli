@@ -34,10 +34,13 @@ val generate :
   mode:mode ->
   schema:Qt_catalog.Schema.t ->
   offers:Offer.t list ->
+  ?pool:Qt_optimizer.Pool.t ->
   Qt_sql.Ast.t ->
   candidate list
 (** Candidate plans for the query, cheapest first; empty when the offer
-    pool cannot cover the query (step B8's abort condition). *)
+    pool cannot cover the query (step B8's abort condition).  [pool]
+    parallelizes the block join enumeration per DP level; the candidate
+    list is identical to the serial path at any domain count. *)
 
 val singleton_blocks :
   params:Qt_cost.Params.t ->

@@ -24,6 +24,14 @@ type config = {
   local_prune : (int * int) option;
   offer_overhead : float;
   price_per_mb : float;
+  pool : Qt_optimizer.Pool.t option;
+      (* Domain pool for parallel DP level enumeration while pricing;
+         [None] (or a 1-domain pool) keeps the serial path.  Not part of
+         bid-cache validity: the pool never changes results. *)
+  legacy_dp : bool;
+      (* Price with the frozen pre-bitset enumeration ([Dp_legacy]).
+         Bench-only knob for measuring the seed-equivalent baseline;
+         results are oracle-identical to the bitset core. *)
   market : (Ast.t -> Offer.t list) option;
       (* Subcontracting (Section 3.5's deferred extension): a way to ask
          the rest of the federation for pieces this node is missing.  The
@@ -41,6 +49,8 @@ let default_config params =
     local_prune = None;
     offer_overhead = 5e-4;
     price_per_mb = 0.;
+    pool = None;
+    legacy_dp = false;
     market = None;
   }
 
@@ -359,7 +369,7 @@ let price_request config schema (node : Node.t) ~request ~request_sig
             variants
         in
         let within_capabilities (p : Qt_optimizer.Dp.partial) =
-          List.length p.subset <= caps.Node.max_join_relations
+          Qt_optimizer.Bitset.card p.mask <= caps.Node.max_join_relations
           && (caps.Node.can_aggregate
              || not (Analysis.has_aggregate p.query || p.query.Ast.group_by <> []))
           && (caps.Node.can_sort || p.query.Ast.order_by = [])
@@ -404,9 +414,14 @@ let price_request config schema (node : Node.t) ~request ~request_sig
                    })
           in
           let dp =
-            Dp.optimize ~params:config.params ~cpu_factor:node.cpu_factor
-              ~io_factor:node.io_factor ?prune:config.local_prune ~env ~base
-              variant.query
+            if config.legacy_dp then
+              Qt_optimizer.Dp_legacy.optimize ~params:config.params
+                ~cpu_factor:node.cpu_factor ~io_factor:node.io_factor
+                ?prune:config.local_prune ~env ~base variant.query
+            else
+              Dp.optimize ~params:config.params ~cpu_factor:node.cpu_factor
+                ~io_factor:node.io_factor ?prune:config.local_prune
+                ?pool:config.pool ~env ~base variant.query
           in
           let candidates =
             dp.partials

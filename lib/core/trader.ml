@@ -24,6 +24,9 @@ type config = {
   initial_estimate : float;
   plan_overhead : float;
   allow_subcontracting : bool;
+  pool : Qt_optimizer.Pool.t option;
+      (* Domain pool for the buyer's own plan generation (B4); seller-side
+         pricing parallelism is configured on [seller_template.pool]. *)
 }
 
 let default_config params =
@@ -39,6 +42,7 @@ let default_config params =
     initial_estimate = 0.;
     plan_overhead = 1e-4;
     allow_subcontracting = false;
+    pool = None;
   }
 
 type stats = {
@@ -286,7 +290,7 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches
     local_work (config.plan_overhead *. float_of_int (List.length !pool));
     let candidates =
       Plan_generator.generate ~params:config.params ~weights:config.weights
-        ~mode:config.mode ~schema ~offers:!pool q
+        ~mode:config.mode ~schema ~offers:!pool ?pool:config.pool q
     in
     let improved =
       match (candidates, !best) with
@@ -461,6 +465,10 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches
       let cache_before = Seller.pool_stats caches in
       let pricing_wall = ref 0. in
       let round_processing = ref 0. in
+      (* The market wave scheduler may serve different sellers' envelopes
+         concurrently; these two round-local accumulators are the only
+         shared mutable state in the serve path. *)
+      let serve_lock = Mutex.create () in
       transport.broadcast_rfb
         ~targets:(List.map (fun (n : Node.t) -> n.node_id) federation.nodes)
         ~signatures:request_sigs ~request_bytes:req_bytes;
@@ -491,9 +499,11 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches
                    ~t0:round_e0 ~t1:(round_e0 +. r.Seller.processing_time) ()
                   : int)
             | None -> ());
+            Mutex.lock serve_lock;
             pricing_wall := !pricing_wall +. (Sys.time () -. t0);
             round_processing :=
               Float.max !round_processing r.Seller.processing_time;
+            Mutex.unlock serve_lock;
             (r, r.Seller.processing_time, reply_bytes_of r))
       in
       if round.Transport.fresh_failures then begin

@@ -35,6 +35,11 @@ type config = {
           ranges from third nodes and offer complete answers (Section
           3.5's deferred extension).  Adds O(nodes^2) message traffic per
           gap — off by default. *)
+  pool : Qt_optimizer.Pool.t option;
+      (** Domain pool for the buyer's plan-generation DP (B4).  Seller
+          pricing parallelism is configured separately on
+          [seller_template.pool].  Never changes results; default
+          [None]. *)
 }
 
 val default_config : Qt_cost.Params.t -> config

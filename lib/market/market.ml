@@ -13,6 +13,8 @@ module Federation = Qt_catalog.Federation
 module Obs = Qt_obs.Obs
 module Metrics = Qt_obs.Metrics
 module Plan = Qt_optimizer.Plan
+module Pool = Qt_optimizer.Pool
+module Listx = Qt_util.Listx
 module Store = Qt_exec.Store
 module Naive = Qt_exec.Naive
 module Table = Qt_exec.Table
@@ -44,6 +46,13 @@ type config = {
   cache_entries : int;
   seed : int;
   execute : exec_config option;
+  pool : Qt_optimizer.Pool.t option;
+      (* Domain pool for serving a wave's per-seller envelopes in
+         parallel (pricing only; all clock, wire and metrics accounting
+         is replayed sequentially in envelope order, so results are
+         byte-identical at any pool size).  Serving stays serial when
+         observability is enabled (span ids are emission-ordered) or
+         subcontracting is on (sellers then share bid caches). *)
 }
 
 let default_config params =
@@ -58,6 +67,7 @@ let default_config params =
     cache_entries = 4096;
     seed = 7;
     execute = None;
+    pool = None;
   }
 
 type status =
@@ -497,8 +507,55 @@ let serve_wave st trades waiting ~t_close ~drive =
   let wave_end = ref t_close in
   (* (trade, seller) -> (reply, arrival time back at the buyer) *)
   let reply_of = Hashtbl.create 32 in
-  List.iter
-    (fun (e : Batcher.envelope) ->
+  (* Phase A — pricing.  [rr_serve] runs the seller's whole
+     optimize-and-quote pipeline and depends only on the request and the
+     seller's bid cache, never on clocks or earlier wave accounting, so
+     envelopes can be priced ahead of the sequential replay below.
+     Envelopes sharing a seller share that seller's bid cache and must
+     stay in service order, so the parallel unit is a seller's whole
+     envelope group.  Serving stays serial when observability is on
+     (span ids are emission-ordered) or subcontracting is on (sellers
+     then price through each other's caches). *)
+  let env_arr = Array.of_list envelopes in
+  let serve_env (e : Batcher.envelope) =
+    List.filter_map
+      (fun ti ->
+        match List.find_opt (fun (i, _, _) -> i = ti) waiting with
+        | None -> None
+        | Some (_, req, _) ->
+          if List.mem e.seller req.rr_targets then begin
+            let reply, processing, rbytes = req.rr_serve e.seller in
+            Some (ti, reply, processing, rbytes)
+          end
+          else None)
+      e.trades
+  in
+  let served = Array.make (Array.length env_arr) [] in
+  let groups =
+    (* Envelope indices per seller, in envelope order. *)
+    Listx.group_by
+      (fun i -> env_arr.(i).Batcher.seller)
+      (List.init (Array.length env_arr) (fun i -> i))
+  in
+  let serve_group ((_ : int), idxs) =
+    List.map (fun i -> (i, serve_env env_arr.(i))) idxs
+  in
+  let group_results =
+    match st.cfg.pool with
+    | Some p
+      when Pool.domains p > 1
+           && (not (Obs.enabled st.obs))
+           && (not st.cfg.trader.Trader.allow_subcontracting)
+           && List.length groups > 1 ->
+      Array.to_list (Pool.map p serve_group (Array.of_list groups))
+    | Some _ | None -> List.map serve_group groups
+  in
+  List.iter (List.iter (fun (i, r) -> served.(i) <- r)) group_results;
+  (* Phase B — replay.  All clock advances, wire accounting and metrics
+     happen here, on the coordinator, in the original envelope order:
+     identical floats to the serial path. *)
+  Array.iteri
+    (fun ei (e : Batcher.envelope) ->
       (* The envelope goes on the wire once; its bytes are attributed
          to the first participating trade. *)
       (match e.trades with
@@ -525,26 +582,20 @@ let serve_wave st trades waiting ~t_close ~drive =
       let sc = Runtime.node_clock st.rt e.seller in
       if arrival > sc then Runtime.advance st.rt ~node:e.seller (arrival -. sc);
       List.iter
-        (fun ti ->
-          match List.find_opt (fun (i, _, _) -> i = ti) waiting with
-          | None -> ()
-          | Some (_, req, _) ->
-            if List.mem e.seller req.rr_targets then begin
-              let reply, processing, rbytes = req.rr_serve e.seller in
-              Runtime.advance st.rt ~node:e.seller processing;
-              let finish = Runtime.node_clock st.rt e.seller in
-              let back = finish +. Runtime.one_way st.rt ~bytes:rbytes in
-              let tr = trades.(ti) in
-              tr.t_messages <- tr.t_messages + 1;
-              tr.t_bytes <- tr.t_bytes + rbytes;
-              Runtime.chatter st.rt ~node:tr.t_buyer ~count:1 ~bytes_each:rbytes
-                ~elapsed:0.;
-              Metrics.observe st.rtt (back -. t_close);
-              wave_end := Float.max !wave_end back;
-              Hashtbl.replace reply_of (ti, e.seller) (reply, back)
-            end)
-        e.trades)
-    envelopes;
+        (fun (ti, reply, processing, rbytes) ->
+          Runtime.advance st.rt ~node:e.seller processing;
+          let finish = Runtime.node_clock st.rt e.seller in
+          let back = finish +. Runtime.one_way st.rt ~bytes:rbytes in
+          let tr = trades.(ti) in
+          tr.t_messages <- tr.t_messages + 1;
+          tr.t_bytes <- tr.t_bytes + rbytes;
+          Runtime.chatter st.rt ~node:tr.t_buyer ~count:1 ~bytes_each:rbytes
+            ~elapsed:0.;
+          Metrics.observe st.rtt (back -. t_close);
+          wave_end := Float.max !wave_end back;
+          Hashtbl.replace reply_of (ti, e.seller) (reply, back))
+        served.(ei))
+    env_arr;
   List.iter
     (fun (ti, (req : round_request), k) ->
       let tr = trades.(ti) in
@@ -631,7 +682,10 @@ let make_market ~obs cfg federation =
     (fun id ->
       Obs.track_name obs id (Printf.sprintf "node %d" id);
       Runtime.register st.rt id;
-      ignore (admission_of st id : Admission.t))
+      ignore (admission_of st id : Admission.t);
+      (* Pre-create the per-node bid cache: parallel envelope serving
+         must never race two sellers through the lazy constructor. *)
+      ignore (Seller.pool_cache st.caches id : Seller.cache))
     (Federation.node_ids federation);
   st
 
@@ -661,6 +715,27 @@ let seller_stats_of st ~horizon =
            utilization =
              (if capacity > 0. then a.Admission.busy /. capacity else 0.);
          })
+
+(* One end-of-run instant span summarising domain-pool activity.  Only
+   the totals go in: jobs submitted and items executed are deterministic
+   at a fixed pool size, while the per-slot split depends on scheduling
+   and would make same-seed traces differ run to run. *)
+let emit_pool_span obs pool ~at =
+  match pool with
+  | Some p when Obs.enabled obs ->
+    let s = Pool.stats p in
+    let items = Array.fold_left ( + ) 0 s.Pool.s_items in
+    ignore
+      (Obs.instant obs ~cat:"pool" ~name:"pool.stats" ~track:market_track
+         ~attrs:
+           [
+             ("domains", Obs.Int s.Pool.s_domains);
+             ("jobs", Obs.Int s.Pool.s_jobs);
+             ("items", Obs.Int items);
+           ]
+         ~at ()
+        : int)
+  | _ -> ()
 
 let run ?(obs = Obs.disabled) cfg federation queries =
   let st = make_market ~obs cfg federation in
@@ -749,6 +824,7 @@ let run ?(obs = Obs.disabled) cfg federation queries =
   let trading_makespan =
     Array.fold_left (fun acc tr -> Float.max acc tr.t_finished_at) st.mclock trades
   in
+  emit_pool_span obs cfg.pool ~at:trading_makespan;
   let exec, results =
     match (st.sched, cfg.execute) with
     | Some sched, Some e ->
@@ -1359,6 +1435,7 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
       (fun acc tr -> Float.max acc (Float.max tr.t_finished_at tr.t_completed_at))
       st.mclock trades
   in
+  emit_pool_span obs cfg.pool ~at:trading_makespan;
   let exec =
     match (st.sched, cfg.execute) with
     | Some sched, Some e ->

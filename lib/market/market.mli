@@ -74,6 +74,15 @@ type config = {
           virtual timeline.  With [exec_feedback] on, measured task times
           flow back into seller load, closing the trade → execute →
           re-price loop. *)
+  pool : Qt_optimizer.Pool.t option;
+      (** Domain pool for pricing a wave's per-seller envelope groups in
+          parallel.  All clock, wire and metrics accounting is replayed
+          sequentially in envelope order on the coordinating domain, so
+          every output is byte-identical at any pool size.  Serving
+          falls back to serial while observability is enabled (span ids
+          are emission-ordered).  Seller-side and buyer-side DP
+          parallelism are configured on the trader config; [qtsim]'s
+          [--domains N] sets all three from one pool.  Default [None]. *)
 }
 
 val default_config : Qt_cost.Params.t -> config

@@ -6,6 +6,7 @@ module Listx = Qt_util.Listx
 
 type partial = {
   subset : string list;
+  mask : int;
   query : Ast.t;
   plan : Plan.t;
   rows : float;
@@ -13,8 +14,6 @@ type partial = {
 }
 
 type result = { partials : partial list; best : partial option }
-
-let key subset = String.concat "|" (List.sort String.compare subset)
 
 (* Top-level query semantics on top of a joined-rows plan.  The final Sort
    is skipped when the plan's output order already satisfies the ORDER BY
@@ -36,8 +35,10 @@ let finalize ~params ?(cpu_factor = 1.0) ?(io_factor = 1.0) ~env (q : Ast.t) pla
       Plan.Sort { input = with_distinct; keys = q.order_by; rows = Plan.rows with_distinct }
     else with_distinct
   in
+  let subset = List.sort String.compare (Analysis.aliases q) in
   {
-    subset = List.sort String.compare (Analysis.aliases q);
+    subset;
+    mask = (1 lsl List.length (List.sort_uniq String.compare subset)) - 1;
     query = q;
     plan = with_sort;
     rows = Plan.rows with_sort;
@@ -56,11 +57,10 @@ let algos_for preds =
   in
   if has_eq then [ Plan.Hash; Plan.Sort_merge ] else [ Plan.Nested_loop ]
 
-let optimize ~params ?(cpu_factor = 1.0) ?(io_factor = 1.0) ?prune ~env
+let optimize ~params ?(cpu_factor = 1.0) ?(io_factor = 1.0) ?prune ?pool ~env
     ~(base : string -> Plan.t option) (q : Ast.t) =
   let aliases = Analysis.aliases q in
   let plan_cost p = Plan.cost params ~cpu_factor ~io_factor p in
-  let response p = Cost.response (plan_cost p) in
   (* Level 1: access path plus local selections. *)
   let level1 =
     List.filter_map
@@ -80,115 +80,166 @@ let optimize ~params ?(cpu_factor = 1.0) ?(io_factor = 1.0) ?prune ~env
       aliases
   in
   let available = List.map fst level1 in
-  (* Two memo slots per subset: the cheapest plan, and (when different and
-     not dominated) the cheapest plan with a sorted output, kept because a
-     downstream merge join or ORDER BY may redeem its extra cost. *)
-  let table : (string, Plan.t) Hashtbl.t = Hashtbl.create 64 in
-  let ordered : (string, Plan.t) Hashtbl.t = Hashtbl.create 64 in
-  List.iter (fun (alias, plan) -> Hashtbl.replace table (key [ alias ]) plan) level1;
   let n = List.length available in
-  let connecting left right =
-    List.filter
+  (* Alias universe interned once: subsets, memo keys and predicate
+     coverage all become machine-word bit operations from here on. *)
+  let ctx = Bitset.make available in
+  let abit a = Bitset.bit ctx a in
+  (* Join predicates with every referenced alias available, paired with
+     their alias masks, in WHERE order.  A predicate mentioning an
+     unavailable alias can never be fully covered by a subset of the
+     available aliases, so it is excluded up front — exactly what the
+     legacy [for_all mem] test decided per probe. *)
+  let conn_preds =
+    List.filter_map
       (fun p ->
         let als = Analysis.predicate_aliases p in
-        List.length als > 1
-        && List.exists (fun a -> List.mem a left) als
-        && List.exists (fun a -> List.mem a right) als
-        && List.for_all (fun a -> List.mem a left || List.mem a right) als)
+        if List.length als > 1 then
+          let rec mask_of acc = function
+            | [] -> Some acc
+            | a :: rest -> (
+              match Bitset.bit_opt ctx a with
+              | Some b -> mask_of (acc lor b) rest
+              | None -> None)
+          in
+          Option.map (fun m -> (p, m)) (mask_of 0 als)
+        else None)
       q.where
   in
-  let inputs_for k =
-    match (Hashtbl.find_opt table k, Hashtbl.find_opt ordered k) with
+  let adj = Bitset.adjacency ctx (List.map Analysis.predicate_aliases q.where) in
+  (* Two memo slots per subset, each carrying the plan's cost so neither
+     candidate selection nor IDP pruning ever re-derives [Plan.cost]: the
+     cheapest plan, and (when different and not dominated) the cheapest
+     plan with a sorted output, kept because a downstream merge join or
+     ORDER BY may redeem its extra cost. *)
+  let table : (Plan.t * Cost.t) Bitset.table = Bitset.table_create ctx in
+  let ordered : (Plan.t * Cost.t) Bitset.table = Bitset.table_create ctx in
+  List.iter
+    (fun (alias, plan) -> Bitset.table_set table (abit alias) (plan, plan_cost plan))
+    level1;
+  let connecting left right union =
+    List.filter_map
+      (fun (p, pm) ->
+        if pm land left <> 0 && pm land right <> 0 && pm land lnot union = 0 then
+          Some p
+        else None)
+      conn_preds
+  in
+  let inputs_for mask =
+    match (Bitset.table_get table mask, Bitset.table_get ordered mask) with
     | Some a, Some b -> [ a; b ]
     | Some a, None -> [ a ]
     | None, Some b -> [ b ]
     | None, None -> []
   in
-  let levels : (int, string list list) Hashtbl.t = Hashtbl.create 8 in
-  Hashtbl.replace levels 1 (List.map (fun a -> [ a ]) available);
+  (* Build the best (and best-ordered) plan for one subset.  Reads only
+     strictly smaller memo entries, so all subsets of one level can be
+     computed concurrently; the caller merges results in enumeration
+     order, which keeps output byte-identical at any domain count. *)
+  let compute_subset smask =
+    let sorted_subset = Bitset.to_list ctx smask in
+    let first_bit = Bitset.lowest_bit smask in
+    let rest_mask = smask land lnot first_bit in
+    let out_rows = lazy (Estimate.subset_rows env q sorted_subset) in
+    let candidates = ref [] in
+    List.iter
+      (fun right ->
+        let left = smask land lnot right in
+        let preds = connecting left right smask in
+        if preds <> [] then begin
+          let out_rows = Lazy.force out_rows in
+          List.iter
+            (fun (lp, _) ->
+              List.iter
+                (fun (rp, _) ->
+                  List.iter
+                    (fun algo ->
+                      let build, probe =
+                        match algo with
+                        | Plan.Hash ->
+                          if Plan.rows lp <= Plan.rows rp then (lp, rp)
+                          else (rp, lp)
+                        | Plan.Sort_merge | Plan.Nested_loop -> (lp, rp)
+                      in
+                      let plan =
+                        Plan.Join { algo; build; probe; preds; rows = out_rows }
+                      in
+                      candidates := (plan, plan_cost plan) :: !candidates)
+                    (algos_for preds))
+                (inputs_for right))
+            (inputs_for left)
+        end)
+      (Bitset.nonempty_submasks rest_mask);
+    match Listx.min_by (fun (_, c) -> Cost.response c) !candidates with
+    | Some (best_plan, _ as best) ->
+      (* Retain the cheapest order-producing alternative when the overall
+         winner is unordered. *)
+      let ordered_candidates =
+        List.filter (fun (p, _) -> Plan.output_order p <> []) !candidates
+      in
+      let ord =
+        match Listx.min_by (fun (_, c) -> Cost.response c) ordered_candidates with
+        | Some op when Plan.output_order best_plan = [] -> Some op
+        | Some _ | None -> None
+      in
+      Some (smask, best, ord)
+    | None -> None
+  in
+  let levels : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.replace levels 1 (List.map abit available);
+  let from_bits = List.map abit available in
   for size = 2 to n do
     let subsets =
-      List.filter (Analysis.connected q) (Listx.subsets_of_size size available)
+      List.filter (Bitset.connected adj) (Bitset.subsets_of_size size from_bits)
+    in
+    let computed =
+      match pool with
+      | Some p when Pool.domains p > 1 && List.length subsets > 1 ->
+        Array.to_list (Pool.map p compute_subset (Array.of_list subsets))
+      | Some _ | None -> List.map compute_subset subsets
     in
     let built =
       List.filter_map
-        (fun subset ->
-          let sorted_subset = List.sort String.compare subset in
-          let first = List.hd sorted_subset in
-          let rest = List.tl sorted_subset in
-          let candidates = ref [] in
-          List.iter
-            (fun right ->
-              if right <> [] then begin
-                let left = first :: List.filter (fun a -> not (List.mem a right)) rest in
-                let preds = connecting left right in
-                if preds <> [] then begin
-                  let out_rows = Estimate.subset_rows env q sorted_subset in
-                  List.iter
-                    (fun lp ->
-                      List.iter
-                        (fun rp ->
-                          List.iter
-                            (fun algo ->
-                              let build, probe =
-                                match algo with
-                                | Plan.Hash ->
-                                  if Plan.rows lp <= Plan.rows rp then (lp, rp)
-                                  else (rp, lp)
-                                | Plan.Sort_merge | Plan.Nested_loop -> (lp, rp)
-                              in
-                              candidates :=
-                                Plan.Join { algo; build; probe; preds; rows = out_rows }
-                                :: !candidates)
-                            (algos_for preds))
-                        (inputs_for (key right)))
-                    (inputs_for (key left))
-                end
-              end)
-            (Listx.nonempty_subsets rest);
-          match Listx.min_by response !candidates with
-          | Some best_plan ->
-            Hashtbl.replace table (key sorted_subset) best_plan;
-            (* Retain the cheapest order-producing alternative when the
-               overall winner is unordered. *)
-            let ordered_candidates =
-              List.filter (fun p -> Plan.output_order p <> []) !candidates
-            in
-            (match Listx.min_by response ordered_candidates with
-            | Some op when Plan.output_order best_plan = [] ->
-              Hashtbl.replace ordered (key sorted_subset) op
-            | Some _ | None -> Hashtbl.remove ordered (key sorted_subset));
-            Some sorted_subset
-          | None -> None)
-        subsets
+        (function
+          | None -> None
+          | Some (smask, best, ord) ->
+            Bitset.table_set table smask best;
+            (match ord with
+            | Some op -> Bitset.table_set ordered smask op
+            | None -> Bitset.table_remove ordered smask);
+            Some smask)
+        computed
     in
     Hashtbl.replace levels size built;
     (* IDP(k,m): at level k, retain only the m cheapest sub-plans. *)
     (match prune with
     | Some (k, m) when size = k && List.length built > m ->
+      let response_of smask =
+        match Bitset.table_get table smask with
+        | Some (_, c) -> Cost.response c
+        | None -> infinity
+      in
       let ranked =
-        List.sort
-          (fun a b ->
-            Float.compare
-              (response (Hashtbl.find table (key a)))
-              (response (Hashtbl.find table (key b))))
-          built
+        List.sort (fun a b -> Float.compare (response_of a) (response_of b)) built
       in
       let keep = Listx.take m ranked in
+      let keep_set = Hashtbl.create (2 * m) in
+      List.iter (fun s -> Hashtbl.replace keep_set s ()) keep;
       List.iter
-        (fun subset ->
-          if not (List.mem subset keep) then begin
-            Hashtbl.remove table (key subset);
-            Hashtbl.remove ordered (key subset)
+        (fun smask ->
+          if not (Hashtbl.mem keep_set smask) then begin
+            Bitset.table_remove table smask;
+            Bitset.table_remove ordered smask
           end)
         built;
       Hashtbl.replace levels size keep
     | Some _ | None -> ())
   done;
-  let partial_of subset =
-    match Hashtbl.find_opt table (key subset) with
+  let partial_of smask =
+    match Bitset.table_get table smask with
     | None -> None
-    | Some plan ->
+    | Some (plan, _) ->
+      let subset = Bitset.to_list ctx smask in
       let restricted = Analysis.restrict q subset in
       let projected =
         Plan.Project { input = plan; select = restricted.select; rows = Plan.rows plan }
@@ -196,6 +247,7 @@ let optimize ~params ?(cpu_factor = 1.0) ?(io_factor = 1.0) ?prune ~env
       Some
         {
           subset;
+          mask = smask;
           query = restricted;
           plan = projected;
           rows = Plan.rows projected;
@@ -211,13 +263,12 @@ let optimize ~params ?(cpu_factor = 1.0) ?(io_factor = 1.0) ?prune ~env
       (Listx.range 1 n)
   in
   let best =
-    let full = List.sort String.compare aliases in
     if List.length available <> List.length aliases || n = 0 then None
     else
       let finalized =
         List.map
-          (fun plan -> finalize ~params ~cpu_factor ~io_factor ~env q plan)
-          (inputs_for (key full))
+          (fun (plan, _) -> finalize ~params ~cpu_factor ~io_factor ~env q plan)
+          (inputs_for (Bitset.full ctx))
       in
       Listx.min_by (fun p -> Cost.response p.cost) finalized
   in

@@ -8,10 +8,23 @@
     - {b IDP(k,m) pruning} (Kossmann & Stocker): after all [k]-way
       sub-plans are built, only the best [m] are retained; larger plans are
       built from the survivors.  [IDP-M(2,5)] is the variant the paper
-      names for the buyer plan generator. *)
+      names for the buyer plan generator.
+
+    The enumeration core runs on interned alias bitsets ({!Bitset}):
+    subset connectivity, predicate coverage and memo probes are
+    machine-word bit operations, and levels can be enumerated in parallel
+    on a {!Pool} with results merged in enumeration order — output is
+    byte-identical to the serial path at any domain count.  The original
+    string-list enumeration survives as {!Dp_legacy} and is oracle-tested
+    against this one. *)
 
 type partial = {
   subset : string list;  (** Sorted aliases covered. *)
+  mask : int;
+      (** The same subset as a bitset over the enumeration's alias
+          universe in sorted order.  Bit indices are only meaningful
+          relative to the query that produced the partial; cardinality
+          ([Bitset.card]) is always faithful to [List.length subset]. *)
   query : Qt_sql.Ast.t;  (** The restricted query this plan answers. *)
   plan : Plan.t;
   rows : float;
@@ -33,6 +46,7 @@ val optimize :
   ?cpu_factor:float ->
   ?io_factor:float ->
   ?prune:int * int ->
+  ?pool:Pool.t ->
   env:Qt_stats.Estimate.env ->
   base:(string -> Plan.t option) ->
   Qt_sql.Ast.t ->
@@ -41,7 +55,9 @@ val optimize :
     supplies the access path for an alias — a fragment scan (possibly a
     union of fragment scans) for a seller, a remote-capable scan for the
     baselines — or [None] if the alias is unavailable, in which case
-    partials simply avoid it.  [prune = (k, m)] enables IDP(k,m). *)
+    partials simply avoid it.  [prune = (k, m)] enables IDP(k,m).
+    [pool] parallelizes each DP level's subset enumeration across its
+    domains; results are identical to the serial path. *)
 
 val finalize :
   params:Qt_cost.Params.t ->
@@ -55,3 +71,8 @@ val finalize :
     query with the query's top-level semantics (aggregate / distinct / sort
     / project), returning it as a full-cover partial.  Shared by the seller
     optimizer and the buyer plan generator. *)
+
+val algos_for : Qt_sql.Ast.predicate list -> Plan.join_algo list
+(** Join algorithms applicable to a predicate set: hash and sort-merge
+    when an equality conjunct crosses relations, else nested loop.
+    Exposed for {!Dp_legacy}. *)

@@ -1,0 +1,16 @@
+(** The original string-list DP join enumeration, frozen at its pre-bitset
+    state.  Serves two purposes: the oracle for the bitset core's parity
+    test (same plans, same costs, same order), and the seed-equivalent
+    serial baseline the [optimizer] bench measures wall-clock speedups
+    against (enable with [Seller.config.legacy_dp]).  Not parallelizable
+    and not maintained for speed — do not use outside tests/benches. *)
+
+val optimize :
+  params:Qt_cost.Params.t ->
+  ?cpu_factor:float ->
+  ?io_factor:float ->
+  ?prune:int * int ->
+  env:Qt_stats.Estimate.env ->
+  base:(string -> Plan.t option) ->
+  Qt_sql.Ast.t ->
+  Dp.result

@@ -277,18 +277,30 @@ module Sig = struct
   (* Hash-consing: one record per distinct signature string, so equality
      is an int comparison and hashing never re-reads the SQL text.  The
      table only ever grows; signatures are tiny and the set of distinct
-     normalized queries in a trading session is bounded by the workload. *)
+     normalized queries in a trading session is bounded by the workload.
+
+     The table is process-global and sellers may price in parallel on
+     several domains, so interning takes a mutex.  Intern *ids* can then
+     depend on scheduling — which is fine precisely because [compare]
+     orders by the signature text: ids never leak into observable
+     results, only into hashing. *)
   let interned : (string, t) Hashtbl.t = Hashtbl.create 256
   let counter = ref 0
+  let lock = Mutex.create ()
 
   let intern repr =
-    match Hashtbl.find_opt interned repr with
-    | Some s -> s
-    | None ->
-      let s = { id = !counter; repr } in
-      incr counter;
-      Hashtbl.replace interned repr s;
-      s
+    Mutex.lock lock;
+    let s =
+      match Hashtbl.find_opt interned repr with
+      | Some s -> s
+      | None ->
+        let s = { id = !counter; repr } in
+        incr counter;
+        Hashtbl.replace interned repr s;
+        s
+    in
+    Mutex.unlock lock;
+    s
 
   let of_ast q = intern (signature q)
   let id s = s.id

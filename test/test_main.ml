@@ -21,6 +21,7 @@ let () =
       Test_core.suite;
       Test_baseline.suite;
       Test_sim.suite;
+      Test_parallel.suite;
       Test_extra.suite;
       Test_local_exec.suite;
       Test_errors.suite;
