@@ -1580,6 +1580,175 @@ let r_optimizer () =
       legacy_s d4_s speedup
 
 (* ------------------------------------------------------------------ *)
+(* R-cache: result/statement cache tier, off vs client vs shared        *)
+(* ------------------------------------------------------------------ *)
+
+let r_cache () =
+  heading "R-cache"
+    "cache tier on a Zipf-hot stream: off vs per-client vs shared, telecom \
+     and tpch schemas, BENCH_cache.json";
+  let module Market = Qt_market.Market in
+  let module Arrivals = Qt_stream.Arrivals in
+  let module Sla = Qt_stream.Sla in
+  let module Tier = Qt_cache.Tier in
+  (* A hot Zipf stream (theta 1.1 over 12 templates) arriving faster than
+     the federation can trade and execute from scratch: without reuse
+     most queries blow their SLA deadline, so the cache tier's value
+     shows up directly as goodput.  Both placements use the same tier
+     parameters; the only difference is how many instances the arrivals
+     are spread over. *)
+  let arrivals_count = 10_000 and rate = 8.0 and theta = 1.1 in
+  let schemas =
+    [
+      ( "telecom",
+        Generator.telecom ~nodes:8
+          ~placement:{ Generator.partitions = 4; replicas = 1 }
+          (),
+        Workload.telecom_templates ~seed:11 ~count:12 );
+      ( "tpch",
+        Generator.tpch ~nodes:4
+          ~placement:{ Generator.partitions = 4; replicas = 1 }
+          (),
+        Workload.tpch_templates ~seed:11 ~count:12 );
+    ]
+  in
+  let run federation templates placement =
+    let templates = Array.of_list templates in
+    let arrivals =
+      Arrivals.generate ~seed:13
+        ~process:(Arrivals.Poisson { rate })
+        ~horizon:(Arrivals.Count arrivals_count)
+        ~templates:(Array.length templates) ~theta ~mix:Sla.default_mix
+    in
+    let qcache =
+      Option.map
+        (fun placement ->
+          Tier.create { Tier.default_config with Tier.placement })
+        placement
+    in
+    let d = Market.default_stream_config params in
+    let base =
+      {
+        d.Market.base with
+        Market.execute = Some Market.default_exec;
+        qcache;
+      }
+    in
+    Market.run_stream { d with Market.base } federation ~templates arrivals
+  in
+  let hit_rate (s : Market.stream_stats) =
+    match s.Market.str_qcache with
+    | None -> 0.
+    | Some q ->
+      float_of_int q.Tier.trades_avoided /. float_of_int s.Market.str_arrivals
+  in
+  let s_goodput (s : Market.stream_stats) = s.Market.str_goodput in
+  let t =
+    Texttable.create
+      [
+        "schema"; "cache"; "goodput"; "hit rate"; "expired"; "makespan";
+        "exec avoided";
+      ]
+  in
+  let results =
+    List.map
+      (fun (schema, federation, templates) ->
+        let arms =
+          List.map
+            (fun (name, placement) ->
+              let s = run federation templates placement in
+              let avoided =
+                match s.Market.str_qcache with
+                | None -> 0
+                | Some q -> q.Tier.executions_avoided
+              in
+              Texttable.add_row t
+                [
+                  schema; name;
+                  Printf.sprintf "%.4f" s.Market.str_goodput;
+                  Printf.sprintf "%.4f" (hit_rate s);
+                  string_of_int s.Market.str_expired;
+                  Printf.sprintf "%.1fs" s.Market.str_makespan;
+                  string_of_int avoided;
+                ];
+              bench ~scenario:"cache"
+                [
+                  ("schema", Bench_json.S schema);
+                  ("cache", Bench_json.S name);
+                  ("goodput", Bench_json.F s.Market.str_goodput);
+                  ("hit_rate", Bench_json.F (hit_rate s));
+                  ("expired", Bench_json.I s.Market.str_expired);
+                  ("makespan", Bench_json.F s.Market.str_makespan);
+                  ("executions_avoided", Bench_json.I avoided);
+                ];
+              (name, s))
+            [ ("off", None); ("client", Some Tier.Client);
+              ("shared", Some Tier.Shared) ]
+        in
+        (schema, arms))
+      schemas
+  in
+  Texttable.print t;
+  let arm schema name =
+    List.assoc name (List.assoc schema results)
+  in
+  let fields =
+    ("scenario", Bench_json.S "cache")
+    :: ("arrivals", Bench_json.I arrivals_count)
+    :: ("rate", Bench_json.F rate)
+    :: ("theta", Bench_json.F theta)
+    :: List.concat_map
+         (fun (schema, arms) ->
+           List.concat_map
+             (fun (name, s) ->
+               [
+                 (schema ^ "_" ^ name ^ "_goodput",
+                  Bench_json.F s.Market.str_goodput);
+                 (schema ^ "_" ^ name ^ "_hit_rate",
+                  Bench_json.F (hit_rate s));
+                 (schema ^ "_" ^ name ^ "_makespan",
+                  Bench_json.F s.Market.str_makespan);
+               ])
+             arms)
+         results
+  in
+  Bench_json.to_file "BENCH_cache.json" fields;
+  Printf.printf "wrote BENCH_cache.json\n";
+  let failed = ref false in
+  List.iter
+    (fun (schema, _) ->
+      let off = arm schema "off"
+      and client = arm schema "client"
+      and shared = arm schema "shared" in
+      if hit_rate shared <= hit_rate client then begin
+        Printf.printf
+          "FAIL (%s): shared hit rate %.4f <= client hit rate %.4f — \
+           placements did not separate\n"
+          schema (hit_rate shared) (hit_rate client);
+        failed := true
+      end;
+      if s_goodput shared < 1.5 *. s_goodput off then begin
+        Printf.printf
+          "FAIL (%s): shared goodput %.4f < 1.5x off goodput %.4f\n"
+          schema (s_goodput shared) (s_goodput off);
+        failed := true
+      end)
+    results;
+  if !failed then exit 1
+  else
+    List.iter
+      (fun (schema, _) ->
+        let off = arm schema "off"
+        and client = arm schema "client"
+        and shared = arm schema "shared" in
+        Printf.printf
+          "PASS (%s): goodput %.4f (off) -> %.4f (client) -> %.4f (shared), \
+           shared hit rate %.4f > client %.4f\n"
+          schema (s_goodput off) (s_goodput client) (s_goodput shared)
+          (hit_rate shared) (hit_rate client))
+      results
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1653,46 +1822,63 @@ let micro () =
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Scenarios that gate CI declare the JSON artifact they must produce;
+   the driver deletes any stale copy before the run and fails loudly if
+   the scenario exits without recreating it, so a silently-skipped
+   [Bench_json.to_file] can never pass as a fresh measurement. *)
 let all =
   [
-    ("params", r_t1);
-    ("f1", r_f1);
-    ("f2", r_f2);
-    ("f3", r_f3);
-    ("f4", r_f4);
-    ("f5", r_f5);
-    ("f6", r_f6);
-    ("f7", r_f7);
-    ("f8", r_f8);
-    ("f9", r_f9);
-    ("f10", r_f10);
-    ("f11", r_f11);
-    ("f12", r_f12);
-    ("f13", r_f13);
-    ("f14", r_f14);
-    ("f15", r_f15);
-    ("fault", r_fault);
-    ("trading", r_trading);
-    ("market", r_market);
-    ("obs", r_obs);
-    ("execsched", r_execsched);
-    ("stream", r_stream);
-    ("optimizer", r_optimizer);
-    ("micro", micro);
+    ("params", None, r_t1);
+    ("f1", None, r_f1);
+    ("f2", None, r_f2);
+    ("f3", None, r_f3);
+    ("f4", None, r_f4);
+    ("f5", None, r_f5);
+    ("f6", None, r_f6);
+    ("f7", None, r_f7);
+    ("f8", None, r_f8);
+    ("f9", None, r_f9);
+    ("f10", None, r_f10);
+    ("f11", None, r_f11);
+    ("f12", None, r_f12);
+    ("f13", None, r_f13);
+    ("f14", None, r_f14);
+    ("f15", None, r_f15);
+    ("fault", None, r_fault);
+    ("trading", None, r_trading);
+    ("market", None, r_market);
+    ("obs", Some "BENCH_obs.json", r_obs);
+    ("execsched", Some "BENCH_execsched.json", r_execsched);
+    ("stream", Some "BENCH_stream.json", r_stream);
+    ("optimizer", Some "BENCH_optimizer.json", r_optimizer);
+    ("cache", Some "BENCH_cache.json", r_cache);
+    ("micro", None, micro);
   ]
 
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all
+    | _ -> List.map (fun (name, _, _) -> name) all
   in
   List.iter
     (fun name ->
-      match List.assoc_opt name all with
-      | Some f -> f ()
+      match List.find_opt (fun (n, _, _) -> n = name) all with
+      | Some (_, artifact, f) ->
+        Option.iter
+          (fun a -> if Sys.file_exists a then Sys.remove a)
+          artifact;
+        f ();
+        Option.iter
+          (fun a ->
+            if not (Sys.file_exists a) then begin
+              Printf.eprintf
+                "FAIL: scenario %s finished without writing %s\n" name a;
+              exit 1
+            end)
+          artifact
       | None ->
         Printf.eprintf "unknown experiment %s; known: %s\n" name
-          (String.concat ", " (List.map fst all));
+          (String.concat ", " (List.map (fun (n, _, _) -> n) all));
         exit 2)
     requested

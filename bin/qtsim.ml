@@ -46,7 +46,9 @@ let schema_arg =
   Arg.(
     value & opt string "telecom"
     & info [ "schema" ] ~docv:"SCHEMA"
-        ~doc:"Federation schema: 'telecom' or 'chain:K' (K relations).")
+        ~doc:
+          "Federation schema: 'telecom', 'tpch' (join-heavy TPC-H flavour) \
+           or 'chain:K' (K relations).")
 
 let sql_arg =
   Arg.(
@@ -190,6 +192,10 @@ let build_federation schema nodes partitions replicas views =
     Qt_sim.Generator.telecom ~nodes
       ~placement:{ Qt_sim.Generator.partitions; replicas }
       ~with_views:views ()
+  | [ "tpch" ] ->
+    Qt_sim.Generator.tpch ~nodes
+      ~placement:{ Qt_sim.Generator.partitions; replicas }
+      ()
   | [ "chain"; k ] when int_of_string_opt k <> None ->
     Qt_sim.Generator.chain ~nodes ~relations:(int_of_string k)
       ~placement:{ Qt_sim.Generator.partitions; replicas }
@@ -198,7 +204,105 @@ let build_federation schema nodes partitions replicas views =
     failwith
       (Printf.sprintf "chain schema needs a relation count, e.g. chain:3 (got %s)"
          schema)
-  | _ -> failwith (Printf.sprintf "unknown schema %s (try telecom or chain:3)" schema)
+  | _ ->
+    failwith
+      (Printf.sprintf "unknown schema %s (try telecom, tpch or chain:3)" schema)
+
+(* Per-schema query pool for the batch subcommands (workload, market). *)
+let batch_queries schema ~count =
+  if String.length schema >= 5 && String.sub schema 0 5 = "chain" then
+    let relations =
+      match String.split_on_char ':' schema with
+      | [ "chain"; k ] -> int_of_string k
+      | _ -> 2
+    in
+    Qt_sim.Workload.random_chain_queries ~seed:11 ~count ~relations
+      ~max_joins:(relations - 1)
+  else if schema = "tpch" then Qt_sim.Workload.tpch_templates ~seed:11 ~count
+  else
+    List.init count (fun i ->
+        Qt_sim.Workload.telecom_revenue_by_office
+          ~custid_range:(0, 999 + (137 * i mod 3000))
+          ())
+
+(* ------------------------------------------------------------------ *)
+(* Query-cache tier flags (market, stream)                              *)
+(* ------------------------------------------------------------------ *)
+
+let cache_arg =
+  Arg.(
+    value & opt string "off"
+    & info [ "cache" ] ~docv:"MODE"
+        ~doc:
+          "Query-cache tier for repeated statements and results: 'off', \
+           'client' (one private cache per buyer) or 'shared' (one \
+           federation-wide cache).  Hits skip trading (and execution, with \
+           $(b,--execute)) and settle a discounted price to the original \
+           sellers.")
+
+let cache_clients_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "cache-clients" ] ~docv:"N"
+        ~doc:"Private cache instances for $(b,--cache) client placement.")
+
+let cache_latency_arg =
+  Arg.(
+    value & opt float 0.002
+    & info [ "cache-latency" ] ~docv:"S"
+        ~doc:"Simulated seconds charged per cache probe, hit or miss.")
+
+let cache_fraction_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "cache-fraction" ] ~docv:"F"
+        ~doc:
+          "Fraction of the original per-seller work settled as the \
+           discounted hit price (in [0,1]).")
+
+let cache_bytes_arg =
+  Arg.(
+    value & opt int (16 * 1024 * 1024)
+    & info [ "cache-bytes" ] ~docv:"B"
+        ~doc:"Result-cache byte budget before LRU eviction.")
+
+let build_qcache mode clients latency fraction bytes =
+  match mode with
+  | "off" -> None
+  | "client" | "shared" ->
+    Some
+      (Qt_cache.Tier.create
+         {
+           Qt_cache.Tier.default_config with
+           Qt_cache.Tier.placement =
+             (if mode = "client" then Qt_cache.Tier.Client
+              else Qt_cache.Tier.Shared);
+           clients;
+           lookup_latency = latency;
+           hit_price_fraction = fraction;
+           result_bytes = bytes;
+         })
+  | other ->
+    failwith
+      (Printf.sprintf "unknown cache mode %s (try off, client or shared)" other)
+
+let print_qcache_stats (q : Qt_cache.Tier.stats) =
+  Printf.printf
+    "query cache (%s): stmt %d hits / %d misses (%d invalidated, %d \
+     evicted), result %d hits / %d misses (%d invalidated, %d evicted)\n"
+    q.Qt_cache.Tier.placement q.Qt_cache.Tier.stmt.Qt_cache.Statement_cache.hits
+    q.Qt_cache.Tier.stmt.Qt_cache.Statement_cache.misses
+    q.Qt_cache.Tier.stmt.Qt_cache.Statement_cache.invalidations
+    q.Qt_cache.Tier.stmt.Qt_cache.Statement_cache.evictions
+    q.Qt_cache.Tier.result.Qt_cache.Result_cache.hits
+    q.Qt_cache.Tier.result.Qt_cache.Result_cache.misses
+    q.Qt_cache.Tier.result.Qt_cache.Result_cache.invalidations
+    q.Qt_cache.Tier.result.Qt_cache.Result_cache.evictions;
+  Printf.printf
+    "  %d trades avoided, %d executions avoided, %.4fs hit revenue settled, \
+     %d result bytes held\n"
+    q.Qt_cache.Tier.trades_avoided q.Qt_cache.Tier.executions_avoided
+    q.Qt_cache.Tier.hit_revenue q.Qt_cache.Tier.result_bytes_held
 
 (* Positional, order-insensitive result comparison against the oracle
    (optimized plans may name aggregate columns differently). *)
@@ -508,21 +612,7 @@ let trace_cmd =
 let run_workload schema nodes partitions replicas profile count feedback competitive =
   let params = params_of_profile profile in
   let federation = build_federation schema nodes partitions replicas false in
-  let relations =
-    match String.split_on_char ':' schema with
-    | [ "chain"; k ] -> int_of_string k
-    | _ -> 2
-  in
-  let queries =
-    if String.length schema >= 5 && String.sub schema 0 5 = "chain" then
-      Qt_sim.Workload.random_chain_queries ~seed:11 ~count ~relations
-        ~max_joins:(relations - 1)
-    else
-      List.init count (fun i ->
-          Qt_sim.Workload.telecom_revenue_by_office
-            ~custid_range:(0, 999 + (137 * i mod 3000))
-            ())
-  in
+  let queries = batch_queries schema ~count in
   let config =
     {
       (Qt_sim.Workload_sim.default_config params) with
@@ -576,27 +666,14 @@ let workload_cmd =
 
 let run_market schema nodes partitions replicas profile count concurrency slots
     queue policy no_batching seed competitive json trace metrics execute workers
-    exec_seed no_exec_feedback no_sharing domains =
+    exec_seed no_exec_feedback no_sharing cache cache_clients cache_latency
+    cache_fraction cache_bytes domains =
   with_pool domains @@ fun pool ->
   let module Market = Qt_market.Market in
   let module Admission = Qt_market.Admission in
   let params = params_of_profile profile in
   let federation = build_federation schema nodes partitions replicas false in
-  let relations =
-    match String.split_on_char ':' schema with
-    | [ "chain"; k ] -> int_of_string k
-    | _ -> 2
-  in
-  let queries =
-    if String.length schema >= 5 && String.sub schema 0 5 = "chain" then
-      Qt_sim.Workload.random_chain_queries ~seed:11 ~count ~relations
-        ~max_joins:(relations - 1)
-    else
-      List.init count (fun i ->
-          Qt_sim.Workload.telecom_revenue_by_office
-            ~custid_range:(0, 999 + (137 * i mod 3000))
-            ())
-  in
+  let queries = batch_queries schema ~count in
   let policy =
     match Admission.policy_of_string policy with
     | Some p -> p
@@ -639,6 +716,8 @@ let run_market schema nodes partitions replicas profile count concurrency slots
                share_results = not no_sharing;
              }
          else None);
+      qcache = build_qcache cache cache_clients cache_latency cache_fraction
+          cache_bytes;
       pool;
     }
   in
@@ -710,6 +789,7 @@ let run_market schema nodes partitions replicas profile count concurrency slots
       s.Market.cache.Qt_core.Seller.hits s.Market.cache.Qt_core.Seller.misses
       s.Market.cache.Qt_core.Seller.invalidations
       s.Market.cache.Qt_core.Seller.evictions;
+    Option.iter print_qcache_stats s.Market.qcache;
     List.iter
       (fun (x : Market.seller_stats) ->
         let a = x.Market.admission in
@@ -829,7 +909,9 @@ let market_cmd =
       $ profile_arg $ count_arg $ concurrency_arg $ slots_arg $ queue_arg
       $ policy_arg $ no_batching_arg $ seed_arg $ competitive_arg $ json_arg
       $ trace_arg $ metrics_arg $ market_execute_arg $ workers_arg
-      $ exec_seed_arg $ no_exec_feedback_arg $ no_sharing_arg $ domains_arg)
+      $ exec_seed_arg $ no_exec_feedback_arg $ no_sharing_arg $ cache_arg
+      $ cache_clients_arg $ cache_latency_arg $ cache_fraction_arg
+      $ cache_bytes_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stream                                                               *)
@@ -846,7 +928,8 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
     burst_off queries duration templates zipf mix deadlines shedding concurrency
     slots queue policy admission_retries no_batching seed arrival_seed
     competitive json trace metrics execute workers exec_seed no_exec_feedback
-    no_sharing record replay domains =
+    no_sharing cache cache_clients cache_latency cache_fraction cache_bytes
+    record replay domains =
   with_pool domains @@ fun pool ->
   let module Market = Qt_market.Market in
   let module Admission = Qt_market.Admission in
@@ -865,6 +948,8 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
       in
       Qt_sim.Workload.random_chain_queries ~seed:11 ~count:templates ~relations
         ~max_joins:(relations - 1)
+    else if schema = "tpch" then
+      Qt_sim.Workload.tpch_templates ~seed:11 ~count:templates
     else Qt_sim.Workload.telecom_templates ~seed:11 ~count:templates
   in
   let mix = ok_or_fail (Sla.mix_of_string mix) in
@@ -941,6 +1026,8 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
                share_results = not no_sharing;
              }
          else None);
+      qcache = build_qcache cache cache_clients cache_latency cache_fraction
+          cache_bytes;
       pool;
     }
   in
@@ -1004,6 +1091,7 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
       s.Market.str_cache.Qt_core.Seller.misses
       s.Market.str_cache.Qt_core.Seller.invalidations
       s.Market.str_cache.Qt_core.Seller.evictions;
+    Option.iter print_qcache_stats s.Market.str_qcache;
     Option.iter
       (fun (e : Market.exec_stats) ->
         Printf.printf "execution: %d tasks, %d shared results, exec makespan %.4fs\n"
@@ -1210,7 +1298,9 @@ let stream_cmd =
       $ arrival_seed_arg
       $ competitive_arg $ json_arg $ trace_arg $ metrics_arg
       $ stream_execute_arg $ workers_arg $ exec_seed_arg $ no_exec_feedback_arg
-      $ no_sharing_arg $ record_arg $ replay_arg $ domains_arg)
+      $ no_sharing_arg $ cache_arg $ cache_clients_arg $ cache_latency_arg
+      $ cache_fraction_arg $ cache_bytes_arg $ record_arg $ replay_arg
+      $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check-trace                                                          *)

@@ -1,0 +1,95 @@
+module Sig = Qt_sql.Analysis.Sig
+module Metrics = Qt_obs.Metrics
+
+type entry = {
+  plan : Qt_optimizer.Plan.t;
+  plan_cost : float;
+  contracts : (int * float) list;
+  sources : (int * int) list;
+  mutable used : int;
+}
+
+type t = {
+  entries : (int, entry) Hashtbl.t;  (* keyed by Sig.id; never observable *)
+  max_entries : int;
+  mutable tick : int;
+  c_hits : Metrics.counter;
+  c_misses : Metrics.counter;
+  c_invalidations : Metrics.counter;
+  c_evictions : Metrics.counter;
+}
+
+let create ?(metrics = Metrics.create ()) ?(prefix = "qcache.stmt") ~max_entries
+    () =
+  if max_entries < 1 then
+    invalid_arg "Statement_cache.create: max_entries must be at least 1";
+  {
+    entries = Hashtbl.create 64;
+    max_entries;
+    tick = 0;
+    c_hits = Metrics.counter metrics (prefix ^ ".hits");
+    c_misses = Metrics.counter metrics (prefix ^ ".misses");
+    c_invalidations = Metrics.counter metrics (prefix ^ ".invalidations");
+    c_evictions = Metrics.counter metrics (prefix ^ ".evictions");
+  }
+
+(* Insertion counts as a use, and every use gets a distinct tick, so the
+   LRU victim is always unique — eviction order is deterministic. *)
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.used <- t.tick
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.used <= e.used -> acc
+        | _ -> Some (key, e))
+      t.entries None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+    Hashtbl.remove t.entries key;
+    Metrics.incr t.c_evictions
+
+let insert t sg ~plan ~plan_cost ~contracts ~sources =
+  if not (Hashtbl.mem t.entries (Sig.id sg)) then
+    if Hashtbl.length t.entries >= t.max_entries then evict_lru t;
+  let entry = { plan; plan_cost; contracts; sources; used = 0 } in
+  touch t entry;
+  Hashtbl.replace t.entries (Sig.id sg) entry
+
+(* A plan stays valid as long as every node it buys from still has the
+   catalog it was priced against; bumping an uninvolved node's
+   fingerprint leaves the entry untouched. *)
+let entry_valid ~fingerprint e =
+  List.for_all (fun (node, fp) -> fingerprint node = fp) e.sources
+
+let find t ~fingerprint sg =
+  match Hashtbl.find_opt t.entries (Sig.id sg) with
+  | None ->
+    Metrics.incr t.c_misses;
+    None
+  | Some e when entry_valid ~fingerprint e ->
+    Metrics.incr t.c_hits;
+    touch t e;
+    Some e
+  | Some _ ->
+    Hashtbl.remove t.entries (Sig.id sg);
+    Metrics.incr t.c_invalidations;
+    Metrics.incr t.c_misses;
+    None
+
+type stats = { hits : int; misses : int; invalidations : int; evictions : int }
+
+let stats t =
+  {
+    hits = Metrics.value t.c_hits;
+    misses = Metrics.value t.c_misses;
+    invalidations = Metrics.value t.c_invalidations;
+    evictions = Metrics.value t.c_evictions;
+  }
+
+let length t = Hashtbl.length t.entries

@@ -1,0 +1,58 @@
+(** Statement cache: interned query signature → previously-traded plan.
+
+    A hit short-circuits the whole trading loop — RFB broadcast, seller
+    pricing, negotiation and plan generation — and goes straight to
+    admission with the remembered plan and per-seller contracts.
+
+    Validity is {e selective}: an entry records the catalog fingerprint
+    of every node its plan buys from ([sources]), and stays valid as long
+    as those specific nodes are unchanged.  A catalog bump on an
+    uninvolved node does not invalidate it (unlike the result cache,
+    which keys on the federation-wide epoch).
+
+    Capacity-bounded with a deterministic tick-based LRU; all counters
+    live in a {!Qt_obs.Metrics} registry under [<prefix>.hits/.misses/
+    .invalidations/.evictions]. *)
+
+type t
+
+type entry = {
+  plan : Qt_optimizer.Plan.t;
+  plan_cost : float;  (** Estimated response time of the plan. *)
+  contracts : (int * float) list;
+      (** Per-seller (node id, work) the plan purchases — what admission
+          and revenue settlement need. *)
+  sources : (int * int) list;
+      (** (node id, {!Qt_catalog.Node.fingerprint}) at insertion time. *)
+  mutable used : int;  (** LRU tick; managed by the cache. *)
+}
+
+val create :
+  ?metrics:Qt_obs.Metrics.t ->
+  ?prefix:string ->
+  max_entries:int ->
+  unit ->
+  t
+(** Caches sharing a registry and prefix share counters (the tier uses
+    this to aggregate per-client instances).
+    @raise Invalid_argument if [max_entries < 1]. *)
+
+val insert :
+  t ->
+  Qt_sql.Analysis.Sig.t ->
+  plan:Qt_optimizer.Plan.t ->
+  plan_cost:float ->
+  contracts:(int * float) list ->
+  sources:(int * int) list ->
+  unit
+
+val find :
+  t -> fingerprint:(int -> int) -> Qt_sql.Analysis.Sig.t -> entry option
+(** [find t ~fingerprint sg] validates each source node's current
+    fingerprint; a mismatch drops the entry (counted as invalidation +
+    miss).  A hit refreshes the entry's LRU tick. *)
+
+type stats = { hits : int; misses : int; invalidations : int; evictions : int }
+
+val stats : t -> stats
+val length : t -> int

@@ -32,6 +32,15 @@ let relation_covered t rel =
     let ranges = List.concat_map (fun n -> Node.coverage n rel) t.nodes in
     Interval.union_covers ranges whole
 
+let fingerprint t id = Node.fingerprint (node t id)
+
+let epoch t =
+  let prints =
+    List.sort compare
+      (List.map (fun (n : Node.t) -> (n.node_id, Node.fingerprint n)) t.nodes)
+  in
+  Hashtbl.hash_param 1000 1000 prints
+
 let total_fragment_rows t rel =
   List.fold_left
     (fun acc n ->

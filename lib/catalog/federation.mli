@@ -24,6 +24,15 @@ val relation_covered : t -> string -> bool
 (** Whether the union of all nodes' fragments covers the relation's full
     key range (i.e. the query is answerable at all). *)
 
+val fingerprint : t -> int -> int
+(** [fingerprint t id] is {!Node.fingerprint} of node [id].
+    @raise Not_found for an unknown id. *)
+
+val epoch : t -> int
+(** Digest of every member node's {!Node.fingerprint}.  Changes whenever
+    any node's catalog changes — the coarse federation-wide staleness
+    token the result cache validates against. *)
+
 val total_fragment_rows : t -> string -> int
 (** Sum of fragment rows over all nodes (counts replicas multiple times). *)
 

@@ -33,6 +33,10 @@ let holds_relation t rel = fragments_of t rel <> []
 
 let coverage t rel = List.map (fun (f : Fragment.t) -> f.range) (fragments_of t rel)
 
+let fingerprint t =
+  Hashtbl.hash_param 1000 1000
+    (t.fragments, t.views, t.capabilities, t.cpu_factor, t.io_factor)
+
 let pp ppf t =
   Format.fprintf ppf "node %d (%s): %a%s" t.node_id t.name
     (Format.pp_print_list

@@ -53,4 +53,11 @@ val holds_relation : t -> string -> bool
 val coverage : t -> string -> Qt_util.Interval.t list
 (** Key ranges of the relation this node can serve. *)
 
+val fingerprint : t -> int
+(** Structural hash of the node's catalog contents (fragments, views,
+    capabilities, speed factors).  Any change to what the node holds or
+    how fast it serves changes the fingerprint, so caches keyed on it
+    (seller bid cache, the federation cache tier) invalidate exactly when
+    the catalog they priced against is gone. *)
+
 val pp : Format.formatter -> t -> unit

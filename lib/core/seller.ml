@@ -597,12 +597,9 @@ let cache_insert (c : cache) key entry =
   cache_touch c entry;
   Hashtbl.replace c.entries key entry
 
-(* Structural digest of everything pricing reads from the node's catalog.
-   [hash_param] with large bounds walks the whole value, so any fragment,
-   view, capability or speed-factor change produces a new fingerprint. *)
-let catalog_fingerprint (node : Node.t) =
-  Hashtbl.hash_param 1000 1000
-    (node.fragments, node.views, node.capabilities, node.cpu_factor, node.io_factor)
+(* Structural digest of everything pricing reads from the node's catalog;
+   shared with the federation cache tier via [Node.fingerprint]. *)
+let catalog_fingerprint (node : Node.t) = Node.fingerprint node
 
 let entry_valid config ~fingerprint e =
   e.e_load = config.load

@@ -76,6 +76,7 @@ type t = {
   mutable completed : int;
   mutable submitted : int;
   mutable shared_hits : int;
+  mutable on_result : (trade:int -> at:float -> Table.t -> unit) option;
 }
 
 let create ?(obs = Obs.disabled) config params store federation =
@@ -97,7 +98,19 @@ let create ?(obs = Obs.disabled) config params store federation =
     completed = 0;
     submitted = 0;
     shared_hits = 0;
+    on_result = None;
   }
+
+let set_on_result t f = t.on_result <- f
+
+let notify_result t ~trade ~at (root : dep) =
+  match t.on_result with
+  | None -> ()
+  | Some f -> (
+    let producer = Hashtbl.find t.tasks root.d_task in
+    match producer.t_table with
+    | Some table -> f ~trade ~at (Engine.apply_rename table root.d_rename)
+    | None -> ())
 
 let nstate t node =
   match Hashtbl.find_opt t.nodes node with
@@ -253,7 +266,8 @@ let complete t task ~at =
   task.t_consumers <- [];
   match Hashtbl.find_opt t.roots task.t_trade with
   | Some root when root.d_task = task.id ->
-    Hashtbl.replace t.finished_trades task.t_trade at
+    Hashtbl.replace t.finished_trades task.t_trade at;
+    notify_result t ~trade:task.t_trade ~at root
   | _ -> ()
 
 let drain t ~upto =
@@ -351,7 +365,10 @@ let submit t ~trade ~buyer ~at plan =
   Hashtbl.replace t.roots trade root;
   (* The whole plan may have deduplicated onto already-finished tasks. *)
   let producer = Hashtbl.find t.tasks root.d_task in
-  if finished producer then Hashtbl.replace t.finished_trades trade producer.t_finished
+  if finished producer then begin
+    Hashtbl.replace t.finished_trades trade producer.t_finished;
+    notify_result t ~trade ~at:producer.t_finished root
+  end
 
 let load_of t node =
   match Hashtbl.find_opt t.nodes node with

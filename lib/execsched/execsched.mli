@@ -113,6 +113,15 @@ val load_of : t -> int -> float
 val result : t -> trade:int -> Qt_exec.Table.t option
 (** The trade's root answer, once every task of its plan completed. *)
 
+val set_on_result :
+  t -> (trade:int -> at:float -> Qt_exec.Table.t -> unit) option -> unit
+(** Callback fired (from {!drain} or {!submit}) the moment a trade's root
+    answer materializes, with the fully-renamed table and its virtual
+    completion time — the hook the market's result cache fills itself
+    from.  Fires for a trade whose own root task completes, including the
+    instant-completion case where {!submit} deduplicates the whole plan
+    onto already-finished tasks. *)
+
 val finished_at : t -> trade:int -> float option
 (** Virtual completion time of the trade's last task. *)
 

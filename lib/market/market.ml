@@ -19,6 +19,10 @@ module Store = Qt_exec.Store
 module Naive = Qt_exec.Naive
 module Table = Qt_exec.Table
 module Execsched = Qt_execsched.Execsched
+module Tier = Qt_cache.Tier
+module Statement_cache = Qt_cache.Statement_cache
+module Result_cache = Qt_cache.Result_cache
+module Analysis = Qt_sql.Analysis
 
 (* The market scheduler's own trace track: buyers occupy -(i+1), sellers
    the non-negative node ids, so a far-negative reserved id never
@@ -46,6 +50,11 @@ type config = {
   cache_entries : int;
   seed : int;
   execute : exec_config option;
+  qcache : Tier.t option;
+      (* The federation statement/result cache tier probed at trade
+         launch.  The tier may outlive the run: a market built over a
+         changed federation carries fresh catalog fingerprints, so stale
+         entries invalidate on first probe. *)
   pool : Qt_optimizer.Pool.t option;
       (* Domain pool for serving a wave's per-seller envelopes in
          parallel (pricing only; all clock, wire and metrics accounting
@@ -67,6 +76,7 @@ let default_config params =
     cache_entries = 4096;
     seed = 7;
     execute = None;
+    qcache = None;
     pool = None;
   }
 
@@ -143,6 +153,7 @@ type stats = {
   offer_rtt : latency_summary;
   queue_wait : latency_summary;
   exec : exec_stats option;
+  qcache : Tier.stats option;
   results : (int * Plan.t * Table.t) list;
 }
 
@@ -178,6 +189,8 @@ let handler : ((Trader.outcome, string) result, step) Effect.Deep.handler =
         | _ -> None);
   }
 
+type cache_hit = Cache_stmt | Cache_result
+
 type trade = {
   t_index : int;
   t_buyer : int;  (* runtime node id: -(index + 1) *)
@@ -196,6 +209,10 @@ type trade = {
   mutable t_phases : Trader.phase_stats;
       (* Accumulated across this trade's optimization attempts. *)
   mutable t_plan : Plan.t option;  (* The admitted plan, when executing. *)
+  mutable t_cache_hit : cache_hit option;
+      (* How the cache tier served this trade, if it did. *)
+  mutable t_cache_table : Table.t option;
+      (* The result-cache answer delivered to the buyer. *)
   (* Open-stream fields; inert in batch runs. *)
   t_arrival : float;  (* arrival time on the market timeline *)
   t_deadline : float;  (* absolute completion deadline; [infinity] = none *)
@@ -222,12 +239,24 @@ let make_trade ?(arrival = 0.) ?(deadline = infinity) ?klass ~index ~priority
     t_finished_at = 0.;
     t_phases = Trader.zero_phase_stats;
     t_plan = None;
+    t_cache_hit = None;
+    t_cache_table = None;
     t_arrival = arrival;
     t_deadline = deadline;
     t_klass = klass;
     t_pending = 0;
     t_completed_at = 0.;
   }
+
+(* The cache tier plus the validity tokens of the federation this market
+   was built over.  Fingerprints are frozen at construction: the catalog
+   cannot change mid-run, and a tier reused across runs sees the new
+   tokens through the next market's state. *)
+type qcache_state = {
+  q_tier : Tier.t;
+  q_fp : int -> int;  (* node -> catalog fingerprint *)
+  q_epoch : int;  (* federation-wide epoch *)
+}
 
 type market = {
   cfg : config;
@@ -238,6 +267,7 @@ type market = {
   admissions : (int, Admission.t) Hashtbl.t;
   completions : (int * Admission.handle) Event_queue.t;
   sched : Execsched.t option;  (* plan execution, when [cfg.execute] is set *)
+  qcache : qcache_state option;
   mutable mclock : float;  (* monotone market time: last window close *)
   mutable retries : int;
   obs : Obs.t;
@@ -456,6 +486,103 @@ let launch_fiber st tr ~drive =
            ~obs_track:tr.t_buyer tcfg st.federation tr.t_query)
        () handler)
 
+(* ------------------------------------------------------------------- *)
+(* Cache-tier plumbing.  Every cache read and write below runs on the
+   coordinator (trade launch, post-admission bookkeeping, execution
+   drain) — never inside [serve_wave]'s parallel pricing phase — so the
+   tier preserves the market's byte-identical-at-any-domain-count
+   contract. *)
+
+(* Probe the tier for [tr]'s query.  Floors the buyer clock like
+   [launch_fiber] and charges the configured lookup latency whether the
+   probe hits or misses — the honest-comparison rule.  The result cache
+   is only consulted when execution is on (without [--execute] there is
+   no answer to cache); the statement cache is always live. *)
+let qcache_probe st tr =
+  match st.qcache with
+  | None -> `Off
+  | Some q -> (
+    let floor = Float.max st.mclock tr.t_arrival in
+    let c = Runtime.node_clock st.rt tr.t_buyer in
+    if floor > c then Runtime.advance st.rt ~node:tr.t_buyer (floor -. c);
+    let lat = (Tier.config q.q_tier).Tier.lookup_latency in
+    if lat > 0. then Runtime.advance st.rt ~node:tr.t_buyer lat;
+    let inst = Tier.instance q.q_tier ~client:tr.t_index in
+    let sg = Analysis.Sig.of_ast tr.t_query in
+    let result_hit =
+      match st.sched with
+      | None -> None
+      | Some _ -> Result_cache.find inst.Tier.result ~epoch:q.q_epoch sg
+    in
+    match result_hit with
+    | Some e -> `Result (q, e)
+    | None -> (
+      match Statement_cache.find inst.Tier.stmt ~fingerprint:q.q_fp sg with
+      | Some e -> `Stmt (q, e)
+      | None -> `Miss))
+
+(* Deliver a cached answer: the trade completes with no contracts and no
+   execution, and the original suppliers settle the arbitrage-free
+   fraction of their fresh-trade work as hit revenue. *)
+let qcache_serve_result st q tr (e : Result_cache.entry) ~now =
+  let transit = Runtime.one_way st.rt ~bytes:e.Result_cache.bytes in
+  if transit > 0. then Runtime.advance st.rt ~node:tr.t_buyer transit;
+  let now = Float.max now (Runtime.node_clock st.rt tr.t_buyer) in
+  tr.t_status <- Some Completed;
+  tr.t_plan_cost <- e.Result_cache.plan_cost;
+  tr.t_contracts <- [];
+  tr.t_finished_at <- now;
+  tr.t_plan <- Some e.Result_cache.plan;
+  tr.t_cache_hit <- Some Cache_result;
+  tr.t_cache_table <- Some e.Result_cache.table;
+  Tier.note_trade_avoided q.q_tier;
+  Tier.note_execution_avoided q.q_tier;
+  let frac = (Tier.config q.q_tier).Tier.hit_price_fraction in
+  List.iter
+    (fun (seller, work) -> Tier.credit q.q_tier ~seller (frac *. work))
+    e.Result_cache.suppliers;
+  if Obs.enabled st.obs then
+    ignore
+      (Obs.instant st.obs ~cat:"qcache" ~name:"result_hit" ~track:tr.t_buyer
+         ~attrs:[ ("trade", Obs.Int tr.t_index) ]
+         ~at:now ()
+        : int);
+  now
+
+(* Remember a freshly-traded plan so future arrivals of the same
+   signature skip the trading loop.  Sources carry each contracted
+   seller's current fingerprint for selective invalidation. *)
+let qcache_note_traded st tr ~plan ~plan_cost works =
+  match st.qcache with
+  | None -> ()
+  | Some q ->
+    if tr.t_cache_hit = None then
+      let inst = Tier.instance q.q_tier ~client:tr.t_index in
+      Statement_cache.insert inst.Tier.stmt
+        (Analysis.Sig.of_ast tr.t_query)
+        ~plan ~plan_cost ~contracts:works
+        ~sources:(List.map (fun (s, _) -> (s, q.q_fp s)) works)
+
+(* Fill the result cache the moment a trade's answer materializes on the
+   execution timeline.  Runs from [Execsched.drain]/[submit] on the
+   coordinator. *)
+let qcache_install_exec_hook st trades =
+  match (st.qcache, st.sched) with
+  | Some q, Some sched ->
+    Execsched.set_on_result sched
+      (Some
+         (fun ~trade ~at:_ table ->
+           let tr = trades.(trade) in
+           match tr.t_plan with
+           | None -> ()
+           | Some plan ->
+             let inst = Tier.instance q.q_tier ~client:trade in
+             Result_cache.insert inst.Tier.result
+               (Analysis.Sig.of_ast tr.t_query)
+               ~table ~plan ~plan_cost:tr.t_plan_cost
+               ~suppliers:tr.t_contracts ~epoch:q.q_epoch))
+  | _ -> ()
+
 (* Close an RFB window over the suspended fibers: market time advances
    to the latest suspended buyer clock. *)
 let wave_close st trades waiting =
@@ -658,6 +785,23 @@ let make_market ~obs cfg federation =
            }
            cfg.trader.Trader.params store federation)
   in
+  let qcache =
+    match cfg.qcache with
+    | None -> None
+    | Some tier ->
+      let fps = Hashtbl.create 16 in
+      List.iter
+        (fun id -> Hashtbl.replace fps id (Tier.fingerprint_of federation id))
+        (Federation.node_ids federation);
+      Some
+        {
+          q_tier = tier;
+          q_fp =
+            (fun node ->
+              match Hashtbl.find_opt fps node with Some fp -> fp | None -> 0);
+          q_epoch = Tier.epoch_of federation;
+        }
+  in
   let st =
     {
       cfg;
@@ -668,6 +812,7 @@ let make_market ~obs cfg federation =
       admissions = Hashtbl.create 16;
       completions = Event_queue.create ();
       sched;
+      qcache;
       mclock = 0.;
       retries = 0;
       obs;
@@ -752,8 +897,20 @@ let run ?(obs = Obs.disabled) cfg federation queries =
     trades;
   let ready = Queue.create () in
   Array.iter (fun tr -> Queue.add tr.t_index ready) trades;
+  qcache_install_exec_hook st trades;
   let parked = ref [] in
   let running = ref 0 in
+  let complete_admitted tr ~now ~plan ~plan_cost works =
+    tr.t_status <- Some Completed;
+    tr.t_plan_cost <- plan_cost;
+    tr.t_contracts <- works;
+    tr.t_finished_at <- now;
+    tr.t_plan <- Some plan;
+    match st.sched with
+    | Some sched ->
+      Execsched.submit sched ~trade:tr.t_index ~buyer:tr.t_buyer ~at:now plan
+    | None -> ()
+  in
   let handle_ok tr (outcome : Trader.outcome) =
     let now = Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock in
     drain_all st ~upto:now;
@@ -761,16 +918,10 @@ let run ?(obs = Obs.disabled) cfg federation queries =
     let works = contracts_of outcome in
     match try_admit st tr ~now works with
     | Ok () ->
-      tr.t_status <- Some Completed;
-      tr.t_plan_cost <- Cost.response outcome.Trader.cost;
-      tr.t_contracts <- works;
-      tr.t_finished_at <- now;
-      tr.t_plan <- Some outcome.Trader.plan;
-      (match st.sched with
-      | Some sched ->
-        Execsched.submit sched ~trade:tr.t_index ~buyer:tr.t_buyer ~at:now
-          outcome.Trader.plan
-      | None -> ())
+      qcache_note_traded st tr ~plan:outcome.Trader.plan
+        ~plan_cost:(Cost.response outcome.Trader.cost) works;
+      complete_admitted tr ~now ~plan:outcome.Trader.plan
+        ~plan_cost:(Cost.response outcome.Trader.cost) works
     | Error seller ->
       if tr.t_attempts <= cfg.max_admission_retries then begin
         st.retries <- st.retries + 1;
@@ -781,6 +932,43 @@ let run ?(obs = Obs.disabled) cfg federation queries =
         tr.t_status <- Some Admission_failed;
         tr.t_finished_at <- now
       end
+  in
+  (* Probe the cache tier before spending a fiber on a trade.  A result
+     hit completes the trade outright; a statement hit goes straight to
+     admission with the remembered contracts (falling back to fresh
+     trading if admission rejects them — no penalty, the cached plan just
+     stopped fitting the market).  Returns [true] when the trade was
+     served without trading. *)
+  let try_cache tr =
+    (* Materialize every execution completion at or before the probe time
+       first, so an answer that already finished on the timeline is
+       visible to the result cache (the fill hook fires from the drain). *)
+    if st.qcache <> None then
+      drain_all st ~upto:(Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock);
+    match qcache_probe st tr with
+    | `Off | `Miss -> false
+    | `Result (q, e) ->
+      let now = Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock in
+      drain_all st ~upto:now;
+      st.mclock <- Float.max st.mclock now;
+      tr.t_attempts <- tr.t_attempts + 1;
+      let now = qcache_serve_result st q tr e ~now in
+      st.mclock <- Float.max st.mclock now;
+      true
+    | `Stmt (q, e) -> (
+      let now = Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock in
+      drain_all st ~upto:now;
+      st.mclock <- Float.max st.mclock now;
+      let works = e.Statement_cache.contracts in
+      match try_admit st tr ~now works with
+      | Ok () ->
+        tr.t_attempts <- tr.t_attempts + 1;
+        tr.t_cache_hit <- Some Cache_stmt;
+        Tier.note_trade_avoided q.q_tier;
+        complete_admitted tr ~now ~plan:e.Statement_cache.plan
+          ~plan_cost:e.Statement_cache.plan_cost works;
+        true
+      | Error _ -> false)
   in
   let drive tr = function
     | Awaiting (req, k) ->
@@ -801,8 +989,11 @@ let run ?(obs = Obs.disabled) cfg federation queries =
   let cap = if cfg.concurrency <= 0 then max_int else cfg.concurrency in
   let start_more () =
     while !running < cap && not (Queue.is_empty ready) do
-      incr running;
-      launch_fiber st trades.(Queue.pop ready) ~drive
+      let tr = trades.(Queue.pop ready) in
+      if not (try_cache tr) then begin
+        incr running;
+        launch_fiber st tr ~drive
+      end
     done
   in
   let execute_wave () =
@@ -847,7 +1038,14 @@ let run ?(obs = Obs.disabled) cfg federation queries =
                 }
               in
               (et :: ets, (tr.t_index, plan, table) :: res)
-            | _ -> (ets, res))
+            | _ -> (
+              (* Result-cache hits never reach the scheduler, but their
+                 answers still belong in [results] so callers can oracle
+                 them against fresh execution. *)
+              match (tr.t_cache_table, tr.t_plan) with
+              | Some table, Some plan ->
+                (ets, (tr.t_index, plan, table) :: res)
+              | _ -> (ets, res)))
           trades ([], [])
       in
       ( Some
@@ -904,6 +1102,7 @@ let run ?(obs = Obs.disabled) cfg federation queries =
     offer_rtt = summarize st.rtt;
     queue_wait = summarize st.waits;
     exec;
+    qcache = Option.map (fun q -> Tier.stats q.q_tier) st.qcache;
     results;
   }
 
@@ -962,6 +1161,30 @@ let cache_json (c : Seller.cache_stats) =
     "{\"hits\":%d,\"misses\":%d,\"invalidations\":%d,\"evictions\":%d}"
     c.Seller.hits c.Seller.misses c.Seller.invalidations c.Seller.evictions
 
+let counts_json hits misses invalidations evictions =
+  Printf.sprintf
+    "{\"hits\":%d,\"misses\":%d,\"invalidations\":%d,\"evictions\":%d}" hits
+    misses invalidations evictions
+
+(* Rendered only when the tier is configured, so cache-off output stays
+   byte-identical to a build without the cache tier. *)
+let qcache_json (q : Tier.stats) =
+  let s = q.Tier.stmt and r = q.Tier.result in
+  Printf.sprintf
+    "{\"placement\":%S,\"stmt\":%s,\"result\":%s,\"trades_avoided\":%d,\"executions_avoided\":%d,\"hit_revenue\":%s,\"revenue_by_seller\":[%s],\"result_bytes\":%d}"
+    q.Tier.placement
+    (counts_json s.Statement_cache.hits s.Statement_cache.misses
+       s.Statement_cache.invalidations s.Statement_cache.evictions)
+    (counts_json r.Result_cache.hits r.Result_cache.misses
+       r.Result_cache.invalidations r.Result_cache.evictions)
+    q.Tier.trades_avoided q.Tier.executions_avoided (jf q.Tier.hit_revenue)
+    (String.concat ","
+       (List.map
+          (fun (seller, rev) ->
+            Printf.sprintf "{\"seller\":%d,\"revenue\":%s}" seller (jf rev))
+          q.Tier.hit_revenue_by_seller))
+    q.Tier.result_bytes_held
+
 let exec_node_json (n : exec_node) =
   Printf.sprintf "{\"node\":%d,\"tasks\":%d,\"busy\":%s,\"utilization\":%s}"
     n.en_node n.en_tasks (jf n.en_busy) (jf n.en_utilization)
@@ -1012,6 +1235,9 @@ let to_json (s : stats) =
     add ",\"nodes\":";
     list (fun (n : exec_node) -> add (exec_node_json n)) e.exec_nodes;
     add "}");
+  (match s.qcache with
+  | None -> ()
+  | Some q -> add (",\"qcache\":" ^ qcache_json q));
   add "}";
   Buffer.contents b
 
@@ -1039,6 +1265,26 @@ let metrics_exec m = function
         metrics_g m (p ^ "busy") n.en_busy;
         metrics_g m (p ^ "utilization") n.en_utilization)
       e.exec_nodes
+
+(* qcache.* metrics appear only when the tier was configured, keeping
+   cache-off metrics output identical to a cache-less build. *)
+let metrics_qcache m = function
+  | None -> ()
+  | Some (q : Tier.stats) ->
+    metrics_c m "qcache.stmt.hits" q.Tier.stmt.Statement_cache.hits;
+    metrics_c m "qcache.stmt.misses" q.Tier.stmt.Statement_cache.misses;
+    metrics_c m "qcache.stmt.invalidations"
+      q.Tier.stmt.Statement_cache.invalidations;
+    metrics_c m "qcache.stmt.evictions" q.Tier.stmt.Statement_cache.evictions;
+    metrics_c m "qcache.result.hits" q.Tier.result.Result_cache.hits;
+    metrics_c m "qcache.result.misses" q.Tier.result.Result_cache.misses;
+    metrics_c m "qcache.result.invalidations"
+      q.Tier.result.Result_cache.invalidations;
+    metrics_c m "qcache.result.evictions" q.Tier.result.Result_cache.evictions;
+    metrics_c m "qcache.trades_avoided" q.Tier.trades_avoided;
+    metrics_c m "qcache.executions_avoided" q.Tier.executions_avoided;
+    metrics_c m "qcache.result_bytes" q.Tier.result_bytes_held;
+    metrics_g m "qcache.hit_revenue" q.Tier.hit_revenue
 
 let metrics_shared m ~sellers ~(batcher : Batcher.stats) ~(cache : Seller.cache_stats) =
   metrics_c m "batcher.waves" batcher.Batcher.waves;
@@ -1075,6 +1321,7 @@ let metrics_json (s : stats) =
   g "market.trading_makespan" s.trading_makespan;
   g "market.makespan" s.makespan;
   metrics_exec m s.exec;
+  metrics_qcache m s.qcache;
   metrics_shared m ~sellers:s.sellers ~batcher:s.batcher ~cache:s.cache;
   metrics_lat m "market.offer_rtt" s.offer_rtt;
   metrics_lat m "market.queue_wait" s.queue_wait;
@@ -1116,6 +1363,10 @@ type class_stats = {
   cs_expired : int;
   cs_failed : int;
   cs_goodput : float;
+  cs_cache_hits : int;
+      (* Arrivals of this class served from the cache tier (statement or
+         result hits); 0 when the tier is off. *)
+  cs_cache_hit_rate : float;  (* cache hits / arrivals *)
   cs_latency : latency_summary;
 }
 
@@ -1139,6 +1390,7 @@ type stream_stats = {
   str_offer_rtt : latency_summary;
   str_queue_wait : latency_summary;
   str_exec : exec_stats option;
+  str_qcache : Tier.stats option;
 }
 
 (* Stream latencies outlive the default 10-second metrics domain (an
@@ -1190,6 +1442,7 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
       Obs.track_name obs tr.t_buyer (Printf.sprintf "trade %d" tr.t_index);
       Runtime.register st.rt tr.t_buyer)
     trades;
+  qcache_install_exec_hook st trades;
   let lat_all = stream_latency_histogram st.metrics "stream.latency.all" in
   let lat_class =
     let tbl =
@@ -1301,6 +1554,22 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
     | Some sched -> Execsched.drain sched ~upto
     | None -> ()
   in
+  let complete_admitted tr ~now ~plan ~plan_cost works =
+    tr.t_status <- Some Completed;
+    tr.t_plan_cost <- plan_cost;
+    tr.t_contracts <- works;
+    tr.t_finished_at <- now;
+    tr.t_plan <- Some plan;
+    tr.t_pending <- List.length works;
+    if works = [] then begin
+      tr.t_completed_at <- now;
+      observe_latency tr now;
+      match st.sched with
+      | Some sched ->
+        Execsched.submit sched ~trade:tr.t_index ~buyer:tr.t_buyer ~at:now plan
+      | None -> ()
+    end
+  in
   let handle_ok tr (outcome : Trader.outcome) =
     let now = Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock in
     drain ~upto:now;
@@ -1318,21 +1587,10 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
       let works = contracts_of outcome in
       match try_admit st tr ~now works with
       | Ok () ->
-        tr.t_status <- Some Completed;
-        tr.t_plan_cost <- Cost.response outcome.Trader.cost;
-        tr.t_contracts <- works;
-        tr.t_finished_at <- now;
-        tr.t_plan <- Some outcome.Trader.plan;
-        tr.t_pending <- List.length works;
-        if works = [] then begin
-          tr.t_completed_at <- now;
-          observe_latency tr now;
-          match st.sched with
-          | Some sched ->
-            Execsched.submit sched ~trade:tr.t_index ~buyer:tr.t_buyer ~at:now
-              outcome.Trader.plan
-          | None -> ()
-        end
+        qcache_note_traded st tr ~plan:outcome.Trader.plan
+          ~plan_cost:(Cost.response outcome.Trader.cost) works;
+        complete_admitted tr ~now ~plan:outcome.Trader.plan
+          ~plan_cost:(Cost.response outcome.Trader.cost) works
       | Error seller ->
         if tr.t_attempts <= cfg.max_admission_retries && now < tr.t_deadline
         then begin
@@ -1365,6 +1623,55 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
           tr.t_finished_at <-
             Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock))
   in
+  (* Probe the cache tier before spending a fiber on an arrival: same
+     protocol as the batch runner, plus the stream bookkeeping (deadline
+     guards, end-to-end latency) a completion owes.  Returns [true] when
+     the arrival needs no fiber. *)
+  let try_cache tr =
+    (* Materialize execution completions at or before the probe time
+       first (the result-cache fill hook fires from the drain); the drain
+       may also expire this very arrival, which then needs no fiber. *)
+    if st.qcache <> None then
+      drain ~upto:(Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock);
+    if st.qcache <> None && tr.t_status <> None then true
+    else
+    match qcache_probe st tr with
+    | `Off | `Miss -> false
+    | `Result (q, e) ->
+      let now = Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock in
+      drain ~upto:now;
+      st.mclock <- Float.max st.mclock now;
+      if tr.t_status <> None then true  (* expired during the drain *)
+      else begin
+        tr.t_attempts <- tr.t_attempts + 1;
+        let now = qcache_serve_result st q tr e ~now in
+        st.mclock <- Float.max st.mclock now;
+        tr.t_completed_at <- now;
+        observe_latency tr now;
+        true
+      end
+    | `Stmt (q, e) -> (
+      let now = Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock in
+      drain ~upto:now;
+      st.mclock <- Float.max st.mclock now;
+      if tr.t_status <> None then true
+      else if now > tr.t_deadline then begin
+        tr.t_status <- Some Expired;
+        tr.t_finished_at <- tr.t_deadline;
+        stream_instant tr ~at:tr.t_deadline "expired";
+        true
+      end
+      else
+        match try_admit st tr ~now e.Statement_cache.contracts with
+        | Ok () ->
+          tr.t_attempts <- tr.t_attempts + 1;
+          tr.t_cache_hit <- Some Cache_stmt;
+          Tier.note_trade_avoided q.q_tier;
+          complete_admitted tr ~now ~plan:e.Statement_cache.plan
+            ~plan_cost:e.Statement_cache.plan_cost e.Statement_cache.contracts;
+          true
+        | Error _ -> false)
+  in
   (* Release every arrival up to market time: shed it outright if the
      marketplace is saturated, otherwise queue it for a fiber and arm
      its deadline. *)
@@ -1391,10 +1698,11 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
       let tr = trades.(Queue.pop ready) in
       (* Trades that expired while waiting for a fiber are skipped —
          they were already accounted by their deadline event. *)
-      if tr.t_status = None then begin
-        incr running;
-        launch_fiber st tr ~drive
-      end
+      if tr.t_status = None then
+        if not (try_cache tr) then begin
+          incr running;
+          launch_fiber st tr ~drive
+        end
     done
   in
   let execute_wave () =
@@ -1477,12 +1785,17 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
     in
     (arrivals, completed, hits, shed, expired, failed, goodput)
   in
+  let cache_hits_of pred =
+    count (fun tr -> pred tr && tr.t_cache_hit <> None)
+  in
   let classes =
     List.map
       (fun k ->
+        let pred tr = tr.t_klass = Some k in
         let arrivals, completed, hits, shed, expired, failed, goodput =
-          bucket (fun tr -> tr.t_klass = Some k)
+          bucket pred
         in
+        let cache_hits = cache_hits_of pred in
         {
           cs_klass = k;
           cs_arrivals = arrivals;
@@ -1492,6 +1805,10 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
           cs_expired = expired;
           cs_failed = failed;
           cs_goodput = goodput;
+          cs_cache_hits = cache_hits;
+          cs_cache_hit_rate =
+            (if arrivals = 0 then 0.
+             else float_of_int cache_hits /. float_of_int arrivals);
           cs_latency = summarize (lat_class k);
         })
       Sla.all
@@ -1520,13 +1837,23 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
     str_offer_rtt = summarize st.rtt;
     str_queue_wait = summarize st.waits;
     str_exec = exec;
+    str_qcache = Option.map (fun q -> Tier.stats q.q_tier) st.qcache;
   }
 
-let class_json (c : class_stats) =
+(* Cache fields render only when the tier was on, keeping cache-off
+   stream JSON byte-identical to a cache-less build. *)
+let class_json ~qcache (c : class_stats) =
+  let cache_fields =
+    if qcache then
+      Printf.sprintf ",\"cache_hits\":%d,\"cache_hit_rate\":%s" c.cs_cache_hits
+        (jf c.cs_cache_hit_rate)
+    else ""
+  in
   Printf.sprintf
-    "{\"class\":%S,\"arrivals\":%d,\"completed\":%d,\"hits\":%d,\"shed\":%d,\"expired\":%d,\"failed\":%d,\"goodput\":%s,\"latency\":%s}"
+    "{\"class\":%S,\"arrivals\":%d,\"completed\":%d,\"hits\":%d,\"shed\":%d,\"expired\":%d,\"failed\":%d,\"goodput\":%s%s,\"latency\":%s}"
     (Sla.to_string c.cs_klass) c.cs_arrivals c.cs_completed c.cs_hits c.cs_shed
-    c.cs_expired c.cs_failed (jf c.cs_goodput) (latency_json c.cs_latency)
+    c.cs_expired c.cs_failed (jf c.cs_goodput) cache_fields
+    (latency_json c.cs_latency)
 
 let stream_to_json (s : stream_stats) =
   let b = Buffer.create 1024 in
@@ -1542,7 +1869,7 @@ let stream_to_json (s : stream_stats) =
        s.str_arrivals s.str_completed s.str_hits s.str_shed s.str_expired
        s.str_failed (jf s.str_goodput) (latency_json s.str_latency));
   add ",\"classes\":";
-  list (fun c -> add (class_json c)) s.str_classes;
+  list (fun c -> add (class_json ~qcache:(s.str_qcache <> None) c)) s.str_classes;
   add ",\"sellers\":";
   list (fun x -> add (seller_json x)) s.str_sellers;
   add (",\"batcher\":" ^ batcher_json s.str_batcher);
@@ -1563,6 +1890,9 @@ let stream_to_json (s : stream_stats) =
          (jf e.exec_makespan) e.tasks_run e.shared_results);
     list (fun n -> add (exec_node_json n)) e.exec_nodes;
     add "}");
+  (match s.str_qcache with
+  | None -> ()
+  | Some q -> add (",\"qcache\":" ^ qcache_json q));
   add "}";
   Buffer.contents b
 
@@ -1591,9 +1921,18 @@ let stream_metrics_json (s : stream_stats) =
       c (p ^ "expired") cl.cs_expired;
       c (p ^ "failed") cl.cs_failed;
       g (p ^ "goodput") cl.cs_goodput;
+      (* Per-class cache effectiveness: every cache hit is one trade the
+         class did not have to run.  Only rendered when the tier is on so
+         cache-off metrics match the pre-cache format. *)
+      if s.str_qcache <> None then begin
+        c (p ^ "cache_hits") cl.cs_cache_hits;
+        c (p ^ "trades_avoided") cl.cs_cache_hits;
+        g (p ^ "cache_hit_rate") cl.cs_cache_hit_rate
+      end;
       metrics_lat m (p ^ "latency") cl.cs_latency)
     s.str_classes;
   metrics_exec m s.str_exec;
+  metrics_qcache m s.str_qcache;
   metrics_shared m ~sellers:s.str_sellers ~batcher:s.str_batcher
     ~cache:s.str_cache;
   metrics_lat m "market.offer_rtt" s.str_offer_rtt;

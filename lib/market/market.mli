@@ -74,6 +74,18 @@ type config = {
           virtual timeline.  With [exec_feedback] on, measured task times
           flow back into seller load, closing the trade → execute →
           re-price loop. *)
+  qcache : Qt_cache.Tier.t option;
+      (** The federation statement/result cache tier ({!Qt_cache.Tier}),
+          probed when a trade launches: a result hit completes the trade
+          with the cached answer (no trading, no execution, discounted
+          revenue settled to the original suppliers), a statement hit
+          goes straight to admission with the remembered plan and
+          contracts (falling back to fresh trading if admission rejects).
+          Every probe charges the tier's lookup latency, hit or miss.
+          The tier may be shared across runs: a market built over a
+          changed federation invalidates stale entries on first probe.
+          Default [None] — with the tier off, output is byte-identical
+          to a cache-less build. *)
   pool : Qt_optimizer.Pool.t option;
       (** Domain pool for pricing a wave's per-seller envelope groups in
           parallel.  All clock, wire and metrics accounting is replayed
@@ -184,10 +196,15 @@ type stats = {
       (** Admission queue waits across all sellers: contract submission
           to service start (0 for immediate starts). *)
   exec : exec_stats option;  (** Present when [config.execute] was set. *)
+  qcache : Qt_cache.Tier.stats option;
+      (** Cache-tier counters and hit revenue; present iff
+          [config.qcache] was set. *)
   results : (int * Qt_optimizer.Plan.t * Qt_exec.Table.t) list;
       (** Each executed trade's [(index, admitted plan, answer table)] —
-          the parity tests' raw material.  Not serialized by
-          {!to_json}. *)
+          the parity tests' raw material.  Result-cache hits appear here
+          too (with the plan that originally produced the answer), so an
+          oracle sweep over [results] also checks every cache-served
+          answer.  Not serialized by {!to_json}. *)
 }
 
 val run :
@@ -260,6 +277,12 @@ type class_stats = {
   cs_expired : int;
   cs_failed : int;  (** [No_plan] + [Admission_failed]. *)
   cs_goodput : float;  (** [hits / arrivals]; 0 with no arrivals. *)
+  cs_cache_hits : int;
+      (** Arrivals of this class served by the cache tier (statement or
+          result hits) — each one is a trade the class avoided.  0 when
+          the tier is off; rendered in JSON/metrics only when it is
+          on. *)
+  cs_cache_hit_rate : float;  (** [cache_hits / arrivals]. *)
   cs_latency : latency_summary;
       (** End-to-end (arrival to last contract completion) for completed
           queries of this class. *)
@@ -291,6 +314,9 @@ type stream_stats = {
           tables are not retained at stream scale.  Execution of a
           trade's plan is submitted when its last contract completes, so
           canceled trades never reach the execution scheduler. *)
+  str_qcache : Qt_cache.Tier.stats option;
+      (** Cache-tier counters and hit revenue; present iff
+          [base.qcache] was set. *)
 }
 
 val run_stream :

@@ -199,6 +199,153 @@ let star ?(fact_rows = 8000) ?(dim_rows = 200) ?(key_domain = 8000)
     ~capabilities_of
 
 (* ------------------------------------------------------------------ *)
+(* TPC-H flavour                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tpch_date_days = 2555
+
+let tpch ?(customers = 1500) ?(orders = 6000) ?(lineitems = 24000)
+    ?(suppliers = 200) ?(nations = 25) ?(regions = 5)
+    ?(placement = { partitions = 4; replicas = 1 })
+    ?(capabilities_of = fun _ -> Node.full_capabilities) ?(skew = 0.) ~nodes () =
+  let cust_itv = Interval.make 0 (customers - 1) in
+  let order_itv = Interval.make 0 (orders - 1) in
+  let date_itv = Interval.make 0 (tpch_date_days - 1) in
+  let nation_itv = Interval.make 0 (nations - 1) in
+  let customer =
+    Schema.mk_relation ~partition_key:(Some "custkey") ~row_bytes:96
+      ~cardinality:customers
+      ~attrs:
+        [
+          Schema.mk_attr ~domain:(Schema.D_int cust_itv) ~distinct:customers
+            ?hist:(key_histogram ~skew ~key_domain:customers ~cardinality:customers)
+            "custkey";
+          Schema.mk_attr ~domain:(Schema.D_int nation_itv) ~distinct:nations
+            "nationkey";
+          Schema.mk_attr ~domain:(Schema.D_int (Interval.make 0 4)) ~distinct:5
+            "mktsegment";
+          Schema.mk_attr ~domain:(Schema.D_int (Interval.make 0 9999))
+            ~distinct:1000 "acctbal";
+        ]
+      "customer"
+  in
+  let orders_rel =
+    Schema.mk_relation ~partition_key:(Some "orderkey") ~row_bytes:80
+      ~cardinality:orders
+      ~attrs:
+        [
+          Schema.mk_attr ~domain:(Schema.D_int order_itv) ~distinct:orders
+            ?hist:(key_histogram ~skew ~key_domain:orders ~cardinality:orders)
+            "orderkey";
+          Schema.mk_attr ~domain:(Schema.D_int cust_itv) ~distinct:customers
+            "custkey";
+          Schema.mk_attr ~domain:(Schema.D_int date_itv)
+            ~distinct:(min orders tpch_date_days) "orderdate";
+          Schema.mk_attr ~domain:(Schema.D_int (Interval.make 0 4)) ~distinct:5
+            "orderpriority";
+          Schema.mk_attr
+            ~domain:(Schema.D_int (Interval.make 0 99_999))
+            ~distinct:1000 "totalprice";
+        ]
+      "orders"
+  in
+  let lineitem =
+    Schema.mk_relation ~partition_key:(Some "orderkey") ~row_bytes:72
+      ~cardinality:lineitems
+      ~attrs:
+        [
+          Schema.mk_attr ~domain:(Schema.D_int order_itv) ~distinct:orders
+            ?hist:(key_histogram ~skew ~key_domain:orders ~cardinality:lineitems)
+            "orderkey";
+          Schema.mk_attr ~domain:(Schema.D_int (Interval.make 1 7)) ~distinct:7
+            "linenumber";
+          Schema.mk_attr
+            ~domain:(Schema.D_int (Interval.make 0 (suppliers - 1)))
+            ~distinct:suppliers "suppkey";
+          Schema.mk_attr ~domain:(Schema.D_int (Interval.make 1 50)) ~distinct:50
+            "quantity";
+          Schema.mk_attr
+            ~domain:(Schema.D_int (Interval.make 1 100_000))
+            ~distinct:1000 "extendedprice";
+          Schema.mk_attr ~domain:(Schema.D_int date_itv)
+            ~distinct:(min lineitems tpch_date_days) "shipdate";
+          Schema.mk_attr ~domain:(Schema.D_int (Interval.make 0 2)) ~distinct:3
+            "returnflag";
+        ]
+      "lineitem"
+  in
+  let supplier =
+    Schema.mk_relation ~row_bytes:64 ~cardinality:suppliers
+      ~attrs:
+        [
+          Schema.mk_attr
+            ~domain:(Schema.D_int (Interval.make 0 (suppliers - 1)))
+            ~distinct:suppliers "suppkey";
+          Schema.mk_attr ~domain:(Schema.D_int nation_itv) ~distinct:nations
+            "nationkey";
+          Schema.mk_attr ~domain:(Schema.D_int (Interval.make 0 9999))
+            ~distinct:1000 "acctbal";
+        ]
+      "supplier"
+  in
+  let nation =
+    Schema.mk_relation ~row_bytes:32 ~cardinality:nations
+      ~attrs:
+        [
+          Schema.mk_attr ~domain:(Schema.D_int nation_itv) ~distinct:nations
+            "nationkey";
+          Schema.mk_attr
+            ~domain:(Schema.D_int (Interval.make 0 (regions - 1)))
+            ~distinct:regions "regionkey";
+          Schema.mk_attr ~domain:(Schema.D_string nations) ~distinct:nations "name";
+        ]
+      "nation"
+  in
+  let region =
+    Schema.mk_relation ~row_bytes:32 ~cardinality:regions
+      ~attrs:
+        [
+          Schema.mk_attr
+            ~domain:(Schema.D_int (Interval.make 0 (regions - 1)))
+            ~distinct:regions "regionkey";
+          Schema.mk_attr ~domain:(Schema.D_string regions) ~distinct:regions "name";
+        ]
+      "region"
+  in
+  let schema =
+    Schema.create [ customer; orders_rel; lineitem; supplier; nation; region ]
+  in
+  (* Orders and lineitem partition on the shared orderkey domain, so the
+     TPC-H fact spine is co-partitioned and a node can offer the whole
+     orders-lineitem join over its slice; customer partitions on its own
+     custkey domain, making customer-orders the distributed-hard join. *)
+  let cust_frags = fragments_for ~nodes ~placement customer in
+  let order_frags = fragments_for ~nodes ~placement orders_rel in
+  let line_frags = fragments_for ~nodes ~placement lineitem in
+  (* Supplier, nation and region are warehouse dimensions: fully
+     replicated on every node, like the star schema's dims. *)
+  let replicate (rel : Schema.relation) =
+    let table = Hashtbl.create 16 in
+    for node = 0 to nodes - 1 do
+      Hashtbl.replace table node
+        [ Fragment.make ~rel:rel.rel_name ~range:Interval.full ~rows:rel.cardinality ]
+    done;
+    table
+  in
+  build_federation schema ~nodes
+    ~per_relation_fragments:
+      [
+        cust_frags;
+        order_frags;
+        line_frags;
+        replicate supplier;
+        replicate nation;
+        replicate region;
+      ]
+    ~views_of:(fun _ _ -> [])
+    ~capabilities_of
+
+(* ------------------------------------------------------------------ *)
 (* Parametric chain                                                     *)
 (* ------------------------------------------------------------------ *)
 

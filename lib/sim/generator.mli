@@ -55,6 +55,35 @@ val star :
     every node (the common warehouse deployment), so join graphs are
     star-shaped rather than chains. *)
 
+val tpch :
+  ?customers:int ->
+  ?orders:int ->
+  ?lineitems:int ->
+  ?suppliers:int ->
+  ?nations:int ->
+  ?regions:int ->
+  ?placement:placement ->
+  ?capabilities_of:(int -> Qt_catalog.Node.capabilities) ->
+  ?skew:float ->
+  nodes:int ->
+  unit ->
+  Qt_catalog.Federation.t
+(** A scaled-down TPC-H-flavoured federation for join-heavy workloads:
+    [customer (custkey, nationkey, mktsegment, acctbal)] partitioned by
+    [custkey]; [orders (orderkey, custkey, orderdate, orderpriority,
+    totalprice)] and [lineitem (orderkey, linenumber, suppkey, quantity,
+    extendedprice, shipdate, returnflag)] co-partitioned on the shared
+    [orderkey] domain (a node can offer the whole orders-lineitem join
+    over its slice, while customer-orders joins always cross partitions);
+    [supplier], [nation] and [region] fully replicated on every node.
+    Dates are integer day offsets in [0, 2555).  Defaults: 1500
+    customers, 6000 orders, 24000 lineitems, 200 suppliers, 25 nations,
+    5 regions, 4 partitions x 1 replica.  [skew] (default 0) gives the
+    partition keys a Zipf histogram as in {!chain}. *)
+
+val tpch_date_days : int
+(** Width of the integer order/ship-date domain (2555 days, ~7 years). *)
+
 val chain :
   ?rows:int ->
   ?key_domain:int ->

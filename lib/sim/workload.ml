@@ -136,6 +136,157 @@ let random_chain_queries ~seed ~count ~relations ~max_joins =
       let aggregate = Rng.bool rng in
       chain_query ~joins ~select_fraction ~aggregate ~relations ())
 
+(* ------------------------------------------------------------------ *)
+(* TPC-H flavour                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tpch_date_days = 2555
+let tpch_order_domain = 6000
+
+(* Q1 flavour: pricing summary over a shipdate slice of lineitem. *)
+let tpch_pricing_summary ?(ship_lo = 0) ?(ship_hi = tpch_date_days - 1) () =
+  let flag = { Ast.rel = "l"; name = "returnflag" } in
+  Ast.query
+    ~select:
+      [
+        Ast.Sel_col flag;
+        Ast.Sel_agg (Ast.Sum, Some { Ast.rel = "l"; name = "extendedprice" });
+        Ast.Sel_agg (Ast.Count, None);
+      ]
+    ~from:[ { Ast.relation = "lineitem"; alias = "l" } ]
+    ~where:[ Ast.Between ({ Ast.rel = "l"; name = "shipdate" }, ship_lo, ship_hi) ]
+    ~group_by:[ flag ] ()
+
+(* Q3 flavour: revenue of a market segment's recent orders, grouped by
+   order priority — customer x orders x lineitem with the cross-partition
+   customer-orders join. *)
+let tpch_shipping_priority ?(segment = 0) ?(date_hi = tpch_date_days / 2) () =
+  let c_custkey = { Ast.rel = "c"; name = "custkey" } in
+  let o_custkey = { Ast.rel = "o"; name = "custkey" } in
+  let o_orderkey = { Ast.rel = "o"; name = "orderkey" } in
+  let l_orderkey = { Ast.rel = "l"; name = "orderkey" } in
+  let priority = { Ast.rel = "o"; name = "orderpriority" } in
+  Ast.query
+    ~select:
+      [
+        Ast.Sel_col priority;
+        Ast.Sel_agg (Ast.Sum, Some { Ast.rel = "l"; name = "extendedprice" });
+        Ast.Sel_agg (Ast.Count, None);
+      ]
+    ~from:
+      [
+        { Ast.relation = "customer"; alias = "c" };
+        { Ast.relation = "orders"; alias = "o" };
+        { Ast.relation = "lineitem"; alias = "l" };
+      ]
+    ~where:
+      [
+        Ast.eq_join c_custkey o_custkey;
+        Ast.eq_join o_orderkey l_orderkey;
+        Ast.eq_const { Ast.rel = "c"; name = "mktsegment" } (Ast.L_int segment);
+        Ast.Between ({ Ast.rel = "o"; name = "orderdate" }, 0, date_hi);
+      ]
+    ~group_by:[ priority ] ()
+
+(* Q5 flavour: supplier volume by nation over a one-year order window —
+   the 5-way chain customer x orders x lineitem x supplier x nation. *)
+let tpch_local_supplier_volume ?(date_lo = 0) ?(date_hi = 365) () =
+  let nationkey = { Ast.rel = "n"; name = "nationkey" } in
+  Ast.query
+    ~select:
+      [
+        Ast.Sel_col nationkey;
+        Ast.Sel_agg (Ast.Sum, Some { Ast.rel = "l"; name = "extendedprice" });
+      ]
+    ~from:
+      [
+        { Ast.relation = "customer"; alias = "c" };
+        { Ast.relation = "orders"; alias = "o" };
+        { Ast.relation = "lineitem"; alias = "l" };
+        { Ast.relation = "supplier"; alias = "s" };
+        { Ast.relation = "nation"; alias = "n" };
+      ]
+    ~where:
+      [
+        Ast.eq_join { Ast.rel = "c"; name = "custkey" }
+          { Ast.rel = "o"; name = "custkey" };
+        Ast.eq_join { Ast.rel = "o"; name = "orderkey" }
+          { Ast.rel = "l"; name = "orderkey" };
+        Ast.eq_join { Ast.rel = "l"; name = "suppkey" }
+          { Ast.rel = "s"; name = "suppkey" };
+        Ast.eq_join { Ast.rel = "s"; name = "nationkey" } nationkey;
+        Ast.Between ({ Ast.rel = "o"; name = "orderdate" }, date_lo, date_hi);
+      ]
+    ~group_by:[ nationkey ] ()
+
+(* Q10 flavour: lost revenue from returned items per customer over a
+   quarter. *)
+let tpch_returned_items ?(date_lo = 0) () =
+  let custkey = { Ast.rel = "c"; name = "custkey" } in
+  Ast.query
+    ~select:
+      [
+        Ast.Sel_col custkey;
+        Ast.Sel_agg (Ast.Sum, Some { Ast.rel = "l"; name = "extendedprice" });
+      ]
+    ~from:
+      [
+        { Ast.relation = "customer"; alias = "c" };
+        { Ast.relation = "orders"; alias = "o" };
+        { Ast.relation = "lineitem"; alias = "l" };
+      ]
+    ~where:
+      [
+        Ast.eq_join custkey { Ast.rel = "o"; name = "custkey" };
+        Ast.eq_join { Ast.rel = "o"; name = "orderkey" }
+          { Ast.rel = "l"; name = "orderkey" };
+        Ast.eq_const { Ast.rel = "l"; name = "returnflag" } (Ast.L_int 2);
+        Ast.Between
+          ({ Ast.rel = "o"; name = "orderdate" }, date_lo, date_lo + 90);
+      ]
+    ~group_by:[ custkey ] ()
+
+(* Order-status point lookup: the cheap hot query of the pool. *)
+let tpch_order_lookup ~orderkey =
+  let o_orderkey = { Ast.rel = "o"; name = "orderkey" } in
+  Ast.query
+    ~select:
+      [
+        Ast.Sel_col { Ast.rel = "o"; name = "orderdate" };
+        Ast.Sel_col { Ast.rel = "l"; name = "linenumber" };
+        Ast.Sel_col { Ast.rel = "l"; name = "extendedprice" };
+      ]
+    ~from:
+      [
+        { Ast.relation = "orders"; alias = "o" };
+        { Ast.relation = "lineitem"; alias = "l" };
+      ]
+    ~where:
+      [
+        Ast.eq_join o_orderkey { Ast.rel = "l"; name = "orderkey" };
+        Ast.eq_const o_orderkey (Ast.L_int orderkey);
+      ]
+    ()
+
+let tpch_templates ~seed ~count =
+  let rng = Rng.create seed in
+  List.init count (fun i ->
+      match i mod 5 with
+      | 0 ->
+        let lo = Rng.int rng (tpch_date_days - 400) in
+        tpch_pricing_summary ~ship_lo:lo ~ship_hi:(lo + 200 + Rng.int rng 200) ()
+      | 1 ->
+        tpch_shipping_priority ~segment:(Rng.int rng 5)
+          ~date_hi:(600 + Rng.int rng (tpch_date_days - 600))
+          ()
+      | 2 ->
+        let lo = Rng.int rng (tpch_date_days - 365) in
+        tpch_local_supplier_volume ~date_lo:lo ~date_hi:(lo + 365) ()
+      | 3 ->
+        let lo = Rng.int rng (tpch_date_days - 90) in
+        tpch_returned_items ~date_lo:lo ()
+      | _ -> tpch_order_lookup ~orderkey:(Rng.int rng tpch_order_domain))
+
 let telecom_templates ~seed ~count =
   let rng = Rng.create seed in
   List.init count (fun i ->
