@@ -1232,6 +1232,23 @@ let r_execsched () =
   let run exec_feedback = Market.run (config exec_feedback) federation queries in
   let static = run false in
   let feedback = run true in
+  (* The same contention shape on the TPC-H schema: every buyer prices a
+     distinct shipdate slice of lineitem, so replica steering again has
+     only the backlog signal to work with. *)
+  let tpch_federation =
+    Generator.tpch ~nodes:8
+      ~placement:{ Generator.partitions = 4; replicas = 2 }
+      ()
+  in
+  let tpch_queries =
+    List.init buyers (fun i ->
+        Workload.tpch_pricing_summary ~ship_lo:0 ~ship_hi:(1200 + i) ())
+  in
+  let run_tpch exec_feedback =
+    Market.run (config exec_feedback) tpch_federation tpch_queries
+  in
+  let tpch_static = run_tpch false in
+  let tpch_feedback = run_tpch true in
   let exec (s : Market.stats) = Option.get s.Market.exec in
   let distinct_seller_sets (s : Market.stats) =
     List.sort_uniq compare
@@ -1270,9 +1287,13 @@ let r_execsched () =
   in
   row "static estimates" static;
   row "measured feedback" feedback;
+  row "tpch static" tpch_static;
+  row "tpch feedback" tpch_feedback;
   Texttable.print t;
   let sm = (exec static).Market.exec_makespan in
   let fm = (exec feedback).Market.exec_makespan in
+  let tsm = (exec tpch_static).Market.exec_makespan in
+  let tfm = (exec tpch_feedback).Market.exec_makespan in
   let snapshot =
     [
       ("scenario", Bench_json.S "execsched");
@@ -1288,6 +1309,11 @@ let r_execsched () =
       ("static_trading_makespan", Bench_json.F static.Market.trading_makespan);
       ( "feedback_trading_makespan",
         Bench_json.F feedback.Market.trading_makespan );
+      ("tpch_static_exec_makespan", Bench_json.F tsm);
+      ("tpch_feedback_exec_makespan", Bench_json.F tfm);
+      ("tpch_speedup", Bench_json.F (if tfm > 0. then tsm /. tfm else 0.));
+      ("tpch_tasks", Bench_json.I (exec tpch_feedback).Market.tasks_run);
+      ("tpch_completed", Bench_json.I tpch_feedback.Market.completed);
     ]
   in
   bench ~scenario:"execsched" (List.tl snapshot);
@@ -1354,6 +1380,7 @@ let r_stream () =
   let scfg shedding =
     let d = Market.default_stream_config params in
     {
+      d with
       Market.base =
         {
           d.Market.base with
@@ -1446,6 +1473,182 @@ let r_stream () =
       queries
 
 (* ------------------------------------------------------------------ *)
+(* R-telemetry: burn-rate alerting on an overloaded open stream         *)
+(* ------------------------------------------------------------------ *)
+
+let r_telemetry () =
+  heading "R-telemetry"
+    "time-resolved telemetry on an overloaded stream: scraped series, SLO \
+     burn-rate alerting with flight-recorder bundles, BENCH_telemetry.json";
+  let module Market = Qt_market.Market in
+  let module Admission = Qt_market.Admission in
+  let module Sla = Qt_stream.Sla in
+  let module Arrivals = Qt_stream.Arrivals in
+  let module Pool = Qt_optimizer.Pool in
+  let module Slo = Qt_obs.Slo in
+  (* Same overload shape as R-stream, nothing shed: everyone is served
+     late, so the interactive p95 objective burns its error budget early
+     and the alert must fire long before the run drains. *)
+  let nodes = 8 in
+  let queries = 10_000 in
+  let rate = 5.0 in
+  let federation =
+    Generator.chain ~nodes ~relations:2
+      ~placement:{ Generator.partitions = 4; replicas = 1 }
+      ()
+  in
+  let templates =
+    Array.of_list
+      (Workload.random_chain_queries ~seed:11 ~count:12 ~relations:2
+         ~max_joins:1)
+  in
+  let arrivals n =
+    Arrivals.generate ~seed:13
+      ~process:(Arrivals.Poisson { rate })
+      ~horizon:(Arrivals.Count n) ~templates:(Array.length templates)
+      ~theta:0.9 ~mix:Sla.default_mix
+  in
+  let spec_of klass =
+    let s = Sla.default_spec klass in
+    match klass with
+    | Sla.Interactive -> { s with Sla.deadline = 4.0 }
+    | Sla.Batch -> { s with Sla.deadline = 12.0 }
+    | Sla.Besteffort -> s
+  in
+  let rule =
+    match Slo.parse "interactive:p95<5:budget=0.01" with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  let scfg pool =
+    let d = Market.default_stream_config params in
+    {
+      d with
+      Market.base =
+        {
+          d.Market.base with
+          Market.admission =
+            {
+              d.Market.base.Market.admission with
+              Admission.slots = 2;
+              queue_limit = 4;
+            };
+          max_admission_retries = 10;
+          pool;
+        };
+      spec_of;
+      telemetry =
+        Some { Market.default_telemetry with Market.slo_rules = [ rule ] };
+    }
+  in
+  let s =
+    Market.run_stream (scfg None) federation ~templates (arrivals queries)
+  in
+  let tel = Option.get s.Market.str_telemetry in
+  let alerts = tel.Market.tl_alerts in
+  let first_alert_t =
+    match alerts with
+    | ((al : Slo.alert), _) :: _ -> al.Slo.al_time
+    | [] -> -1.
+  in
+  let first_bundle_entries =
+    match alerts with
+    | (_, b) :: _ -> List.length b.Qt_obs.Flight_recorder.b_entries
+    | [] -> 0
+  in
+  (* Goodput collapse, visible in the series itself: the windowed
+     goodput floor under overload sits far below 1. *)
+  let min_goodput_window =
+    List.fold_left
+      (fun acc (p : Qt_obs.Timeseries.point) ->
+        if p.Qt_obs.Timeseries.pt_series = "stream.goodput" then
+          Float.min acc p.Qt_obs.Timeseries.pt_value
+        else acc)
+      1. tel.Market.tl_points
+  in
+  let om = Qt_obs.Openmetrics.render (Market.stream_metrics_registry s) in
+  let om_valid =
+    match Qt_obs.Openmetrics.validate om with Ok () -> true | Error _ -> false
+  in
+  (* Determinism gate on a shorter horizon: the full telemetry output —
+     stats JSON and the JSONL series dump — must be byte-identical
+     between domains=1 and domains=4. *)
+  let small_d1 =
+    Market.run_stream (scfg None) federation ~templates (arrivals 2000)
+  in
+  let small_d4 =
+    let p = Pool.create ~domains:4 in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown p)
+      (fun () ->
+        Market.run_stream (scfg (Some p)) federation ~templates (arrivals 2000))
+  in
+  let identical =
+    Market.stream_to_json small_d1 = Market.stream_to_json small_d4
+    && Market.telemetry_jsonl (Option.get small_d1.Market.str_telemetry)
+       = Market.telemetry_jsonl (Option.get small_d4.Market.str_telemetry)
+  in
+  Printf.printf
+    "arrivals %d, goodput %.4f (windowed floor %.4f), makespan %.1fs\n"
+    s.Market.str_arrivals s.Market.str_goodput min_goodput_window
+    s.Market.str_makespan;
+  Printf.printf
+    "telemetry: %d ticks, %d points, %d alerts (first at %.3fs), %d failure \
+     bundles\n"
+    tel.Market.tl_ticks
+    (List.length tel.Market.tl_points)
+    (List.length alerts) first_alert_t
+    (List.length tel.Market.tl_failures);
+  let snapshot =
+    [
+      ("scenario", Bench_json.S "telemetry");
+      ("arrivals", Bench_json.I queries);
+      ("rate", Bench_json.F rate);
+      ("goodput", Bench_json.F s.Market.str_goodput);
+      ("min_goodput_window", Bench_json.F min_goodput_window);
+      ("makespan", Bench_json.F s.Market.str_makespan);
+      ("ticks", Bench_json.I tel.Market.tl_ticks);
+      ("points", Bench_json.I (List.length tel.Market.tl_points));
+      ("alerts", Bench_json.I (List.length alerts));
+      ("first_alert_t", Bench_json.F first_alert_t);
+      ( "alert_before_end",
+        Bench_json.B
+          (alerts <> [] && first_alert_t < s.Market.str_makespan) );
+      ("first_bundle_entries", Bench_json.I first_bundle_entries);
+      ("failure_bundles", Bench_json.I (List.length tel.Market.tl_failures));
+      ("identical_d1_d4", Bench_json.B identical);
+      ("openmetrics_valid", Bench_json.B om_valid);
+    ]
+  in
+  bench ~scenario:"telemetry" (List.tl snapshot);
+  Bench_json.to_file "BENCH_telemetry.json" snapshot;
+  Printf.printf "wrote BENCH_telemetry.json\n";
+  if alerts = [] || first_alert_t >= s.Market.str_makespan then begin
+    Printf.printf
+      "FAIL: burn-rate alert did not fire before end of run (first %.3fs, \
+       makespan %.1fs)\n"
+      first_alert_t s.Market.str_makespan;
+    exit 1
+  end;
+  if first_bundle_entries = 0 then begin
+    Printf.printf "FAIL: alert carried an empty flight-recorder bundle\n";
+    exit 1
+  end;
+  if not identical then begin
+    Printf.printf
+      "FAIL: telemetry output differs between domains=1 and domains=4\n";
+    exit 1
+  end;
+  if not om_valid then begin
+    Printf.printf "FAIL: OpenMetrics exposition failed validation\n";
+    exit 1
+  end;
+  Printf.printf
+    "PASS: alert fired at %.3fs (makespan %.1fs) with a %d-entry bundle; \
+     series byte-identical across pool sizes; OpenMetrics valid\n"
+    first_alert_t s.Market.str_makespan first_bundle_entries
+
+(* ------------------------------------------------------------------ *)
 (* R-optimizer: bitset DP core + domain pool vs the legacy enumeration  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1526,6 +1729,33 @@ let r_optimizer () =
   let identical = Market.to_json d1 = Market.to_json d4 in
   let legacy_identical = Market.to_json legacy_stats = Market.to_json d1 in
   let speedup = if d4_s > 0. then legacy_s /. d4_s else 0. in
+  (* The same engine over the TPC-H schema: the joins are shallower, so
+     this arm gates determinism (d1 vs d4 byte-identity on a different
+     catalog shape) rather than speedup. *)
+  let tpch_federation =
+    Generator.tpch ~nodes:8
+      ~placement:{ Generator.partitions = 4; replicas = 2 }
+      ()
+  in
+  let tpch_queries = Workload.tpch_templates ~seed:11 ~count:buyers in
+  let run_tpch domains =
+    if domains <= 1 then
+      wall (fun () ->
+          Market.run (config ~legacy:false None) tpch_federation tpch_queries)
+    else begin
+      let p = Pool.create ~domains in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown p)
+        (fun () ->
+          wall (fun () ->
+              Market.run
+                (config ~legacy:false (Some p))
+                tpch_federation tpch_queries))
+    end
+  in
+  let tpch_d1_s, tpch_d1 = run_tpch 1 in
+  let tpch_d4_s, tpch_d4 = run_tpch 4 in
+  let tpch_identical = Market.to_json tpch_d1 = Market.to_json tpch_d4 in
   let t = Texttable.create [ "configuration"; "wall (s)"; "vs legacy"; "done" ] in
   let row name s (st : Market.stats) =
     Texttable.add_row t
@@ -1540,6 +1770,9 @@ let r_optimizer () =
   row "bitset core, domains=1" d1_s d1;
   row "bitset core, domains=4" d4_s d4;
   Texttable.print t;
+  Printf.printf
+    "tpch arm: d1 %.3fs, d4 %.3fs, %d/%d done, byte-identical %b\n" tpch_d1_s
+    tpch_d4_s tpch_d4.Market.completed buyers tpch_identical;
   let snapshot =
     [
       ("scenario", Bench_json.S "optimizer");
@@ -1553,6 +1786,10 @@ let r_optimizer () =
       ("identical_d1_d4", Bench_json.B identical);
       ("identical_legacy_d1", Bench_json.B legacy_identical);
       ("completed", Bench_json.I d4.Market.completed);
+      ("tpch_d1_wall_s", Bench_json.F tpch_d1_s);
+      ("tpch_d4_wall_s", Bench_json.F tpch_d4_s);
+      ("tpch_identical_d1_d4", Bench_json.B tpch_identical);
+      ("tpch_completed", Bench_json.I tpch_d4.Market.completed);
     ]
   in
   bench ~scenario:"optimizer" (List.tl snapshot);
@@ -1565,6 +1802,11 @@ let r_optimizer () =
   end;
   if not legacy_identical then begin
     Printf.printf "FAIL: bitset core changed results vs the legacy DP\n";
+    exit 1
+  end;
+  if not tpch_identical then begin
+    Printf.printf
+      "FAIL: tpch market stats differ between domains=1 and domains=4\n";
     exit 1
   end;
   if speedup < 3.0 then begin
@@ -1850,6 +2092,7 @@ let all =
     ("obs", Some "BENCH_obs.json", r_obs);
     ("execsched", Some "BENCH_execsched.json", r_execsched);
     ("stream", Some "BENCH_stream.json", r_stream);
+    ("telemetry", Some "BENCH_telemetry.json", r_telemetry);
     ("optimizer", Some "BENCH_optimizer.json", r_optimizer);
     ("cache", Some "BENCH_cache.json", r_cache);
     ("micro", None, micro);

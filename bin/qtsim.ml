@@ -182,6 +182,14 @@ let write_file path contents =
   output_char oc '\n';
   close_out oc
 
+(* For payloads that already carry their terminator (JSONL dumps, the
+   OpenMetrics exposition ending "# EOF\n") — a stray extra newline
+   would fail the validators. *)
+let write_file_raw path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
 let obs_of_trace = function
   | None -> Qt_obs.Obs.disabled
   | Some _ -> Qt_obs.Obs.create ()
@@ -929,7 +937,8 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
     slots queue policy admission_retries no_batching seed arrival_seed
     competitive json trace metrics execute workers exec_seed no_exec_feedback
     no_sharing cache cache_clients cache_latency cache_fraction cache_bytes
-    record replay domains =
+    record replay scrape_interval slo series openmetrics latency_domain domains
+    =
   with_pool domains @@ fun pool ->
   let module Market = Qt_market.Market in
   let module Admission = Qt_market.Admission in
@@ -1031,16 +1040,46 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
       pool;
     }
   in
-  let scfg = { Market.base; spec_of; shedding } in
+  let slo_rules = List.map (fun s -> ok_or_fail (Qt_obs.Slo.parse s)) slo in
+  let telemetry =
+    (* --slo and --series imply scraping at the default 1 s interval. *)
+    if scrape_interval > 0. || slo_rules <> [] || series <> None then
+      Some
+        {
+          Market.default_telemetry with
+          Market.scrape_interval =
+            (if scrape_interval > 0. then scrape_interval else 1.0);
+          slo_rules;
+        }
+    else None
+  in
+  let scfg = { Market.base; spec_of; shedding; telemetry; latency_domain } in
   let obs = obs_of_trace trace in
   let s =
     Market.run_stream ~obs scfg federation
       ~templates:(Array.of_list template_pool)
       arrivals
   in
+  let counters =
+    match s.Market.str_telemetry with
+    | None -> []
+    | Some t ->
+      List.filter_map
+        (fun name ->
+          let pts =
+            List.filter_map
+              (fun (p : Qt_obs.Timeseries.point) ->
+                if p.Qt_obs.Timeseries.pt_series = name then
+                  Some (p.Qt_obs.Timeseries.pt_time, p.Qt_obs.Timeseries.pt_value)
+                else None)
+              t.Market.tl_points
+          in
+          if pts = [] then None else Some (name, pts))
+        [ "stream.occupancy"; "stream.goodput"; "stream.cache_hit_rate" ]
+  in
   Option.iter
     (fun path ->
-      write_file path (Qt_obs.Chrome_trace.to_json obs);
+      write_file path (Qt_obs.Chrome_trace.to_json ~counters obs);
       if not json then
         Printf.printf "trace: %d spans, %d categories, %d tracks -> %s\n"
           (Qt_obs.Obs.span_count obs)
@@ -1049,6 +1088,17 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
           path)
     trace;
   Option.iter (fun path -> write_file path (Market.stream_metrics_json s)) metrics;
+  Option.iter
+    (fun path ->
+      match s.Market.str_telemetry with
+      | Some t -> write_file_raw path (Market.telemetry_jsonl t)
+      | None -> ())
+    series;
+  Option.iter
+    (fun path ->
+      write_file_raw path
+        (Qt_obs.Openmetrics.render (Market.stream_metrics_registry s)))
+    openmetrics;
   if json then print_endline (Market.stream_to_json s)
   else begin
     Printf.printf
@@ -1092,6 +1142,21 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
       s.Market.str_cache.Qt_core.Seller.invalidations
       s.Market.str_cache.Qt_core.Seller.evictions;
     Option.iter print_qcache_stats s.Market.str_qcache;
+    Option.iter
+      (fun (t : Market.telemetry_stats) ->
+        Printf.printf
+          "telemetry: %d ticks @ %gs, %d points, %d alerts, %d failure bundles\n"
+          t.Market.tl_ticks t.Market.tl_interval
+          (List.length t.Market.tl_points)
+          (List.length t.Market.tl_alerts)
+          (List.length t.Market.tl_failures);
+        List.iter
+          (fun ((al : Qt_obs.Slo.alert), _) ->
+            Printf.printf "  alert [%s] fired at %.3fs (burn fast %.2f, slow %.2f)\n"
+              al.Qt_obs.Slo.al_rule.Qt_obs.Slo.r_name al.Qt_obs.Slo.al_time
+              al.Qt_obs.Slo.al_burn_fast al.Qt_obs.Slo.al_burn_slow)
+          t.Market.tl_alerts)
+      s.Market.str_telemetry;
     Option.iter
       (fun (e : Market.exec_stats) ->
         Printf.printf "execution: %d tasks, %d shared results, exec makespan %.4fs\n"
@@ -1287,6 +1352,51 @@ let stream_cmd =
             "Replay arrivals from a trace file (written by --record) instead \
              of generating them; generator options are ignored.")
   in
+  let scrape_interval_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "scrape-interval" ] ~docv:"S"
+          ~doc:
+            "Scrape the metrics registry every S sim seconds into a \
+             time-resolved series (0 = telemetry off; implied 1.0 when \
+             $(b,--slo) or $(b,--series) is given).")
+  in
+  let slo_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "slo" ] ~docv:"RULE"
+          ~doc:
+            "SLO burn-rate alert rule, e.g. \
+             'interactive:p95<5:budget=0.01'; repeatable.  Grammar: \
+             CLASS:METRIC(<|>)THRESHOLD:budget=B[:fast=N][:slow=N][:factor=F] \
+             with METRIC one of p50, p95, p99, goodput, occupancy, \
+             cache_hit.")
+  in
+  let series_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "series" ] ~docv:"FILE"
+          ~doc:
+            "Write the scraped telemetry series as JSONL (points, then \
+             alerts with flight-recorder bundles, then failure bundles).")
+  in
+  let openmetrics_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "openmetrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the end-of-run metrics registry in OpenMetrics/Prometheus \
+             text exposition format.")
+  in
+  let latency_domain_arg =
+    Arg.(
+      value & opt float 1000.
+      & info [ "latency-domain" ] ~docv:"S"
+          ~doc:
+            "Upper bound of the end-to-end latency histogram domain in sim \
+             seconds; bucket resolution widens automatically for larger \
+             domains.")
+  in
   Cmd.v
     (Cmd.info "stream" ~doc)
     Term.(
@@ -1300,7 +1410,8 @@ let stream_cmd =
       $ stream_execute_arg $ workers_arg $ exec_seed_arg $ no_exec_feedback_arg
       $ no_sharing_arg $ cache_arg $ cache_clients_arg $ cache_latency_arg
       $ cache_fraction_arg $ cache_bytes_arg $ record_arg $ replay_arg
-      $ domains_arg)
+      $ scrape_interval_arg $ slo_arg $ series_arg $ openmetrics_arg
+      $ latency_domain_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check-trace                                                          *)
@@ -1334,6 +1445,159 @@ let check_trace_cmd =
   Cmd.v (Cmd.info "check-trace" ~doc) Term.(const run_check_trace $ file_arg)
 
 (* ------------------------------------------------------------------ *)
+(* benchdiff                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_benchdiff rules_file rule_specs baseline current =
+  let module Bd = Qt_obs.Benchdiff in
+  let module Json = Qt_util.Json_min in
+  let ok_or_fail = function Ok v -> v | Error msg -> failwith msg in
+  let file_rules =
+    match rules_file with
+    | None -> []
+    | Some path -> ok_or_fail (Bd.parse_rules (read_file path))
+  in
+  let cli_rules = List.map (fun s -> ok_or_fail (Bd.parse_rule s)) rule_specs in
+  let rules = file_rules @ cli_rules in
+  let snapshot path =
+    match Json.parse_opt (read_file path) with
+    | Some j -> j
+    | None -> failwith (Printf.sprintf "%s: not valid JSON" path)
+  in
+  let report =
+    Bd.compare_snapshots ~rules ~baseline:(snapshot baseline)
+      ~current:(snapshot current)
+  in
+  List.iter (fun n -> Printf.printf "note: %s\n" n) report.Bd.notes;
+  List.iter (fun f -> Printf.printf "FAIL: %s\n" f) report.Bd.failures;
+  if report.Bd.failures = [] then begin
+    Printf.printf "benchdiff: %d rules checked, %d notes, no regressions\n"
+      (List.length rules)
+      (List.length report.Bd.notes);
+    0
+  end
+  else begin
+    Printf.printf "benchdiff: %d regression(s) against %s\n"
+      (List.length report.Bd.failures)
+      baseline;
+    1
+  end
+
+let benchdiff_cmd =
+  let doc =
+    "Compare a fresh BENCH_*.json snapshot against a committed baseline \
+     under per-key tolerance rules; exits 1 on any regression."
+  in
+  let rules_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "rules" ] ~docv:"FILE"
+          ~doc:
+            "Rules file, one rule per line ($(b,#) comments allowed): \
+             key>=tol (may not drop more than tol fraction below baseline), \
+             key<=tol (may not rise), key== (exact scalar equality).")
+  in
+  let rule_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "rule" ] ~docv:"SPEC"
+          ~doc:"Inline rule with the same grammar as --rules lines; repeatable.")
+  in
+  let baseline_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Committed baseline snapshot.")
+  in
+  let current_arg =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Freshly measured snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "benchdiff" ~doc)
+    Term.(
+      const run_benchdiff $ rules_arg $ rule_arg $ baseline_arg $ current_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_report path =
+  let module Json = Qt_util.Json_min in
+  let tbl = Hashtbl.create 64 in
+  let alerts = ref [] and failures = ref [] in
+  let lines = String.split_on_char '\n' (read_file path) in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if line <> "" then
+        match Json.parse_opt line with
+        | None -> failwith (Printf.sprintf "%s:%d: not valid JSON" path (i + 1))
+        | Some j -> (
+          match (Json.field j "series", Json.field j "value") with
+          | Some (Json.String s), Some (Json.Num v) -> (
+            match Hashtbl.find_opt tbl s with
+            | None -> Hashtbl.add tbl s (ref (1, v, v, v))
+            | Some r ->
+              let n, lo, hi, _ = !r in
+              r := (n + 1, Float.min lo v, Float.max hi v, v))
+          | _ ->
+            if Json.field j "alert" <> None then alerts := j :: !alerts
+            else if Json.field j "failure" <> None then failures := j :: !failures
+            else
+              failwith
+                (Printf.sprintf "%s:%d: neither a point, alert nor failure"
+                   path (i + 1))))
+    lines;
+  let names =
+    Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+  in
+  Printf.printf "%-36s %8s %10s %10s %10s\n" "series" "points" "min" "max"
+    "last";
+  List.iter
+    (fun name ->
+      let n, lo, hi, last = !(Hashtbl.find tbl name) in
+      Printf.printf "%-36s %8d %10.4g %10.4g %10.4g\n" name n lo hi last)
+    names;
+  let alerts = List.rev !alerts and failures = List.rev !failures in
+  Printf.printf "alerts: %d\n" (List.length alerts);
+  List.iter
+    (fun j ->
+      match Json.field j "alert" with
+      | Some al -> (
+        match (Json.field al "rule", Json.field al "t") with
+        | Some (Json.String rule), Some (Json.Num t) ->
+          Printf.printf "  [%s] fired at %.3fs\n" rule t
+        | _ -> ())
+      | None -> ())
+    alerts;
+  Printf.printf "failure bundles: %d\n" (List.length failures);
+  List.iter
+    (fun j ->
+      match Json.field j "failure" with
+      | Some f -> (
+        match (Json.field f "reason", Json.field f "t") with
+        | Some (Json.String reason), Some (Json.Num t) ->
+          Printf.printf "  %s at %.3fs\n" reason t
+        | _ -> ())
+      | None -> ())
+    failures;
+  0
+
+let report_cmd =
+  let doc =
+    "Summarize a telemetry series JSONL file (written by $(b,qtsim stream \
+     --series)): per-series point counts and ranges, fired alerts, failure \
+     bundles."
+  in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Series JSONL file.")
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run_report $ file_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "query-trading distributed query optimization simulator" in
@@ -1348,6 +1612,8 @@ let main_cmd =
       market_cmd;
       stream_cmd;
       check_trace_cmd;
+      benchdiff_cmd;
+      report_cmd;
     ]
 
 let () =

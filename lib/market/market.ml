@@ -12,6 +12,9 @@ module Event_queue = Qt_runtime.Event_queue
 module Federation = Qt_catalog.Federation
 module Obs = Qt_obs.Obs
 module Metrics = Qt_obs.Metrics
+module Timeseries = Qt_obs.Timeseries
+module Slo = Qt_obs.Slo
+module Flight_recorder = Qt_obs.Flight_recorder
 module Plan = Qt_optimizer.Plan
 module Pool = Qt_optimizer.Pool
 module Listx = Qt_util.Listx
@@ -277,6 +280,10 @@ type market = {
   mutable on_complete : int -> float -> unit;
       (* Called as [(trade, time)] when one of the trade's contracts
          finishes; the stream runner hooks end-to-end accounting here. *)
+  mutable on_reject : int -> int -> float -> unit;
+      (* Called as [(trade, seller, time)] when a seller rejects a
+         contract submission; the stream telemetry's flight recorder
+         hooks here.  Runs on the coordinator only. *)
 }
 
 let admission_of st node =
@@ -451,6 +458,7 @@ let try_admit st tr ~now works =
       with
       | Admission.Rejected ->
         decision_instant "reject" seller work;
+        st.on_reject tr.t_index seller now;
         List.iter
           (fun s ->
             decision_instant "cancel" s 0.;
@@ -820,6 +828,7 @@ let make_market ~obs cfg federation =
       rtt = Metrics.histogram metrics "market.offer_rtt";
       waits = Metrics.histogram metrics "market.queue_wait";
       on_complete = (fun _ _ -> ());
+      on_reject = (fun _ _ _ -> ());
     }
   in
   Obs.track_name obs market_track "market";
@@ -1335,10 +1344,31 @@ module Sla = Qt_stream.Sla
 module Arrivals = Qt_stream.Arrivals
 module Shedding = Qt_stream.Shedding
 
+(* Time-resolved telemetry over a stream run: a scrape tick every
+   [scrape_interval] sim seconds is interleaved with the completion and
+   deadline event streams; each tick samples the live metrics registry
+   into a {!Timeseries}, evaluates the SLO burn-rate rules, and records
+   into the flight recorder.  Scraping is read-only — it never advances
+   the market clock or any sim state — so a telemetry-on run follows
+   exactly the trajectory of the same run with telemetry off, and the
+   whole thing stays on the coordinator so [--domains N] output is
+   byte-identical at any N. *)
+type telemetry_config = {
+  scrape_interval : float;  (* sim seconds between scrape ticks *)
+  slo_rules : Slo.rule list;
+  flight_capacity : int;  (* per-node flight-recorder ring size *)
+}
+
+let default_telemetry =
+  { scrape_interval = 1.0; slo_rules = []; flight_capacity = 32 }
+
 type stream_config = {
   base : config;
   spec_of : Sla.klass -> Sla.spec;
   shedding : Shedding.policy;
+  telemetry : telemetry_config option;
+  latency_domain : float;
+      (* end-to-end latency histogram domain, sim seconds *)
 }
 
 let default_stream_config params =
@@ -1352,7 +1382,30 @@ let default_stream_config params =
       };
     spec_of = Sla.default_spec;
     shedding = Shedding.Keep_all;
+    telemetry = None;
+    latency_domain = 1000.;
   }
+
+(* Live per-run telemetry state; internal to [run_stream]. *)
+type stream_tel = {
+  tel_cfg : telemetry_config;
+  tel_ts : Timeseries.t;
+  tel_slo : Slo.t;
+  tel_fr : Flight_recorder.t;
+  mutable tel_alerts : (Slo.alert * Flight_recorder.bundle) list;
+      (* newest first *)
+  mutable tel_failures : Flight_recorder.bundle list;  (* newest first *)
+}
+
+type telemetry_stats = {
+  tl_interval : float;
+  tl_ticks : int;
+  tl_points : Timeseries.point list;  (* every series point, in order *)
+  tl_rules : Slo.rule list;
+  tl_alerts : (Slo.alert * Flight_recorder.bundle) list;  (* firing order *)
+  tl_failures : Flight_recorder.bundle list;
+      (* debug bundles for the first few trade failures/expiries *)
+}
 
 type class_stats = {
   cs_klass : Sla.klass;
@@ -1391,13 +1444,20 @@ type stream_stats = {
   str_queue_wait : latency_summary;
   str_exec : exec_stats option;
   str_qcache : Tier.stats option;
+  str_telemetry : telemetry_stats option;
 }
 
 (* Stream latencies outlive the default 10-second metrics domain (an
    overloaded queue can hold a batch query for minutes), so the
-   end-to-end histograms use 10 ms buckets over a 1000-second span. *)
-let stream_latency_histogram metrics name =
-  Metrics.histogram ~hi:9_999_999 ~buckets:100_000 ~scale:1e4 metrics name
+   end-to-end histograms use 10 ms buckets over a 1000-second span by
+   default.  The domain is configurable for long-tail batch workloads;
+   past 1000 s the bucket count caps at 100k and the buckets widen
+   proportionally, keeping memory constant. *)
+let stream_latency_histogram ?(domain = 1000.) metrics name =
+  let scale = 1e4 in
+  let hi = max 99 (int_of_float (domain *. scale) - 1) in
+  let buckets = min 100_000 ((hi + 1) / 100) in
+  Metrics.histogram ~hi ~buckets ~scale metrics name
 
 let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
   let cfg = scfg.base in
@@ -1425,6 +1485,84 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
           Float.max acc (float_of_int used /. capacity))
         0. seller_ids
   in
+  (* ---- telemetry state --------------------------------------------- *)
+  (* All of it lives on the coordinator and is read-only with respect to
+     the sim: the live counters below are registered in [st.metrics]
+     (which no existing output serializes), and scrape ticks never touch
+     [st.mclock].  With [scfg.telemetry = None] every handle is [None]
+     and every hook below is a no-op, so telemetry-off runs are
+     byte-for-byte unchanged. *)
+  let tel =
+    Option.map
+      (fun tc ->
+        {
+          tel_cfg = tc;
+          tel_ts = Timeseries.create ~interval:tc.scrape_interval st.metrics;
+          tel_slo = Slo.create tc.slo_rules;
+          tel_fr = Flight_recorder.create ~capacity:tc.flight_capacity;
+          tel_alerts = [];
+          tel_failures = [];
+        })
+      scfg.telemetry
+  in
+  let tel_counter name =
+    Option.map (fun _ -> Metrics.counter st.metrics name) tel
+  in
+  let tel_gauge name =
+    Option.map (fun _ -> Metrics.gauge st.metrics name) tel
+  in
+  let tincr c = Option.iter (fun c -> Metrics.incr c) c in
+  let c_arrivals = tel_counter "stream.arrivals"
+  and c_hits = tel_counter "stream.hits"
+  and c_completed = tel_counter "stream.completed"
+  and c_shed = tel_counter "stream.shed"
+  and c_expired = tel_counter "stream.expired"
+  and c_failed = tel_counter "stream.failed"
+  and c_cache_hits = tel_counter "stream.cache_hits" in
+  let class_counters suffix =
+    List.map
+      (fun k ->
+        ( k,
+          tel_counter
+            (Printf.sprintf "stream.class.%s.%s" (Sla.to_string k) suffix) ))
+      Sla.all
+  in
+  let cc_arrivals = class_counters "arrivals"
+  and cc_hits = class_counters "hits"
+  and cc_expired = class_counters "expired" in
+  let class_incr tbl k = tincr (List.assoc k tbl) in
+  let g_occupancy = tel_gauge "stream.occupancy" in
+  let seller_gauges =
+    match tel with
+    | None -> []
+    | Some _ ->
+      List.map
+        (fun id ->
+          ( id,
+            ( Metrics.gauge st.metrics (Printf.sprintf "seller.%d.occupancy" id),
+              Metrics.gauge st.metrics (Printf.sprintf "seller.%d.load" id),
+              Metrics.gauge st.metrics (Printf.sprintf "seller.%d.revenue" id)
+            ) ))
+        seller_ids
+  in
+  let fr_record ~time ~node ~kind ~detail =
+    Option.iter
+      (fun t -> Flight_recorder.record t.tel_fr ~time ~node ~kind ~detail)
+      tel
+  in
+  (* Debug bundles for the first few hard failures: enough to diagnose,
+     bounded so a total collapse cannot flood the output. *)
+  let max_failure_bundles = 3 in
+  let fr_failure ~time ~reason =
+    Option.iter
+      (fun t ->
+        if List.length t.tel_failures < max_failure_bundles then
+          t.tel_failures <-
+            Flight_recorder.bundle t.tel_fr ~time ~reason
+              ~metrics:(Metrics.to_json st.metrics)
+            :: t.tel_failures)
+      tel
+  in
   let trades =
     Array.of_list arrivals
     |> Array.mapi (fun i (a : Arrivals.arrival) ->
@@ -1443,21 +1581,34 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
       Runtime.register st.rt tr.t_buyer)
     trades;
   qcache_install_exec_hook st trades;
-  let lat_all = stream_latency_histogram st.metrics "stream.latency.all" in
+  let lat_all =
+    stream_latency_histogram ~domain:scfg.latency_domain st.metrics
+      "stream.latency.all"
+  in
   let lat_class =
     let tbl =
       List.map
         (fun k ->
           ( k,
-            stream_latency_histogram st.metrics
+            stream_latency_histogram ~domain:scfg.latency_domain st.metrics
               ("stream.latency." ^ Sla.to_string k) ))
         Sla.all
     in
     fun k -> List.assoc k tbl
   in
+  (* Every full completion funnels through here (last contract, empty
+     plans, cache-served results alike), so it doubles as the telemetry
+     completion/hit count site. *)
   let observe_latency tr t =
     let lat = t -. tr.t_arrival in
     Metrics.observe lat_all lat;
+    tincr c_completed;
+    if t <= tr.t_deadline then begin
+      tincr c_hits;
+      Option.iter (class_incr cc_hits) tr.t_klass
+    end;
+    fr_record ~time:t ~node:tr.t_buyer ~kind:"complete"
+      ~detail:(Printf.sprintf "trade=%d lat=%.3fs" tr.t_index lat);
     match tr.t_klass with
     | Some k -> Metrics.observe (lat_class k) lat
     | None -> ()
@@ -1494,6 +1645,11 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
           | _ -> ()
         end
       end);
+  if tel <> None then
+    st.on_reject <-
+      (fun ti seller t ->
+        fr_record ~time:t ~node:seller ~kind:"reject"
+          ~detail:(Printf.sprintf "trade=%d" ti));
   (* An SLA deadline fires: a trade still trading, or holding
      uncompleted contracts, expires.  In-flight contracts are withdrawn
      through the admission cancel path — their already-scheduled
@@ -1505,7 +1661,12 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
       st.mclock <- Float.max st.mclock d;
       tr.t_status <- Some Expired;
       tr.t_finished_at <- d;
-      stream_instant tr ~at:d "expired"
+      stream_instant tr ~at:d "expired";
+      tincr c_expired;
+      Option.iter (class_incr cc_expired) tr.t_klass;
+      fr_record ~time:d ~node:tr.t_buyer ~kind:"expire"
+        ~detail:(Printf.sprintf "trade=%d deadline=%.3fs" tr.t_index tr.t_deadline);
+      fr_failure ~time:d ~reason:(Printf.sprintf "trade %d expired" tr.t_index)
     in
     match tr.t_status with
     | Some Completed when tr.t_pending > 0 ->
@@ -1521,16 +1682,128 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
     | None -> expire ()
     | Some _ -> ()
   in
-  (* Advance contract completions and deadline expiries together in
-     time order (completions win ties: finishing exactly at the
-     deadline counts), then settle execution up to the same point. *)
+  (* One scrape tick: refresh the sampled gauges, scrape the registry
+     into the series, derive the windowed goodput / cache-hit-rate
+     series, evaluate the SLO rules on this window, and bundle any alert
+     that fires.  Strictly read-only with respect to the sim —
+     [st.mclock] and the event queues are never touched. *)
+  let scrape_tick t ~now =
+    let ts = t.tel_ts in
+    let occ = occupancy () in
+    Option.iter (fun g -> Metrics.set g occ) g_occupancy;
+    List.iter
+      (fun (id, (g_occ, g_load, g_rev)) ->
+        let adm = admission_of st id in
+        let used = Admission.in_service adm + Admission.queue_depth adm in
+        Metrics.set g_occ
+          (if capacity <= 0. then 1. else float_of_int used /. capacity);
+        Metrics.set g_load (Admission.offered_load adm);
+        Metrics.set g_rev (Admission.stats adm).Admission.busy)
+      seller_gauges;
+    Timeseries.scrape ts ~now;
+    let arr_w = Timeseries.window_delta ts "stream.arrivals" in
+    let hits_w = Timeseries.window_delta ts "stream.hits" in
+    let goodput_w = if arr_w > 0. then hits_w /. arr_w else 1. in
+    Timeseries.push ts ~now "stream.goodput" goodput_w;
+    let cache_w =
+      if st.qcache = None then None
+      else
+        Some
+          (if arr_w > 0. then
+             Timeseries.window_delta ts "stream.cache_hits" /. arr_w
+           else 0.)
+    in
+    Option.iter
+      (fun v -> Timeseries.push ts ~now "stream.cache_hit_rate" v)
+      cache_w;
+    fr_record ~time:now ~node:market_track ~kind:"scrape"
+      ~detail:
+        (Printf.sprintf "arrivals=%.0f goodput=%.3f occupancy=%.3f" arr_w
+           goodput_w occ);
+    let violated r value =
+      match r.Slo.r_cmp with
+      | Slo.Lt -> value >= r.Slo.r_threshold
+      | Slo.Gt -> value <= r.Slo.r_threshold
+    in
+    (* A rule's window error rate.  Latency rules: the violating fraction
+       of the window's outcomes (expiries count as violations for
+       upper-bound rules; a window whose quantile meets the objective
+       contributes no error).  Goodput / occupancy / cache-hit rules:
+       binary — the window either meets the objective or burns. *)
+    let error_rate (r : Slo.rule) =
+      let subject_class = Sla.of_string r.Slo.r_subject in
+      match r.Slo.r_metric with
+      | Slo.P50 | Slo.P95 | Slo.P99 -> (
+        let hname =
+          match subject_class with
+          | Some k -> "stream.latency." ^ Sla.to_string k
+          | None -> "stream.latency.all"
+        in
+        let expired_w =
+          match subject_class with
+          | Some k ->
+            Timeseries.window_delta ts
+              (Printf.sprintf "stream.class.%s.expired" (Sla.to_string k))
+          | None -> Timeseries.window_delta ts "stream.expired"
+        in
+        match Timeseries.window_above ts hname r.Slo.r_threshold with
+        | None -> 0.
+        | Some (above, total) ->
+          let viol, denom =
+            match r.Slo.r_cmp with
+            | Slo.Lt -> (above +. expired_w, total +. expired_w)
+            | Slo.Gt -> (total -. above, total)
+          in
+          if denom <= 0. then 0.
+          else
+            let suffix =
+              match r.Slo.r_metric with
+              | Slo.P50 -> ".p50"
+              | Slo.P99 -> ".p99"
+              | _ -> ".p95"
+            in
+            let quantile_violates =
+              if total > 0. then
+                match Timeseries.last ts (hname ^ suffix) with
+                | Some q -> violated r q
+                | None -> false
+              else expired_w > 0.
+            in
+            if quantile_violates then viol /. denom else 0.)
+      | Slo.Goodput ->
+        if arr_w <= 0. then 0. else if violated r goodput_w then 1. else 0.
+      | Slo.Occupancy -> if violated r occ then 1. else 0.
+      | Slo.Cache_hit -> (
+        match cache_w with
+        | None -> if violated r 0. then 1. else 0.
+        | Some v ->
+          if arr_w <= 0. then 0. else if violated r v then 1. else 0.)
+    in
+    List.iter
+      (fun (al : Slo.alert) ->
+        let b =
+          Flight_recorder.bundle t.tel_fr ~time:now
+            ~reason:al.Slo.al_rule.Slo.r_name
+            ~metrics:(Metrics.to_json st.metrics)
+        in
+        t.tel_alerts <- (al, b) :: t.tel_alerts)
+      (Slo.observe t.tel_slo ~now ~error_rate)
+  in
+  let tel_next () =
+    match tel with Some t -> Timeseries.next_tick t.tel_ts | None -> infinity
+  in
+  (* Advance contract completions, deadline expiries and scrape ticks
+     together in time order (completions win ties: finishing exactly at
+     the deadline counts; events at a tick's exact time land in that
+     tick's window), then settle execution up to the same point. *)
   let rec drain_events ~upto =
     let tc = Event_queue.peek_time st.completions in
     let td = Event_queue.peek_time deadlines in
+    let tk = tel_next () in
     let completion_first =
       match (tc, td) with
-      | Some t, Some d -> t <= d && t <= upto
-      | Some t, None -> t <= upto
+      | Some t, Some d -> t <= d && t <= upto && t <= tk
+      | Some t, None -> t <= upto && t <= tk
       | None, _ -> false
     in
     if completion_first then begin
@@ -1541,12 +1814,20 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
     end
     else
       match td with
-      | Some d when d <= upto ->
+      | Some d when d <= upto && d <= tk ->
         (match Event_queue.pop deadlines with
         | Some (d, i) -> fire_deadline i d
         | None -> ());
         drain_events ~upto
-      | _ -> ()
+      | _ ->
+        (* A due scrape tick fires once every earlier event has; during
+           the unbounded final settle, ticks only fire while events
+           remain, so the drain cannot tick forever. *)
+        if tk <= upto && (Float.is_finite upto || tc <> None || td <> None)
+        then begin
+          Option.iter (fun t -> scrape_tick t ~now:tk) tel;
+          drain_events ~upto
+        end
   in
   let drain ~upto =
     drain_events ~upto;
@@ -1581,7 +1862,9 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
          should already have fired in the drain above. *)
       tr.t_status <- Some Expired;
       tr.t_finished_at <- tr.t_deadline;
-      stream_instant tr ~at:tr.t_deadline "expired"
+      stream_instant tr ~at:tr.t_deadline "expired";
+      tincr c_expired;
+      Option.iter (class_incr cc_expired) tr.t_klass
     end
     else begin
       let works = contracts_of outcome in
@@ -1600,7 +1883,12 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
         end
         else begin
           tr.t_status <- Some Admission_failed;
-          tr.t_finished_at <- now
+          tr.t_finished_at <- now;
+          tincr c_failed;
+          fr_record ~time:now ~node:tr.t_buyer ~kind:"admission_failed"
+            ~detail:(Printf.sprintf "trade=%d seller=%d" tr.t_index seller);
+          fr_failure ~time:now
+            ~reason:(Printf.sprintf "trade %d admission failed" tr.t_index)
         end
     end
   in
@@ -1621,7 +1909,12 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
         | Error _ ->
           tr.t_status <- Some No_plan;
           tr.t_finished_at <-
-            Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock))
+            Float.max (Runtime.node_clock st.rt tr.t_buyer) st.mclock;
+          tincr c_failed;
+          fr_record ~time:tr.t_finished_at ~node:tr.t_buyer ~kind:"no_plan"
+            ~detail:(Printf.sprintf "trade=%d" tr.t_index);
+          fr_failure ~time:tr.t_finished_at
+            ~reason:(Printf.sprintf "trade %d found no plan" tr.t_index)))
   in
   (* Probe the cache tier before spending a fiber on an arrival: same
      protocol as the batch runner, plus the stream bookkeeping (deadline
@@ -1644,6 +1937,7 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
       if tr.t_status <> None then true  (* expired during the drain *)
       else begin
         tr.t_attempts <- tr.t_attempts + 1;
+        tincr c_cache_hits;
         let now = qcache_serve_result st q tr e ~now in
         st.mclock <- Float.max st.mclock now;
         tr.t_completed_at <- now;
@@ -1659,6 +1953,8 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
         tr.t_status <- Some Expired;
         tr.t_finished_at <- tr.t_deadline;
         stream_instant tr ~at:tr.t_deadline "expired";
+        tincr c_expired;
+        Option.iter (class_incr cc_expired) tr.t_klass;
         true
       end
       else
@@ -1666,6 +1962,7 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
         | Ok () ->
           tr.t_attempts <- tr.t_attempts + 1;
           tr.t_cache_hit <- Some Cache_stmt;
+          tincr c_cache_hits;
           Tier.note_trade_avoided q.q_tier;
           complete_admitted tr ~now ~plan:e.Statement_cache.plan
             ~plan_cost:e.Statement_cache.plan_cost e.Statement_cache.contracts;
@@ -1680,10 +1977,15 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
       let tr = trades.(!next) in
       incr next;
       stream_instant tr ~at:tr.t_arrival "arrive";
+      tincr c_arrivals;
+      Option.iter (class_incr cc_arrivals) tr.t_klass;
       if Shedding.sheds scfg.shedding ~occupancy:(occupancy ()) then begin
         tr.t_status <- Some Shed;
         tr.t_finished_at <- tr.t_arrival;
-        stream_instant tr ~at:tr.t_arrival "shed"
+        stream_instant tr ~at:tr.t_arrival "shed";
+        tincr c_shed;
+        fr_record ~time:tr.t_arrival ~node:tr.t_buyer ~kind:"shed"
+          ~detail:(Printf.sprintf "trade=%d" tr.t_index)
       end
       else begin
         Queue.add tr.t_index ready;
@@ -1743,6 +2045,17 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
       (fun acc tr -> Float.max acc (Float.max tr.t_finished_at tr.t_completed_at))
       st.mclock trades
   in
+  (* The series' final, possibly partial window: scrape once at the end
+     of trading unless the last whole-interval tick already landed
+     there. *)
+  Option.iter
+    (fun t ->
+      let last_tick =
+        Timeseries.next_tick t.tel_ts -. Timeseries.interval t.tel_ts
+      in
+      if trading_makespan > last_tick then
+        scrape_tick t ~now:trading_makespan)
+    tel;
   emit_pool_span obs cfg.pool ~at:trading_makespan;
   let exec =
     match (st.sched, cfg.execute) with
@@ -1838,6 +2151,18 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
     str_queue_wait = summarize st.waits;
     str_exec = exec;
     str_qcache = Option.map (fun q -> Tier.stats q.q_tier) st.qcache;
+    str_telemetry =
+      Option.map
+        (fun t ->
+          {
+            tl_interval = t.tel_cfg.scrape_interval;
+            tl_ticks = Timeseries.ticks t.tel_ts;
+            tl_points = Timeseries.points t.tel_ts;
+            tl_rules = Slo.rules t.tel_slo;
+            tl_alerts = List.rev t.tel_alerts;
+            tl_failures = List.rev t.tel_failures;
+          })
+        tel;
   }
 
 (* Cache fields render only when the tier was on, keeping cache-off
@@ -1893,10 +2218,56 @@ let stream_to_json (s : stream_stats) =
   (match s.str_qcache with
   | None -> ()
   | Some q -> add (",\"qcache\":" ^ qcache_json q));
+  (* Rendered only when telemetry was on, keeping telemetry-off stream
+     JSON byte-identical to a telemetry-less build.  The full point
+     series goes to the JSONL dump ([telemetry_jsonl]); this carries the
+     summary plus every alert with its flight-recorder bundle. *)
+  (match s.str_telemetry with
+  | None -> ()
+  | Some t ->
+    add
+      (Printf.sprintf
+         ",\"telemetry\":{\"interval\":%s,\"ticks\":%d,\"points\":%d,\"rules\":"
+         (jf t.tl_interval) t.tl_ticks (List.length t.tl_points));
+    list
+      (fun (r : Slo.rule) -> add (Printf.sprintf "%S" r.Slo.r_name))
+      t.tl_rules;
+    add ",\"alerts\":";
+    list
+      (fun ((al : Slo.alert), bundle) ->
+        add
+          (Printf.sprintf "{\"alert\":%s,\"bundle\":%s}" (Slo.alert_to_json al)
+             (Flight_recorder.bundle_to_json bundle)))
+      t.tl_alerts;
+    add ",\"failures\":";
+    list (fun bd -> add (Flight_recorder.bundle_to_json bd)) t.tl_failures;
+    add "}");
   add "}";
   Buffer.contents b
 
-let stream_metrics_json (s : stream_stats) =
+(* The series dump: every scraped/derived point, then alert and failure
+   lines, one JSON object per line. *)
+let telemetry_jsonl (t : telemetry_stats) =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun p ->
+      Buffer.add_string b (Timeseries.point_to_json p);
+      Buffer.add_char b '\n')
+    t.tl_points;
+  List.iter
+    (fun ((al : Slo.alert), bundle) ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"alert\":%s,\"bundle\":%s}\n" (Slo.alert_to_json al)
+           (Flight_recorder.bundle_to_json bundle)))
+    t.tl_alerts;
+  List.iter
+    (fun bd ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"failure\":%s}\n" (Flight_recorder.bundle_to_json bd)))
+    t.tl_failures;
+  Buffer.contents b
+
+let stream_metrics_registry (s : stream_stats) =
   let m = Metrics.create () in
   let c = metrics_c m and g = metrics_g m in
   c "stream.arrivals" s.str_arrivals;
@@ -1937,4 +2308,7 @@ let stream_metrics_json (s : stream_stats) =
     ~cache:s.str_cache;
   metrics_lat m "market.offer_rtt" s.str_offer_rtt;
   metrics_lat m "market.queue_wait" s.str_queue_wait;
-  Metrics.to_json m
+  m
+
+let stream_metrics_json (s : stream_stats) =
+  Metrics.to_json (stream_metrics_registry s)

@@ -255,6 +255,20 @@ val metrics_json : stats -> string
     in time order against contract completions (completions win ties),
     and no wall-clock value reaches {!stream_stats}. *)
 
+type telemetry_config = {
+  scrape_interval : float;
+      (** Sim-time seconds between scrape ticks on the shared event
+          timeline; must be positive. *)
+  slo_rules : Qt_obs.Slo.rule list;
+      (** Burn-rate alert rules evaluated at each scrape tick. *)
+  flight_capacity : int;
+      (** Per-node flight-recorder ring size (recent span entries kept
+          for debug bundles). *)
+}
+
+val default_telemetry : telemetry_config
+(** Scrape every 1.0 sim seconds, no SLO rules, 32-entry rings. *)
+
 type stream_config = {
   base : config;
       (** The batch marketplace settings underneath.  [priority_of] is
@@ -262,11 +276,21 @@ type stream_config = {
   spec_of : Qt_stream.Sla.klass -> Qt_stream.Sla.spec;
       (** Resolve an arrival's class to its deadline and priority. *)
   shedding : Qt_stream.Shedding.policy;
+  telemetry : telemetry_config option;
+      (** Time-resolved telemetry: scrape ticks scheduled as events on
+          the shared timeline, SLO burn-rate alerting and a per-node
+          flight recorder.  [None] (the default) leaves every output
+          byte-identical to a telemetry-free build. *)
+  latency_domain : float;
+      (** Upper bound (sim seconds) of the end-to-end latency histogram
+          domain; resolution adapts so the bucket count stays bounded.
+          The 1000.0 default reproduces the historical fixed domain
+          exactly. *)
 }
 
 val default_stream_config : Qt_cost.Params.t -> stream_config
 (** {!default_config} with [Priority] admission arbitration and
-    concurrency 32, default SLA specs, no shedding. *)
+    concurrency 32, default SLA specs, no shedding, no telemetry. *)
 
 type class_stats = {
   cs_klass : Qt_stream.Sla.klass;
@@ -286,6 +310,19 @@ type class_stats = {
   cs_latency : latency_summary;
       (** End-to-end (arrival to last contract completion) for completed
           queries of this class. *)
+}
+
+type telemetry_stats = {
+  tl_interval : float;
+  tl_ticks : int;  (** Scrape ticks taken, including the final partial one. *)
+  tl_points : Qt_obs.Timeseries.point list;
+      (** Every scraped series point in emission order. *)
+  tl_rules : Qt_obs.Slo.rule list;
+  tl_alerts : (Qt_obs.Slo.alert * Qt_obs.Flight_recorder.bundle) list;
+      (** Fired burn-rate alerts in firing order, each with the debug
+          bundle captured at the firing tick. *)
+  tl_failures : Qt_obs.Flight_recorder.bundle list;
+      (** Bundles captured at trade failures/expiries (bounded). *)
 }
 
 type stream_stats = {
@@ -317,6 +354,9 @@ type stream_stats = {
   str_qcache : Qt_cache.Tier.stats option;
       (** Cache-tier counters and hit revenue; present iff
           [base.qcache] was set. *)
+  str_telemetry : telemetry_stats option;
+      (** Present iff [telemetry] was set; scraped entirely on the
+          coordinator, so it is byte-identical at any [--domains]. *)
 }
 
 val run_stream :
@@ -339,6 +379,17 @@ val stream_to_json : stream_stats -> string
 (** Canonical single-line JSON (aggregate; no per-trade list).  Same
     determinism contract as {!to_json}: same seeds, same bytes. *)
 
+val stream_metrics_registry : stream_stats -> Qt_obs.Metrics.t
+(** The end-of-run metrics registry behind {!stream_metrics_json} —
+    what [qtsim stream --openmetrics FILE] renders through
+    {!Qt_obs.Openmetrics.render}. *)
+
 val stream_metrics_json : stream_stats -> string
 (** Flat metrics-registry rendering — what [qtsim stream --metrics FILE]
     writes. *)
+
+val telemetry_jsonl : telemetry_stats -> string
+(** JSONL series dump — one [{"t":..,"series":..,"value":..}] line per
+    scraped point, then one [{"alert":..,"bundle":..}] line per fired
+    alert, then one [{"failure":..}] line per failure bundle.  What
+    [qtsim stream --series FILE] writes. *)

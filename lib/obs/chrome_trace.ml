@@ -49,7 +49,7 @@ let args_json attrs =
 
 let us t = t *. 1e6
 
-let to_json obs =
+let to_json ?(counters = []) obs =
   let spans = Obs.spans obs in
   let tracks = Obs.tracks obs in
   let pid_of =
@@ -117,6 +117,31 @@ let to_json obs =
       (order (try Hashtbl.find roots_of_track tr with Not_found -> []))
   in
   List.iter (fun (tr, _) -> emit_track tr) tracks;
+  (* Scraped series render as counter events on a dedicated telemetry
+     pid: Perfetto draws one value lane per series name.  Merging all
+     series into one (ts, name)-sorted stream keeps the shared
+     (pid, tid) timestamp-monotone, since every scrape tick emits every
+     series at the same sim time. *)
+  if counters <> [] then begin
+    let pid = List.length tracks + 1 in
+    event
+      (Printf.sprintf
+         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":1,\"args\":{\"name\":\"telemetry\"}}"
+         pid);
+    let points =
+      List.concat_map
+        (fun (series, pts) -> List.map (fun (t, v) -> (t, series, v)) pts)
+        counters
+      |> List.sort (fun (ta, na, _) (tb, nb, _) -> compare (ta, na) (tb, nb))
+    in
+    List.iter
+      (fun (t, series, v) ->
+        event
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"telemetry\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"tid\":1,\"args\":{\"value\":%.6g}}"
+             (escape series) (us t) pid v))
+      points
+  end;
   Printf.sprintf "{\"traceEvents\":[%s],\"displayTimeUnit\":\"ms\"}"
     (Buffer.contents buf)
 
@@ -124,165 +149,18 @@ let to_json obs =
 (* Validation                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* A small self-contained JSON reader — enough to check an emitted trace
-   without pulling a JSON dependency into the tree. *)
+(* The JSON reader lives in {!Qt_util.Json_min}; only the trace-shape
+   checks are local. *)
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | String of string
-  | List of json list
-  | Obj of (string * json) list
-
-exception Parse_error of string
-
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some x when x = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word v =
-    let l = String.length word in
-    if !pos + l <= n && String.sub s !pos l = word then begin
-      pos := !pos + l;
-      v
-    end
-    else fail ("expected " ^ word)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-        advance ();
-        match peek () with
-        | Some '"' -> Buffer.add_char b '"'; advance (); go ()
-        | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
-        | Some '/' -> Buffer.add_char b '/'; advance (); go ()
-        | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
-        | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
-        | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
-        | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
-        | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
-        | Some 'u' ->
-          advance ();
-          if !pos + 4 > n then fail "bad unicode escape";
-          (* Decoded codepoints are only compared, never re-rendered. *)
-          Buffer.add_string b (String.sub s !pos 4);
-          pos := !pos + 4;
-          go ()
-        | _ -> fail "bad escape")
-      | Some c ->
-        Buffer.add_char b c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
-      advance ()
-    done;
-    if !pos = start then fail "expected number";
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "malformed number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((k, v) :: acc)
-          | Some '}' ->
-            advance ();
-            Obj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
-        in
-        members []
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        List []
-      end
-      else begin
-        let rec elements acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elements (v :: acc)
-          | Some ']' ->
-            advance ();
-            List (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
-        in
-        elements []
-      end
-    | Some '"' -> String (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> Num (parse_number ())
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-let field obj key = match obj with Obj kvs -> List.assoc_opt key kvs | _ -> None
+open Qt_util.Json_min
 
 (* Structural checks on an emitted trace: well-formed JSON with a
    traceEvents array; every event has name/ph/pid/tid; timestamps are
-   monotone non-decreasing per (pid, tid); and every B has a matching E
-   (same name, LIFO order) on its track. *)
+   monotone non-decreasing per (pid, tid); every B has a matching E
+   (same name, LIFO order) on its track; and every C carries at least
+   one numeric value in its args. *)
 let validate (text : string) : (unit, string) result =
-  match parse_json text with
+  match parse text with
   | exception Parse_error msg -> Error ("malformed JSON: " ^ msg)
   | json -> (
     let events =
@@ -308,7 +186,7 @@ let validate (text : string) : (unit, string) result =
           let track = (pid, tid) in
           match ph with
           | "M" -> Ok ()
-          | "B" | "E" | "I" | "X" -> (
+          | "B" | "E" | "I" | "X" | "C" -> (
             match num "ts" with
             | None -> Error (Printf.sprintf "event %d: missing ts" i)
             | Some ts -> (
@@ -340,6 +218,18 @@ let validate (text : string) : (unit, string) result =
                       (Printf.sprintf
                          "event %d: E '%s' does not match open B '%s'" i name top)
                   | _ -> Error (Printf.sprintf "event %d: E '%s' without B" i name))
+                | "C" -> (
+                  match field ev "args" with
+                  | Some (Obj kvs)
+                    when List.exists
+                           (fun (_, v) -> match v with Num _ -> true | _ -> false)
+                           kvs ->
+                    Ok ()
+                  | _ ->
+                    Error
+                      (Printf.sprintf
+                         "event %d: counter '%s' lacks a numeric args value" i
+                         name))
                 | _ -> Ok ()
               end))
           | other -> Error (Printf.sprintf "event %d: unknown ph '%s'" i other))

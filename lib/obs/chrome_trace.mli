@@ -6,12 +6,19 @@
     span attributes as [args].  Wall-clock time is deliberately omitted,
     so same-seed runs produce byte-identical files.
 
-    {!validate} re-parses an emitted file with a built-in JSON reader
-    and checks the invariants CI relies on: a [traceEvents] array whose
+    {!validate} re-parses an emitted file with {!Qt_util.Json_min} and
+    checks the invariants CI relies on: a [traceEvents] array whose
     events carry name/ph/pid/tid, monotone non-decreasing [ts] per
-    (pid, tid) track, and LIFO-matched B/E pairs. *)
+    (pid, tid) track, LIFO-matched B/E pairs, and counter events with a
+    numeric value. *)
 
-val to_json : Obs.t -> string
+val to_json : ?counters:(string * (float * float) list) list -> Obs.t -> string
+(** [counters] maps a series name to its [(sim_time, value)] points;
+    each series renders as Chrome counter events (["ph":"C"]) on a
+    dedicated telemetry pid, which Perfetto draws as a value lane
+    alongside the span tracks.  Points across all series are merged in
+    time order, so per-series point lists must individually be
+    time-sorted (scrape output is). *)
 
 val validate : string -> (unit, string) result
 (** [Error msg] pinpoints the first offending event. *)

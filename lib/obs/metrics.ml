@@ -88,6 +88,23 @@ let mean h = if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count
 let percentile h p =
   if h.h_count = 0 then 0. else Histogram.percentile h.h_buckets p /. h.h_scale
 
+(* Enumeration for scrapers: name-sorted so iteration order never leaks
+   registration order (which differs run to run only if code paths do —
+   sorting makes the scrape output depend on names alone). *)
+type view = V_counter of counter | V_gauge of gauge | V_histo of histo
+
+let items t =
+  List.sort
+    (fun a b -> String.compare (item_name a) (item_name b))
+    t.items
+  |> List.map (function
+       | Counter c -> (c.c_name, V_counter c)
+       | Gauge g -> (g.g_name, V_gauge g)
+       | Histo h -> (h.h_name, V_histo h))
+
+let histo_buckets h = h.h_buckets
+let histo_scale h = h.h_scale
+
 let jf x = Printf.sprintf "%.6g" x
 
 let to_json t =

@@ -61,6 +61,23 @@ val percentile : histo -> float -> float
     check {!observations} (or rely on [to_json]'s [null]s) to tell an
     empty histogram from a genuine zero measurement. *)
 
+type view = V_counter of counter | V_gauge of gauge | V_histo of histo
+
+val items : t -> (string * view) list
+(** Every registered item with its name, sorted by name — the iteration
+    contract the telemetry scraper depends on: output order is a
+    function of the registered names alone, never of registration
+    order. *)
+
+val histo_buckets : histo -> Qt_util.Histogram.t
+(** The live underlying histogram (scaled integer units).  Callers may
+    snapshot it with {!Qt_util.Histogram.copy} to compute windowed
+    deltas; mutating it directly would corrupt the metric. *)
+
+val histo_scale : histo -> float
+(** Raw-unit multiplier: divide {!Qt_util.Histogram.percentile} results
+    on {!histo_buckets} by this to get back to raw units. *)
+
 val to_json : t -> string
 (** One flat JSON object, keys sorted; histograms expand to
     [name.count/.mean/.p50/.p95/.p99].  Empty histograms render their

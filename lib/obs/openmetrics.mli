@@ -1,0 +1,18 @@
+(** OpenMetrics/Prometheus text exposition of a {!Metrics} registry.
+
+    {!render} is the final snapshot a real deployment would serve from
+    [/metrics]: counters as [<name>_total], gauges as-is, histograms as
+    summaries with [quantile] labels plus [_sum]/[_count].  Metric names
+    are sanitized into the OpenMetrics charset ([[a-zA-Z0-9_:]], leading
+    digit disallowed), items are name-sorted, and nothing depends on the
+    wall clock, so same-seed runs render byte-identically.
+
+    {!validate} is a hand-rolled structural checker for the emitted
+    subset — per-line name/label/value grammar, [# TYPE] declarations
+    before their samples, and the [# EOF] terminator — so CI can gate
+    the exposition without a Prometheus dependency. *)
+
+val render : Metrics.t -> string
+
+val validate : string -> (unit, string) result
+(** [Error msg] carries the first offending 1-based line. *)

@@ -70,6 +70,20 @@ let zipf ~lo ~hi ~buckets ~total ~theta =
 
 let total t = Array.fold_left ( +. ) 0. t.counts
 
+let copy t = { t with counts = Array.copy t.counts }
+
+let diff cur prev =
+  if cur.lo <> prev.lo || cur.hi <> prev.hi
+     || bucket_count cur <> bucket_count prev
+  then invalid_arg "Histogram.diff: mismatched domains";
+  {
+    cur with
+    counts =
+      Array.mapi
+        (fun b c -> Float.max 0. (c -. prev.counts.(b)))
+        cur.counts;
+  }
+
 let mass_in t itv =
   let clipped = Interval.inter itv (domain t) in
   if Interval.is_empty clipped then 0.

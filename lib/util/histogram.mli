@@ -29,6 +29,16 @@ val add : t -> int -> unit
 
 val total : t -> float
 
+val copy : t -> t
+(** Independent snapshot; later {!add}s to either side do not affect the
+    other. *)
+
+val diff : t -> t -> t
+(** [diff cur prev] is the bucketwise difference [cur - prev] clamped at
+    zero — the mass added between two snapshots of the same histogram,
+    suitable for windowed percentiles.
+    @raise Invalid_argument if the domains or bucket counts differ. *)
+
 val mass_in : t -> Interval.t -> float
 (** Estimated rows with values inside the interval (clipped to the
     domain), interpolating within partially-covered buckets. *)

@@ -169,6 +169,7 @@ let scfg ?(slots = 2) ?(queue = 4) ?(retries = 2) ?spec_of ?(shedding = Shedding
     () =
   let d = Market.default_stream_config params in
   {
+    d with
     Market.base =
       {
         d.Market.base with

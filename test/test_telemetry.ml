@@ -1,0 +1,464 @@
+(* Time-resolved telemetry: timeseries scraping, SLO burn-rate alerting,
+   the flight recorder, OpenMetrics exposition, benchdiff rules, Chrome
+   trace counter events, and the run_stream integration — determinism
+   across pool sizes and byte-identity when telemetry is off. *)
+
+module Market = Qt_market.Market
+module Admission = Qt_market.Admission
+module Sla = Qt_stream.Sla
+module Arrivals = Qt_stream.Arrivals
+module Metrics = Qt_obs.Metrics
+module Timeseries = Qt_obs.Timeseries
+module Slo = Qt_obs.Slo
+module Flight_recorder = Qt_obs.Flight_recorder
+module Openmetrics = Qt_obs.Openmetrics
+module Benchdiff = Qt_obs.Benchdiff
+module Json = Qt_util.Json_min
+module Pool = Qt_optimizer.Pool
+open Helpers
+
+let params = Qt_cost.Params.default
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeseries_scrape () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "reqs" in
+  let g = Metrics.gauge m "depth" in
+  let h = Metrics.histogram m "lat" in
+  let ts = Timeseries.create ~interval:0.5 m in
+  Alcotest.(check (float 1e-9)) "first tick at interval" 0.5
+    (Timeseries.next_tick ts);
+  Metrics.incr ~by:10 c;
+  Metrics.set g 3.;
+  Metrics.observe h 1.0;
+  Timeseries.scrape ts ~now:0.5;
+  Metrics.incr ~by:2 c;
+  Timeseries.scrape ts ~now:1.0;
+  Alcotest.(check (float 1e-9)) "next tick advances" 1.5
+    (Timeseries.next_tick ts);
+  Alcotest.(check int) "two ticks" 2 (Timeseries.ticks ts);
+  (* Counter rate is the per-window delta over the interval. *)
+  (match Timeseries.last ts "reqs.rate" with
+  | Some r -> Alcotest.(check (float 1e-9)) "rate = delta/interval" 4. r
+  | None -> Alcotest.fail "no reqs.rate series");
+  Alcotest.(check (float 1e-9)) "window delta" 2.
+    (Timeseries.window_delta ts "reqs");
+  (match Timeseries.last ts "depth" with
+  | Some v -> Alcotest.(check (float 1e-9)) "gauge sampled" 3. v
+  | None -> Alcotest.fail "no gauge series");
+  (* The histogram observation landed in window 1; window 2 is empty, so
+     its quantile series are not re-emitted. *)
+  (match Timeseries.last ts "lat.count" with
+  | Some n -> Alcotest.(check (float 1e-9)) "empty window count" 0. n
+  | None -> Alcotest.fail "no lat.count series");
+  Alcotest.(check bool) "points accumulated" true
+    (Timeseries.point_count ts > 0);
+  Alcotest.(check bool) "interval must be positive" true
+    (try
+       ignore (Timeseries.create ~interval:0. m);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* SLO burn-rate engine                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_slo_parse () =
+  (match Slo.parse "interactive:p95<5:budget=0.01" with
+  | Ok r ->
+    Alcotest.(check string) "subject" "interactive" r.Slo.r_subject;
+    Alcotest.(check bool) "metric" true (r.Slo.r_metric = Slo.P95);
+    Alcotest.(check bool) "cmp" true (r.Slo.r_cmp = Slo.Lt);
+    Alcotest.(check (float 1e-9)) "threshold" 5. r.Slo.r_threshold;
+    Alcotest.(check (float 1e-9)) "budget" 0.01 r.Slo.r_budget;
+    Alcotest.(check int) "default fast" 5 r.Slo.r_fast_windows;
+    Alcotest.(check int) "default slow" 30 r.Slo.r_slow_windows
+  | Error msg -> Alcotest.fail msg);
+  (match Slo.parse "all:goodput>0.5:budget=0.1:fast=3:slow=9:factor=2" with
+  | Ok r ->
+    Alcotest.(check bool) "goodput metric" true (r.Slo.r_metric = Slo.Goodput);
+    Alcotest.(check int) "fast override" 3 r.Slo.r_fast_windows;
+    Alcotest.(check (float 1e-9)) "factor override" 2. r.Slo.r_factor
+  | Error msg -> Alcotest.fail msg);
+  List.iter
+    (fun bad ->
+      match Slo.parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "'%s' should not parse" bad)
+      | Error _ -> ())
+    [
+      "interactive:p95<5";
+      "interactive:p42<5:budget=0.01";
+      "interactive:p95<5:budget=2";
+      "interactive:p95<5:budget=0.01:fast=9:slow=3";
+      "interactive:p95~5:budget=0.01";
+    ]
+
+let test_slo_alert_timing () =
+  (* Constant full-budget burn: with fast=5 windows of warm-up the alert
+     must fire at exactly the fifth observation, t = 5.0. *)
+  let rule =
+    match Slo.parse "interactive:p95<5:budget=0.01" with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  let eng = Slo.create [ rule ] in
+  let fired = ref [] in
+  for i = 1 to 10 do
+    let t = float_of_int i in
+    let alerts = Slo.observe eng ~now:t ~error_rate:(fun _ -> 1.0) in
+    List.iter (fun (al : Slo.alert) -> fired := al :: !fired) alerts
+  done;
+  (match List.rev !fired with
+  | [ al ] ->
+    Alcotest.(check (float 1e-9)) "fires exactly at tick fast_windows" 5.
+      al.Slo.al_time;
+    Alcotest.(check bool) "burn rates above factor" true
+      (al.Slo.al_burn_fast >= rule.Slo.r_factor
+      && al.Slo.al_burn_slow >= rule.Slo.r_factor)
+  | alerts ->
+    Alcotest.fail
+      (Printf.sprintf "expected exactly one alert, got %d" (List.length alerts)));
+  (* Recovery re-arms: enough clean windows drop the fast burn below the
+     factor, and a fresh burn fires a second alert. *)
+  let eng = Slo.create [ rule ] in
+  let feed errs =
+    List.concat_map
+      (fun (t, e) -> Slo.observe eng ~now:t ~error_rate:(fun _ -> e))
+      errs
+  in
+  let first =
+    feed (List.init 6 (fun i -> (float_of_int (i + 1), 1.0)))
+  in
+  Alcotest.(check int) "first burn alerts once" 1 (List.length first);
+  let clean =
+    feed (List.init 6 (fun i -> (float_of_int (i + 7), 0.0)))
+  in
+  Alcotest.(check int) "clean windows re-arm silently" 0 (List.length clean);
+  let second =
+    feed (List.init 6 (fun i -> (float_of_int (i + 13), 1.0)))
+  in
+  Alcotest.(check int) "re-armed rule fires again" 1 (List.length second)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_flight_recorder_ring () =
+  let fr = Flight_recorder.create ~capacity:3 in
+  for i = 1 to 5 do
+    Flight_recorder.record fr ~time:(float_of_int i) ~node:0 ~kind:"k"
+      ~detail:(Printf.sprintf "e%d" i)
+  done;
+  Flight_recorder.record fr ~time:6. ~node:1 ~kind:"k" ~detail:"other";
+  let recent = Flight_recorder.recent fr ~node:0 in
+  Alcotest.(check (list string)) "oldest evicted, oldest-first order"
+    [ "e3"; "e4"; "e5" ]
+    (List.map (fun (e : Flight_recorder.entry) -> e.Flight_recorder.e_detail) recent);
+  Alcotest.(check (list int)) "nodes ascending" [ 0; 1 ]
+    (Flight_recorder.nodes fr);
+  let b = Flight_recorder.bundle fr ~time:7. ~reason:"test" ~metrics:"{}" in
+  Alcotest.(check int) "bundle merges all nodes" 4
+    (List.length b.Flight_recorder.b_entries);
+  let ordered =
+    List.for_all2
+      (fun (a : Flight_recorder.entry) (b : Flight_recorder.entry) ->
+        a.Flight_recorder.e_time <= b.Flight_recorder.e_time)
+      (List.filteri (fun i _ -> i < 3) b.Flight_recorder.b_entries)
+      (List.tl b.Flight_recorder.b_entries)
+  in
+  Alcotest.(check bool) "bundle time-ordered" true ordered;
+  Alcotest.(check bool) "capacity must be positive" true
+    (try
+       ignore (Flight_recorder.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_openmetrics_roundtrip () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:7 (Metrics.counter m "stream.arrivals");
+  Metrics.set (Metrics.gauge m "seller.0.occupancy") 0.5;
+  let h = Metrics.histogram m "stream.latency.all" in
+  Metrics.observe h 1.0;
+  Metrics.observe h 2.0;
+  let text = Openmetrics.render m in
+  (match Openmetrics.validate text with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("render should validate: " ^ msg));
+  Alcotest.(check bool) "counter rendered with _total suffix" true
+    (let rec has = function
+       | [] -> false
+       | l :: rest -> l = "stream_arrivals_total 7" || has rest
+     in
+     has (String.split_on_char '\n' text));
+  (* Corruptions the validator must catch. *)
+  let truncated =
+    String.sub text 0 (String.length text - String.length "# EOF\n")
+  in
+  (match Openmetrics.validate truncated with
+  | Ok () -> Alcotest.fail "missing # EOF should fail"
+  | Error _ -> ());
+  (match Openmetrics.validate ("bad name! 1\n" ^ text) with
+  | Ok () -> Alcotest.fail "bad sample line should fail"
+  | Error _ -> ());
+  match Openmetrics.validate (text ^ "trailing 1\n") with
+  | Ok () -> Alcotest.fail "content after # EOF should fail"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Benchdiff                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_benchdiff_rules () =
+  (match Benchdiff.parse_rule "goodput>=0.05" with
+  | Ok r ->
+    Alcotest.(check bool) "min ratio" true (r.Benchdiff.bd_cmp = Benchdiff.Min_ratio);
+    Alcotest.(check (float 1e-9)) "tolerance" 0.05 r.Benchdiff.bd_tol
+  | Error msg -> Alcotest.fail msg);
+  (match Benchdiff.parse_rule "identical==" with
+  | Ok r -> Alcotest.(check bool) "exact" true (r.Benchdiff.bd_cmp = Benchdiff.Exact)
+  | Error msg -> Alcotest.fail msg);
+  (match Benchdiff.parse_rule "nonsense" with
+  | Ok _ -> Alcotest.fail "bad rule should not parse"
+  | Error _ -> ());
+  match Benchdiff.parse_rules "# comment\n\ngoodput>=0.1\nwall<=0.5\nok==\n" with
+  | Ok rules -> Alcotest.(check int) "three rules" 3 (List.length rules)
+  | Error msg -> Alcotest.fail msg
+
+let test_benchdiff_compare () =
+  let rules =
+    match
+      Benchdiff.parse_rules "goodput>=0.1\nwall<=0.2\nidentical==\nmissing>=0.1\n"
+    with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  let parse s = Json.parse s in
+  let baseline =
+    parse
+      "{\"goodput\":0.8,\"wall\":10.0,\"identical\":true,\"missing\":1.0,\"extra\":5}"
+  in
+  (* Within tolerance on every ruled key: no failures; unruled drift and
+     the dropped ruled key are reported. *)
+  let ok = parse "{\"goodput\":0.75,\"wall\":11.0,\"identical\":true,\"extra\":6}" in
+  let r = Benchdiff.compare_snapshots ~rules ~baseline ~current:ok in
+  Alcotest.(check int) "one failure: ruled key missing from current" 1
+    (List.length r.Benchdiff.failures);
+  Alcotest.(check bool) "unruled drift noted" true
+    (List.exists
+       (fun n -> String.length n >= 5 && String.sub n 0 5 = "extra")
+       r.Benchdiff.notes);
+  (* Regressions on each rule kind. *)
+  let bad =
+    parse
+      "{\"goodput\":0.5,\"wall\":20.0,\"identical\":false,\"missing\":1.0,\"extra\":5}"
+  in
+  let r = Benchdiff.compare_snapshots ~rules ~baseline ~current:bad in
+  Alcotest.(check int) "goodput drop + wall rise + exact mismatch" 3
+    (List.length r.Benchdiff.failures)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace counter events                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_counters () =
+  let obs = Qt_obs.Obs.create () in
+  ignore (Qt_obs.Obs.emit obs ~cat:"test" ~name:"work" ~track:0 ~t0:0. ~t1:1. ());
+  let counters =
+    [ ("stream.goodput", [ (1.0, 0.9); (2.0, 0.5) ]);
+      ("stream.occupancy", [ (1.0, 0.2) ]) ]
+  in
+  let json = Qt_obs.Chrome_trace.to_json ~counters obs in
+  (match Qt_obs.Chrome_trace.validate json with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("counter trace should validate: " ^ msg));
+  Alcotest.(check bool) "counter events present" true
+    (let rec contains i =
+       i + 8 <= String.length json
+       && (String.sub json i 8 = "\"ph\":\"C\"" || contains (i + 1))
+     in
+     contains 0);
+  (* Without counters the trace is unchanged and still valid. *)
+  (match Qt_obs.Chrome_trace.validate (Qt_obs.Chrome_trace.to_json obs) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (* A counter event without a numeric arg is rejected. *)
+  let bad =
+    "{\"traceEvents\":[{\"name\":\"c\",\"cat\":\"t\",\"ph\":\"C\",\"ts\":1.0,\
+     \"pid\":1,\"tid\":1,\"args\":{}}],\"displayTimeUnit\":\"ms\"}"
+  in
+  match Qt_obs.Chrome_trace.validate bad with
+  | Ok () -> Alcotest.fail "counter without numeric args should fail"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* run_stream integration                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stream_federation () = chain_federation ~nodes:4 ~relations:2 ~partitions:2 ()
+
+let stream_templates () =
+  Array.of_list
+    (Qt_sim.Workload.random_chain_queries ~seed:11 ~count:4 ~relations:2
+       ~max_joins:1)
+
+let telemetry_scfg ?pool ?(latency_domain = 1000.) ?(slo = []) ?telemetry () =
+  let d = Market.default_stream_config params in
+  let telemetry =
+    match telemetry with
+    | Some t -> t
+    | None ->
+      Some { Market.default_telemetry with Market.slo_rules = slo }
+  in
+  {
+    d with
+    Market.base =
+      {
+        d.Market.base with
+        Market.admission =
+          {
+            d.Market.base.Market.admission with
+            Admission.slots = 1;
+            queue_limit = 2;
+          };
+        max_admission_retries = 4;
+        pool;
+      };
+    telemetry;
+    latency_domain;
+  }
+
+let run_overload ?pool ?latency_domain ?telemetry ?(slo = []) ?(count = 400) () =
+  let federation = stream_federation () in
+  let templates = stream_templates () in
+  let arrivals =
+    Arrivals.generate ~seed:13
+      ~process:(Arrivals.Poisson { rate = 20. })
+      ~horizon:(Arrivals.Count count) ~templates:(Array.length templates)
+      ~theta:0.9 ~mix:Sla.default_mix
+  in
+  Market.run_stream
+    (telemetry_scfg ?pool ?latency_domain ?telemetry ~slo ())
+    federation ~templates arrivals
+
+let overload_rule () =
+  match Slo.parse "interactive:p95<0.05:budget=0.01" with
+  | Ok r -> r
+  | Error msg -> failwith msg
+
+let test_stream_alert_fires () =
+  let s = run_overload ~slo:[ overload_rule () ] () in
+  let tel = Option.get s.Market.str_telemetry in
+  Alcotest.(check bool) "scrape ticks taken" true (tel.Market.tl_ticks > 0);
+  Alcotest.(check bool) "series points scraped" true
+    (tel.Market.tl_points <> []);
+  (match tel.Market.tl_alerts with
+  | ((al : Slo.alert), bundle) :: _ ->
+    Alcotest.(check bool) "alert fires before end of run" true
+      (al.Slo.al_time < s.Market.str_makespan);
+    Alcotest.(check bool) "bundle carries recent activity" true
+      (bundle.Flight_recorder.b_entries <> []);
+    Alcotest.(check bool) "bundle carries a metrics snapshot" true
+      (bundle.Flight_recorder.b_metrics <> "")
+  | [] -> Alcotest.fail "overload run should fire the p95 alert");
+  (* The series dump carries points, the alert and its bundle. *)
+  let jsonl = Market.telemetry_jsonl tel in
+  Alcotest.(check bool) "jsonl mentions the alert" true
+    (let needle = "\"alert\"" in
+     let rec contains i =
+       i + String.length needle <= String.length jsonl
+       && (String.sub jsonl i (String.length needle) = needle || contains (i + 1))
+     in
+     contains 0)
+
+let test_stream_telemetry_deterministic_across_pools () =
+  let a = run_overload ~slo:[ overload_rule () ] () in
+  let p = Pool.create ~domains:4 in
+  let b =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown p)
+      (fun () -> run_overload ~pool:p ~slo:[ overload_rule () ] ())
+  in
+  Alcotest.(check string) "stats JSON byte-identical at domains=4"
+    (Market.stream_to_json a) (Market.stream_to_json b);
+  Alcotest.(check string) "series JSONL byte-identical at domains=4"
+    (Market.telemetry_jsonl (Option.get a.Market.str_telemetry))
+    (Market.telemetry_jsonl (Option.get b.Market.str_telemetry))
+
+(* Splice the [,"telemetry":{...}] segment out of a telemetry-on JSON
+   rendering; brace counting is safe because no string in the object
+   nests braces. *)
+let splice_telemetry json =
+  let needle = ",\"telemetry\":" in
+  let nlen = String.length needle in
+  let rec find i =
+    if i + nlen > String.length json then None
+    else if String.sub json i nlen = needle then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> json
+  | Some i ->
+    let start = i + nlen in
+    let rec close j depth =
+      match json.[j] with
+      | '{' -> close (j + 1) (depth + 1)
+      | '}' -> if depth = 1 then j else close (j + 1) (depth - 1)
+      | _ -> close (j + 1) depth
+    in
+    let last = close start 0 in
+    String.sub json 0 i ^ String.sub json (last + 1) (String.length json - last - 1)
+
+let test_stream_telemetry_off_identity () =
+  let off = run_overload ~telemetry:None () in
+  let on = run_overload ~slo:[ overload_rule () ] () in
+  let on_json = Market.stream_to_json on in
+  Alcotest.(check bool) "telemetry-on output carries the block" true
+    (on_json <> splice_telemetry on_json);
+  Alcotest.(check string)
+    "splicing the telemetry block yields the telemetry-off bytes"
+    (Market.stream_to_json off) (splice_telemetry on_json)
+
+let test_latency_domain () =
+  (* The 1000-second default is the historical fixed domain: passing it
+     explicitly must not change a byte. *)
+  let a = run_overload ~telemetry:None ~count:120 () in
+  let b = run_overload ~telemetry:None ~latency_domain:1000. ~count:120 () in
+  Alcotest.(check string) "explicit default domain is byte-identical"
+    (Market.stream_to_json a) (Market.stream_to_json b);
+  (* A wider domain coarsens quantile resolution but cannot change the
+     counting stats. *)
+  let c = run_overload ~telemetry:None ~latency_domain:5000. ~count:120 () in
+  Alcotest.(check int) "arrivals unchanged" a.Market.str_arrivals c.Market.str_arrivals;
+  Alcotest.(check int) "hits unchanged" a.Market.str_hits c.Market.str_hits;
+  Alcotest.(check int) "completions unchanged" a.Market.str_completed
+    c.Market.str_completed
+
+let suite =
+  ( "telemetry",
+    [
+      quick "timeseries: rates, gauges, windows, tick cadence"
+        test_timeseries_scrape;
+      quick "slo: rule grammar" test_slo_parse;
+      quick "slo: burn-rate alert timing and re-arm" test_slo_alert_timing;
+      quick "flight recorder: ring eviction and bundles"
+        test_flight_recorder_ring;
+      quick "openmetrics: render validates, corruptions rejected"
+        test_openmetrics_roundtrip;
+      quick "benchdiff: rule grammar" test_benchdiff_rules;
+      quick "benchdiff: tolerance gating" test_benchdiff_compare;
+      quick "chrome trace: counter events" test_trace_counters;
+      quick "run_stream: overload fires the burn-rate alert"
+        test_stream_alert_fires;
+      quick "run_stream: telemetry byte-identical across pool sizes"
+        test_stream_telemetry_deterministic_across_pools;
+      quick "run_stream: telemetry off leaves output byte-identical"
+        test_stream_telemetry_off_identity;
+      quick "run_stream: latency histogram domain" test_latency_domain;
+    ] )
