@@ -1991,6 +1991,296 @@ let r_cache () =
       results
 
 (* ------------------------------------------------------------------ *)
+(* R-pricing: seller strategies under overload                          *)
+(* ------------------------------------------------------------------ *)
+
+let r_pricing () =
+  heading "R-pricing"
+    "seller pricing strategies under a 10k-arrival overload: cost_plus vs \
+     surge vs revenue_max revenue/goodput frontier, arbitrage audit, \
+     pricing-off byte identity, BENCH_pricing.json";
+  let module Market = Qt_market.Market in
+  let module Arrivals = Qt_stream.Arrivals in
+  let module Sla = Qt_stream.Sla in
+  let module Pricing = Qt_pricing.Pricing in
+  let module Pool = Qt_optimizer.Pool in
+  let arrivals_count = 10_000 and rate = 8.0 and theta = 1.1 in
+  (* The telecom federation replicates the pre-PR golden config
+     (bench/golden/pricing_off_telecom.json) exactly, so the off arm
+     doubles as the byte-identity gate. *)
+  let telecom_federation () =
+    Generator.telecom ~nodes:8
+      ~placement:{ Generator.partitions = 4; replicas = 2 }
+      ()
+  in
+  let telecom_templates = Workload.telecom_templates ~seed:11 ~count:12 in
+  let schemas =
+    [
+      ("telecom", telecom_federation (), telecom_templates);
+      ( "tpch",
+        Generator.tpch ~nodes:4
+          ~placement:{ Generator.partitions = 4; replicas = 1 }
+          (),
+        Workload.tpch_templates ~seed:11 ~count:12 );
+    ]
+  in
+  let run ?pool ?(count = arrivals_count) federation templates pricing =
+    let templates = Array.of_list templates in
+    let arrivals =
+      Arrivals.generate ~seed:13
+        ~process:(Arrivals.Poisson { rate })
+        ~horizon:(Arrivals.Count count)
+        ~templates:(Array.length templates) ~theta ~mix:Sla.default_mix
+    in
+    let d = Market.default_stream_config params in
+    let base =
+      {
+        d.Market.base with
+        Market.execute = Some Market.default_exec;
+        pricing;
+        pool;
+        trader = { d.Market.base.Market.trader with Qt_core.Trader.pool };
+      }
+    in
+    Market.run_stream { d with Market.base } federation ~templates arrivals
+  in
+  let uniform strategy =
+    Some { Pricing.default_config with Pricing.mix = Pricing.uniform_mix strategy }
+  in
+  let mixed =
+    (* Per-node strategy mix with premium reservations for the urgent
+       classes: the frontier's compromise point. *)
+    Some
+      {
+        Pricing.default_config with
+        Pricing.mix =
+          {
+            Pricing.mix_default = Pricing.Cost_plus;
+            mix_overrides =
+              [
+                (0, Pricing.Surge); (1, Pricing.Surge);
+                (2, Pricing.Revenue_max); (3, Pricing.Revenue_max);
+              ];
+          };
+        reserve_priority = Some 2;
+      }
+  in
+  let arms =
+    [
+      ("off", None);
+      ("cost_plus", uniform Pricing.Cost_plus);
+      ("surge", uniform Pricing.Surge);
+      ("revenue_max", uniform Pricing.Revenue_max);
+      ("mix", mixed);
+    ]
+  in
+  let revenue (s : Market.stream_stats) =
+    match s.Market.str_pricing with
+    | None -> 0.
+    | Some p -> p.Pricing.p_revenue +. p.Pricing.p_reservation_revenue
+  in
+  let surge_activations (s : Market.stream_stats) =
+    match s.Market.str_pricing with
+    | None -> 0
+    | Some p -> p.Pricing.p_surge_activations
+  in
+  let t =
+    Texttable.create
+      [
+        "schema"; "pricing"; "goodput"; "revenue"; "surges"; "expired";
+        "makespan";
+      ]
+  in
+  let results =
+    List.map
+      (fun (schema, federation, templates) ->
+        let arm_results =
+          List.map
+            (fun (name, pricing) ->
+              let s = run federation templates pricing in
+              Texttable.add_row t
+                [
+                  schema; name;
+                  Printf.sprintf "%.4f" s.Market.str_goodput;
+                  Printf.sprintf "%.2f" (revenue s);
+                  string_of_int (surge_activations s);
+                  string_of_int s.Market.str_expired;
+                  Printf.sprintf "%.1fs" s.Market.str_makespan;
+                ];
+              bench ~scenario:"pricing"
+                [
+                  ("schema", Bench_json.S schema);
+                  ("pricing", Bench_json.S name);
+                  ("goodput", Bench_json.F s.Market.str_goodput);
+                  ("revenue", Bench_json.F (revenue s));
+                  ("surge_activations", Bench_json.I (surge_activations s));
+                  ("expired", Bench_json.I s.Market.str_expired);
+                  ("makespan", Bench_json.F s.Market.str_makespan);
+                ];
+              (name, s))
+            arms
+        in
+        (schema, arm_results))
+      schemas
+  in
+  Texttable.print t;
+  (* Arbitrage audit: price every schema family's template batch (plus a
+     nested-range chain, the only comparable signatures an aggregated
+     workload yields) under every strategy with adversarial raw quotes,
+     and demand zero violations over a non-empty pair set. *)
+  let nested_scans =
+    let customer_scan lo hi =
+      let custid = { Qt_sql.Ast.rel = "c"; name = "custid" } in
+      let office = { Qt_sql.Ast.rel = "c"; name = "office" } in
+      Qt_sql.Ast.query
+        ~select:[ Qt_sql.Ast.Sel_col office; Qt_sql.Ast.Sel_col custid ]
+        ~from:[ { Qt_sql.Ast.relation = "customer"; alias = "c" } ]
+        ~where:[ Qt_sql.Ast.Between (custid, lo, hi) ]
+        ()
+    in
+    [ customer_scan 0 199; customer_scan 0 99; customer_scan 50 99 ]
+  in
+  let audit_pairs = ref 0 and audit_violations = ref 0 in
+  List.iter
+    (fun batch ->
+      let qs = Array.of_list batch in
+      let rng = Random.State.make [| 17 |] in
+      let raw = Array.map (fun q -> (q, 0.1 +. Random.State.float rng 10.)) qs in
+      List.iter
+        (fun strategy ->
+          let quote =
+            { Pricing.q_strategy = strategy; q_multiplier = 2.0; q_markup = 0.25 }
+          in
+          let priced = Pricing.reprice quote raw in
+          let priced_batch = Array.mapi (fun i (q, _) -> (q, priced.(i))) raw in
+          let pairs, violations = Pricing.check_arbitrage priced_batch in
+          audit_pairs := !audit_pairs + pairs;
+          audit_violations := !audit_violations + violations)
+        [ Pricing.Cost_plus; Pricing.Surge; Pricing.Revenue_max ])
+    [ telecom_templates @ nested_scans;
+      Workload.tpch_templates ~seed:11 ~count:12 ];
+  (* Byte-identity gates: the off arm against the committed pre-PR
+     golden, and a pricing-on run across domain-pool sizes.  Both run at
+     the golden's 2000-arrival horizon. *)
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let off_json =
+    Market.stream_to_json
+      (run ~count:2000 (telecom_federation ()) telecom_templates None)
+  in
+  let golden =
+    String.trim (read_file "bench/golden/pricing_off_telecom.json")
+  in
+  let off_identity = String.trim off_json = golden in
+  let surge_cfg = uniform Pricing.Surge in
+  let serial_json =
+    Market.stream_to_json
+      (run ~count:2000 (telecom_federation ()) telecom_templates surge_cfg)
+  in
+  let pool = Pool.create ~domains:4 in
+  let pooled_json =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        Market.stream_to_json
+          (run ~pool ~count:2000 (telecom_federation ()) telecom_templates
+             surge_cfg))
+  in
+  let domains_identity = serial_json = pooled_json in
+  let arm schema name = List.assoc name (List.assoc schema results) in
+  let fields =
+    ("scenario", Bench_json.S "pricing")
+    :: ("arrivals", Bench_json.I arrivals_count)
+    :: ("rate", Bench_json.F rate)
+    :: ("theta", Bench_json.F theta)
+    :: ("arbitrage_pairs", Bench_json.I !audit_pairs)
+    :: ("arbitrage_violations", Bench_json.I !audit_violations)
+    :: ("off_identity", Bench_json.I (if off_identity then 1 else 0))
+    :: ("domains_identity", Bench_json.I (if domains_identity then 1 else 0))
+    :: List.concat_map
+         (fun (schema, arm_results) ->
+           List.concat_map
+             (fun (name, s) ->
+               [
+                 ( schema ^ "_" ^ name ^ "_goodput",
+                   Bench_json.F s.Market.str_goodput );
+                 (schema ^ "_" ^ name ^ "_revenue", Bench_json.F (revenue s));
+                 ( schema ^ "_" ^ name ^ "_makespan",
+                   Bench_json.F s.Market.str_makespan );
+               ])
+             arm_results)
+         results
+  in
+  Bench_json.to_file "BENCH_pricing.json" fields;
+  Printf.printf "wrote BENCH_pricing.json\n";
+  let failed = ref false in
+  List.iter
+    (fun (schema, _) ->
+      let cost_plus = arm schema "cost_plus"
+      and surge = arm schema "surge"
+      and revenue_max = arm schema "revenue_max" in
+      (* The goodput gate needs somewhere for priced-out demand to go:
+         telecom places 2 replicas per fragment, so surge quotes steer
+         buyers onto idle copies.  tpch runs at replicas=1 — there is no
+         alternate copy, goodput is pinned by the single holder
+         (~0.07 at every strategy) and only the revenue ordering is a
+         meaningful gate there. *)
+      if schema = "telecom"
+         && surge.Market.str_goodput <= cost_plus.Market.str_goodput
+      then begin
+        Printf.printf
+          "FAIL (%s): surge goodput %.4f <= cost_plus goodput %.4f — load \
+           pricing did not shift work\n"
+          schema surge.Market.str_goodput cost_plus.Market.str_goodput;
+        failed := true
+      end;
+      if revenue revenue_max <= revenue cost_plus then begin
+        Printf.printf
+          "FAIL (%s): revenue_max revenue %.2f <= cost_plus revenue %.2f\n"
+          schema (revenue revenue_max) (revenue cost_plus);
+        failed := true
+      end)
+    results;
+  if !audit_pairs = 0 || !audit_violations > 0 then begin
+    Printf.printf
+      "FAIL: arbitrage audit saw %d pairs, %d violations (want > 0 pairs, 0 \
+       violations)\n"
+      !audit_pairs !audit_violations;
+    failed := true
+  end;
+  if not off_identity then begin
+    Printf.printf
+      "FAIL: pricing-off stream output diverged from \
+       bench/golden/pricing_off_telecom.json\n";
+    failed := true
+  end;
+  if not domains_identity then begin
+    Printf.printf
+      "FAIL: pricing-on stream output differs between --domains 1 and \
+       --domains 4\n";
+    failed := true
+  end;
+  if !failed then exit 1
+  else
+    List.iter
+      (fun (schema, _) ->
+        let cost_plus = arm schema "cost_plus"
+        and surge = arm schema "surge"
+        and revenue_max = arm schema "revenue_max" in
+        Printf.printf
+          "PASS (%s): goodput %.4f (cost_plus) -> %.4f (surge), revenue %.2f \
+           (cost_plus) -> %.2f (revenue_max); %d arbitrage pairs clean; \
+           off/domains identity holds\n"
+          schema cost_plus.Market.str_goodput surge.Market.str_goodput
+          (revenue cost_plus) (revenue revenue_max) !audit_pairs)
+      results
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -2095,6 +2385,7 @@ let all =
     ("telemetry", Some "BENCH_telemetry.json", r_telemetry);
     ("optimizer", Some "BENCH_optimizer.json", r_optimizer);
     ("cache", Some "BENCH_cache.json", r_cache);
+    ("pricing", Some "BENCH_pricing.json", r_pricing);
     ("micro", None, micro);
   ]
 

@@ -312,6 +312,108 @@ let print_qcache_stats (q : Qt_cache.Tier.stats) =
     q.Qt_cache.Tier.trades_avoided q.Qt_cache.Tier.executions_avoided
     q.Qt_cache.Tier.hit_revenue q.Qt_cache.Tier.result_bytes_held
 
+let pricing_arg =
+  Arg.(
+    value & opt string "off"
+    & info [ "pricing" ] ~docv:"SPEC"
+        ~doc:
+          "Seller pricing strategies: 'off' (cost-model prices, the \
+           pre-pricing default), a single strategy for every seller \
+           (cost_plus, surge or revenue_max), or a per-node mix like \
+           'default=cost_plus,0=surge,3=revenue_max'.  Quotes are repaired \
+           to be arbitrage-free: a contained query never prices above a \
+           query that determines it.")
+
+let surge_multiplier_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "surge-multiplier" ] ~docv:"M"
+        ~doc:"Quote multiplier while a seller is surging (>= 1).")
+
+let surge_high_arg =
+  Arg.(
+    value & opt float 0.9
+    & info [ "surge-high" ] ~docv:"O"
+        ~doc:"Occupancy high-watermark at which a seller enters surge.")
+
+let surge_low_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "surge-low" ] ~docv:"O"
+        ~doc:
+          "Occupancy low-watermark at which a surging seller re-arms \
+           (hysteresis: between the watermarks the state holds).")
+
+let markup_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "markup" ] ~docv:"F"
+        ~doc:"revenue_max margin over cost (quote = cost * (1 + F)).")
+
+let reserve_priority_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "reserve-priority" ] ~docv:"P"
+        ~doc:
+          "Sell a premium reserved slot to trades at or above this SLA \
+           priority; reserved trades are admitted ahead of the general \
+           queue and refund the premium on cancellation.")
+
+let reserve_premium_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "reserve-premium" ] ~docv:"F"
+        ~doc:"Reservation premium as a fraction of the contract price.")
+
+let slo_surge_arg =
+  Arg.(
+    value & flag
+    & info [ "slo-surge" ]
+        ~doc:
+          "Close the telemetry loop (stream only): while an SLO burn-rate \
+           alert is firing, every seller is forced into surge pricing; the \
+           flip and the clear are recorded in the flight recorder.")
+
+let build_pricing spec ~surge_multiplier ~surge_high ~surge_low ~markup
+    ~slo_surge ~reserve_priority ~reserve_premium =
+  let module Pricing = Qt_pricing.Pricing in
+  match Pricing.mix_of_string spec with
+  | Error msg -> failwith msg
+  | Ok None -> None
+  | Ok (Some mix) ->
+    Some
+      {
+        Pricing.mix;
+        surge_multiplier;
+        high_water = surge_high;
+        low_water = surge_low;
+        markup;
+        slo_surge;
+        reserve_priority;
+        reserve_premium;
+      }
+
+let print_pricing_stats (p : Qt_pricing.Pricing.stats) =
+  let module Pricing = Qt_pricing.Pricing in
+  Printf.printf
+    "pricing: %.4f contract revenue + %.4f reservation premiums, %d surge \
+     activations (%d SLO-forced flips)\n"
+    p.Pricing.p_revenue p.Pricing.p_reservation_revenue
+    p.Pricing.p_surge_activations p.Pricing.p_forced_flips;
+  if p.Pricing.p_reserved_sold > 0 then
+    Printf.printf
+      "  reservations: %d sold, %d completed, %d refunded (fill %.3f)\n"
+      p.Pricing.p_reserved_sold p.Pricing.p_reserved_completed
+      p.Pricing.p_reserved_refunded p.Pricing.p_reservation_fill;
+  List.iter
+    (fun (x : Pricing.seller_stats) ->
+      Printf.printf "  seller %d (%s): revenue %.4f, %d surge activations%s\n"
+        x.Pricing.ps_seller
+        (Pricing.strategy_to_string x.Pricing.ps_strategy)
+        x.Pricing.ps_revenue x.Pricing.ps_surge_activations
+        (if x.Pricing.ps_surging then ", surging" else ""))
+    p.Pricing.p_sellers
+
 (* Positional, order-insensitive result comparison against the oracle
    (optimized plans may name aggregate columns differently). *)
 let tables_agree a b =
@@ -675,7 +777,8 @@ let workload_cmd =
 let run_market schema nodes partitions replicas profile count concurrency slots
     queue policy no_batching seed competitive json trace metrics execute workers
     exec_seed no_exec_feedback no_sharing cache cache_clients cache_latency
-    cache_fraction cache_bytes domains =
+    cache_fraction cache_bytes pricing surge_multiplier surge_high surge_low
+    markup reserve_priority reserve_premium domains =
   with_pool domains @@ fun pool ->
   let module Market = Qt_market.Market in
   let module Admission = Qt_market.Admission in
@@ -726,6 +829,9 @@ let run_market schema nodes partitions replicas profile count concurrency slots
          else None);
       qcache = build_qcache cache cache_clients cache_latency cache_fraction
           cache_bytes;
+      pricing =
+        build_pricing pricing ~surge_multiplier ~surge_high ~surge_low ~markup
+          ~slo_surge:false ~reserve_priority ~reserve_premium;
       pool;
     }
   in
@@ -798,6 +904,7 @@ let run_market schema nodes partitions replicas profile count concurrency slots
       s.Market.cache.Qt_core.Seller.invalidations
       s.Market.cache.Qt_core.Seller.evictions;
     Option.iter print_qcache_stats s.Market.qcache;
+    Option.iter print_pricing_stats s.Market.pricing;
     List.iter
       (fun (x : Market.seller_stats) ->
         let a = x.Market.admission in
@@ -919,7 +1026,9 @@ let market_cmd =
       $ trace_arg $ metrics_arg $ market_execute_arg $ workers_arg
       $ exec_seed_arg $ no_exec_feedback_arg $ no_sharing_arg $ cache_arg
       $ cache_clients_arg $ cache_latency_arg $ cache_fraction_arg
-      $ cache_bytes_arg $ domains_arg)
+      $ cache_bytes_arg $ pricing_arg $ surge_multiplier_arg $ surge_high_arg
+      $ surge_low_arg $ markup_arg $ reserve_priority_arg $ reserve_premium_arg
+      $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stream                                                               *)
@@ -937,8 +1046,9 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
     slots queue policy admission_retries no_batching seed arrival_seed
     competitive json trace metrics execute workers exec_seed no_exec_feedback
     no_sharing cache cache_clients cache_latency cache_fraction cache_bytes
-    record replay scrape_interval slo series openmetrics latency_domain domains
-    =
+    pricing surge_multiplier surge_high surge_low markup slo_surge
+    reserve_priority reserve_premium record replay scrape_interval slo series
+    openmetrics latency_domain domains =
   with_pool domains @@ fun pool ->
   let module Market = Qt_market.Market in
   let module Admission = Qt_market.Admission in
@@ -1037,6 +1147,9 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
          else None);
       qcache = build_qcache cache cache_clients cache_latency cache_fraction
           cache_bytes;
+      pricing =
+        build_pricing pricing ~surge_multiplier ~surge_high ~surge_low ~markup
+          ~slo_surge ~reserve_priority ~reserve_premium;
       pool;
     }
   in
@@ -1142,6 +1255,7 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
       s.Market.str_cache.Qt_core.Seller.invalidations
       s.Market.str_cache.Qt_core.Seller.evictions;
     Option.iter print_qcache_stats s.Market.str_qcache;
+    Option.iter print_pricing_stats s.Market.str_pricing;
     Option.iter
       (fun (t : Market.telemetry_stats) ->
         Printf.printf
@@ -1152,9 +1266,15 @@ let run_stream schema nodes partitions replicas profile rate process burst_on
           (List.length t.Market.tl_failures);
         List.iter
           (fun ((al : Qt_obs.Slo.alert), _) ->
-            Printf.printf "  alert [%s] fired at %.3fs (burn fast %.2f, slow %.2f)\n"
-              al.Qt_obs.Slo.al_rule.Qt_obs.Slo.r_name al.Qt_obs.Slo.al_time
-              al.Qt_obs.Slo.al_burn_fast al.Qt_obs.Slo.al_burn_slow)
+            Printf.printf
+              "  alert [%s] %s at %.3fs (burn fast %.2f, slow %.2f%s)\n"
+              al.Qt_obs.Slo.al_rule.Qt_obs.Slo.r_name
+              (Qt_obs.Slo.severity_to_string al.Qt_obs.Slo.al_severity)
+              al.Qt_obs.Slo.al_time al.Qt_obs.Slo.al_burn_fast
+              al.Qt_obs.Slo.al_burn_slow
+              (if al.Qt_obs.Slo.al_suppressed > 0 then
+                 Printf.sprintf ", %d deduped" al.Qt_obs.Slo.al_suppressed
+               else ""))
           t.Market.tl_alerts)
       s.Market.str_telemetry;
     Option.iter
@@ -1409,7 +1529,10 @@ let stream_cmd =
       $ competitive_arg $ json_arg $ trace_arg $ metrics_arg
       $ stream_execute_arg $ workers_arg $ exec_seed_arg $ no_exec_feedback_arg
       $ no_sharing_arg $ cache_arg $ cache_clients_arg $ cache_latency_arg
-      $ cache_fraction_arg $ cache_bytes_arg $ record_arg $ replay_arg
+      $ cache_fraction_arg $ cache_bytes_arg $ pricing_arg
+      $ surge_multiplier_arg $ surge_high_arg $ surge_low_arg $ markup_arg
+      $ slo_surge_arg $ reserve_priority_arg $ reserve_premium_arg
+      $ record_arg $ replay_arg
       $ scrape_interval_arg $ slo_arg $ series_arg $ openmetrics_arg
       $ latency_domain_arg $ domains_arg)
 
@@ -1560,14 +1683,46 @@ let run_report path =
       Printf.printf "%-36s %8d %10.4g %10.4g %10.4g\n" name n lo hi last)
     names;
   let alerts = List.rev !alerts and failures = List.rev !failures in
-  Printf.printf "alerts: %d\n" (List.length alerts);
+  let severity_of al =
+    match Json.field al "severity" with
+    | Some (Json.String s) -> s
+    | _ -> "warn"
+  in
+  let suppressed_of al =
+    match Json.field al "suppressed" with
+    | Some (Json.Num n) -> int_of_float n
+    | _ -> 0
+  in
+  let count pred =
+    List.length
+      (List.filter
+         (fun j ->
+           match Json.field j "alert" with Some al -> pred al | None -> false)
+         alerts)
+  in
+  let critical = count (fun al -> severity_of al = "critical") in
+  let deduped =
+    List.fold_left
+      (fun acc j ->
+        match Json.field j "alert" with
+        | Some al -> acc + suppressed_of al
+        | None -> acc)
+      0 alerts
+  in
+  Printf.printf "alerts: %d (%d critical, %d warn%s)\n" (List.length alerts)
+    critical
+    (List.length alerts - critical)
+    (if deduped > 0 then Printf.sprintf ", %d deduped" deduped else "");
   List.iter
     (fun j ->
       match Json.field j "alert" with
       | Some al -> (
         match (Json.field al "rule", Json.field al "t") with
         | Some (Json.String rule), Some (Json.Num t) ->
-          Printf.printf "  [%s] fired at %.3fs\n" rule t
+          Printf.printf "  [%s] %s at %.3fs%s\n" rule (severity_of al) t
+            (match suppressed_of al with
+            | 0 -> ""
+            | n -> Printf.sprintf " (+%d deduped)" n)
         | _ -> ())
       | None -> ())
     alerts;

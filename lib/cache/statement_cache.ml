@@ -12,25 +12,35 @@ type entry = {
 type t = {
   entries : (int, entry) Hashtbl.t;  (* keyed by Sig.id; never observable *)
   max_entries : int;
+  require_repeat : bool;
+  (* Ghost list for the admission filter: signatures seen exactly once,
+     mapped to the tick of that sighting.  Bounded by [max_entries] (the
+     2Q A1out / ARC ghost-list shape), so "second occurrence" means
+     "second occurrence within one LRU horizon". *)
+  seen : (int, int) Hashtbl.t;
   mutable tick : int;
   c_hits : Metrics.counter;
   c_misses : Metrics.counter;
   c_invalidations : Metrics.counter;
   c_evictions : Metrics.counter;
+  c_suppressed : Metrics.counter;
 }
 
-let create ?(metrics = Metrics.create ()) ?(prefix = "qcache.stmt") ~max_entries
-    () =
+let create ?(metrics = Metrics.create ()) ?(prefix = "qcache.stmt")
+    ?(require_repeat = false) ~max_entries () =
   if max_entries < 1 then
     invalid_arg "Statement_cache.create: max_entries must be at least 1";
   {
     entries = Hashtbl.create 64;
     max_entries;
+    require_repeat;
+    seen = Hashtbl.create 64;
     tick = 0;
     c_hits = Metrics.counter metrics (prefix ^ ".hits");
     c_misses = Metrics.counter metrics (prefix ^ ".misses");
     c_invalidations = Metrics.counter metrics (prefix ^ ".invalidations");
     c_evictions = Metrics.counter metrics (prefix ^ ".evictions");
+    c_suppressed = Metrics.counter metrics (prefix ^ ".suppressed");
   }
 
 (* Insertion counts as a use, and every use gets a distinct tick, so the
@@ -54,12 +64,40 @@ let evict_lru t =
     Hashtbl.remove t.entries key;
     Metrics.incr t.c_evictions
 
+(* Oldest first-sighting goes; ticks are unique, so the victim is. *)
+let evict_seen t =
+  let victim =
+    Hashtbl.fold
+      (fun key tick acc ->
+        match acc with
+        | Some (_, best) when best <= tick -> acc
+        | _ -> Some (key, tick))
+      t.seen None
+  in
+  match victim with None -> () | Some (key, _) -> Hashtbl.remove t.seen key
+
 let insert t sg ~plan ~plan_cost ~contracts ~sources =
-  if not (Hashtbl.mem t.entries (Sig.id sg)) then
-    if Hashtbl.length t.entries >= t.max_entries then evict_lru t;
-  let entry = { plan; plan_cost; contracts; sources; used = 0 } in
-  touch t entry;
-  Hashtbl.replace t.entries (Sig.id sg) entry
+  let id = Sig.id sg in
+  if
+    t.require_repeat
+    && (not (Hashtbl.mem t.entries id))
+    && not (Hashtbl.mem t.seen id)
+  then begin
+    (* First sighting inside the horizon: remember it, don't cache it.
+       One-off statements never displace a proven-repeat entry. *)
+    t.tick <- t.tick + 1;
+    if Hashtbl.length t.seen >= t.max_entries then evict_seen t;
+    Hashtbl.replace t.seen id t.tick;
+    Metrics.incr t.c_suppressed
+  end
+  else begin
+    Hashtbl.remove t.seen id;
+    if not (Hashtbl.mem t.entries id) then
+      if Hashtbl.length t.entries >= t.max_entries then evict_lru t;
+    let entry = { plan; plan_cost; contracts; sources; used = 0 } in
+    touch t entry;
+    Hashtbl.replace t.entries id entry
+  end
 
 (* A plan stays valid as long as every node it buys from still has the
    catalog it was priced against; bumping an uninvolved node's
@@ -82,7 +120,13 @@ let find t ~fingerprint sg =
     Metrics.incr t.c_misses;
     None
 
-type stats = { hits : int; misses : int; invalidations : int; evictions : int }
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  evictions : int;
+  suppressed : int;
+}
 
 let stats t =
   {
@@ -90,6 +134,7 @@ let stats t =
     misses = Metrics.value t.c_misses;
     invalidations = Metrics.value t.c_invalidations;
     evictions = Metrics.value t.c_evictions;
+    suppressed = Metrics.value t.c_suppressed;
   }
 
 let length t = Hashtbl.length t.entries

@@ -12,7 +12,13 @@
 
     Capacity-bounded with a deterministic tick-based LRU; all counters
     live in a {!Qt_obs.Metrics} registry under [<prefix>.hits/.misses/
-    .invalidations/.evictions]. *)
+    .invalidations/.evictions/.suppressed].
+
+    With [require_repeat] the cache admits a signature only on its
+    second insertion attempt within one LRU horizon: first sightings go
+    to a ghost list (bounded by [max_entries], the 2Q/ARC shape) and are
+    counted as suppressed inserts, so one-off statements never displace
+    an entry that has already proven it repeats. *)
 
 type t
 
@@ -30,11 +36,13 @@ type entry = {
 val create :
   ?metrics:Qt_obs.Metrics.t ->
   ?prefix:string ->
+  ?require_repeat:bool ->
   max_entries:int ->
   unit ->
   t
 (** Caches sharing a registry and prefix share counters (the tier uses
-    this to aggregate per-client instances).
+    this to aggregate per-client instances).  [require_repeat] (default
+    [false]) enables the second-occurrence admission filter.
     @raise Invalid_argument if [max_entries < 1]. *)
 
 val insert :
@@ -52,7 +60,15 @@ val find :
     fingerprint; a mismatch drops the entry (counted as invalidation +
     miss).  A hit refreshes the entry's LRU tick. *)
 
-type stats = { hits : int; misses : int; invalidations : int; evictions : int }
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  evictions : int;
+  suppressed : int;
+      (** Insert attempts deferred by the [require_repeat] admission
+          filter (first sightings sent to the ghost list). *)
+}
 
 val stats : t -> stats
 val length : t -> int

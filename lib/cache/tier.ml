@@ -11,6 +11,7 @@ type config = {
   lookup_latency : float;
   hit_price_fraction : float;
   statement_entries : int;
+  stmt_require_repeat : bool;
   result_entries : int;
   result_bytes : int;
 }
@@ -22,6 +23,7 @@ let default_config =
     lookup_latency = 0.002;
     hit_price_fraction = 0.25;
     statement_entries = 512;
+    stmt_require_repeat = true;
     result_entries = 512;
     result_bytes = 16 * 1024 * 1024;
   }
@@ -55,6 +57,7 @@ let create cfg =
         {
           stmt =
             Statement_cache.create ~metrics ~prefix:"qcache.stmt"
+              ~require_repeat:cfg.stmt_require_repeat
               ~max_entries:cfg.statement_entries ();
           result =
             Result_cache.create ~metrics ~prefix:"qcache.result"

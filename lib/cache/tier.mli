@@ -32,13 +32,18 @@ type config = {
       (** Fraction of the original per-seller work credited on a hit;
           must be in [0, 1]. *)
   statement_entries : int;
+  stmt_require_repeat : bool;
+      (** Statement-cache admission filter: cache a signature only on
+          its second insertion attempt within one LRU horizon
+          ({!Statement_cache.create}'s [require_repeat]). *)
   result_entries : int;
   result_bytes : int;
 }
 
 val default_config : config
 (** Shared placement, 8 clients, 2 ms lookups, 25% hit price, 512-entry
-    caches, 16 MiB result budget. *)
+    caches with require-repeat statement admission, 16 MiB result
+    budget. *)
 
 type instance = { stmt : Statement_cache.t; result : Result_cache.t }
 

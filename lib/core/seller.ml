@@ -14,6 +14,7 @@ module Localize = Qt_rewrite.Localize
 module View_match = Qt_views.View_match
 module Strategy = Qt_trading.Strategy
 module Metrics = Qt_obs.Metrics
+module Pricing = Qt_pricing.Pricing
 
 type config = {
   params : Qt_cost.Params.t;
@@ -37,6 +38,12 @@ type config = {
          the rest of the federation for pieces this node is missing.  The
          trading loop provides it (excluding the node itself, depth 1);
          [None] disables subcontracting. *)
+  pricing : Pricing.quote option;
+      (* Price-function layer (lib/pricing): strategy multiplier applied
+         to every quote, then an arbitrage-free monotone repair across
+         the offer batch.  Plain data, part of bid-cache validity: a
+         surge-multiplier change invalidates cached bids exactly as a
+         load change does.  [None] prices at cost (pre-pricing default). *)
 }
 
 let default_config params =
@@ -52,6 +59,7 @@ let default_config params =
     pool = None;
     legacy_dp = false;
     market = None;
+    pricing = None;
   }
 
 type response = { offers : Offer.t list; processing_time : float }
@@ -495,6 +503,20 @@ let price_request config schema (node : Node.t) ~request ~request_sig
         in
         Listx.take config.max_offers_per_request ranked
   in
+  (* Price-function layer: strategy multiplier plus the arbitrage-free
+     monotone repair over the whole batch (a contained offer never
+     prices above an offer that determines it). *)
+  let offers =
+    match config.pricing with
+    | None -> offers
+    | Some _ when offers = [] -> offers
+    | Some q ->
+      let arr = Array.of_list offers in
+      let priced = Array.map (fun (o : Offer.t) -> (o.Offer.query, o.quoted)) arr in
+      let adjusted = Pricing.reprice q priced in
+      Array.to_list
+        (Array.mapi (fun i (o : Offer.t) -> { o with Offer.quoted = adjusted.(i) }) arr)
+  in
   (offers, !considered)
 
 (* --- seller-side bid cache (tentpole) --------------------------------
@@ -517,6 +539,7 @@ type cache_entry = {
   e_max_offers : int;
   e_prune : (int * int) option;
   e_params : Qt_cost.Params.t;
+  e_pricing : Pricing.quote option;  (** Pricing view at pricing time. *)
   e_catalog : int;  (** Catalog fingerprint at pricing time. *)
   mutable e_used : int;  (** LRU stamp: cache tick of the last hit. *)
 }
@@ -604,6 +627,7 @@ let catalog_fingerprint (node : Node.t) = Node.fingerprint node
 let entry_valid config ~fingerprint e =
   e.e_load = config.load
   && e.e_strategy = config.strategy
+  && e.e_pricing = config.pricing
   && e.e_price_per_mb = config.price_per_mb
   && e.e_use_views = config.use_views
   && e.e_max_offers = config.max_offers_per_request
@@ -682,6 +706,7 @@ let respond ?cache config schema (node : Node.t) ~requests =
             e_max_offers = config.max_offers_per_request;
             e_prune = config.local_prune;
             e_params = config.params;
+            e_pricing = config.pricing;
             e_catalog = fingerprint;
             e_used = 0;
           };

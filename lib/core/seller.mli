@@ -48,6 +48,14 @@ type config = {
           third node and offer the {e complete} answer, with the purchase
           folded into its quote and recorded in the offer's [imports].
           [None] (the default) disables subcontracting. *)
+  pricing : Qt_pricing.Pricing.quote option;
+      (** Price-function layer (lib/pricing): the strategy multiplier is
+          applied to every quote, then an arbitrage-free monotone repair
+          runs across the offer batch so a contained offer never prices
+          above an offer that determines it.  Plain data and part of bid
+          cache validity — a surge-multiplier change invalidates cached
+          bids exactly as a load change does.  [None] (the default)
+          prices at cost. *)
 }
 
 val default_config : Qt_cost.Params.t -> config

@@ -21,6 +21,7 @@ type config = {
   seller_template : Seller.config;
   strategy_of : int -> Strategy.t;
   load_of : int -> float;
+  pricing_of : int -> Qt_pricing.Pricing.quote option;
   initial_estimate : float;
   plan_overhead : float;
   allow_subcontracting : bool;
@@ -39,6 +40,7 @@ let default_config params =
     seller_template = Seller.default_config params;
     strategy_of = (fun _ -> Strategy.Cooperative);
     load_of = (fun _ -> 0.);
+    pricing_of = (fun _ -> None);
     initial_estimate = 0.;
     plan_overhead = 1e-4;
     allow_subcontracting = false;
@@ -435,6 +437,7 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches
                           depth0 with
                           Seller.strategy = config.strategy_of n.node_id;
                           load = config.load_of n.node_id;
+                          pricing = config.pricing_of n.node_id;
                         }
                         schema n
                         ~requests:[ (sub_query, 0.) ]
@@ -453,6 +456,7 @@ let optimize ?(standing = []) ?requests:initial_requests ?transport ?caches
           config.seller_template with
           Seller.strategy = config.strategy_of node.node_id;
           load = config.load_of node.node_id;
+          pricing = config.pricing_of node.node_id;
           market = market_for node;
         }
       in

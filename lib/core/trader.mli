@@ -24,6 +24,10 @@ type config = {
           strategy and load fields per node. *)
   strategy_of : int -> Qt_trading.Strategy.t;
   load_of : int -> float;
+  pricing_of : int -> Qt_pricing.Pricing.quote option;
+      (** Per-node pricing view ([Seller.config.pricing]); the market
+          coordinator supplies the surge multiplier in force at each
+          wave.  Default [fun _ -> None] — price at cost. *)
   initial_estimate : float;
       (** The paper's [c0]: the buyer's a-priori value for the query (0 =
           unknown). *)

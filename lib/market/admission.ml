@@ -28,6 +28,7 @@ type handle = {
   h_trade : int;
   h_work : float;
   h_priority : int;
+  h_reserved : bool;  (* bought a reserved slot: promoted ahead of the queue *)
   h_seq : int;  (* arrival order, the deterministic tie-break *)
   h_submitted : float;  (* submission time, for queue-wait accounting *)
   mutable h_started : float;  (* service start time, meaningful once running *)
@@ -96,6 +97,7 @@ let offered_load t =
 
 let work h = h.h_work
 let trade_of h = h.h_trade
+let reserved h = h.h_reserved
 let is_active t h = List.exists (fun a -> a.h_seq = h.h_seq) t.active
 
 let served_of t trade =
@@ -119,7 +121,9 @@ let start t ~now h =
 
 (* Pick the next queued contract under the arbitration policy.  Sequence
    numbers are unique, so every comparison below has a single winner and
-   promotion order is deterministic. *)
+   promotion order is deterministic.  A contract that bought a reserved
+   slot (lib/pricing) is honored ahead of the general queue: while any
+   reserved contract waits, arbitration runs over the reserved set only. *)
 let pick_next t =
   let better a b =
     match t.cfg.policy with
@@ -134,7 +138,12 @@ let pick_next t =
         let sa = share a and sb = share b in
         sa < sb || (sa = sb && a.h_seq < b.h_seq)
   in
-  match t.queued with
+  let pool =
+    match List.filter (fun h -> h.h_reserved) t.queued with
+    | [] -> t.queued
+    | reserved -> reserved
+  in
+  match pool with
   | [] -> None
   | first :: rest ->
       Some (List.fold_left (fun acc h -> if better h acc then h else acc) first rest)
@@ -154,10 +163,11 @@ let promote t ~now =
 
 type decision = Started of handle | Enqueued of handle | Rejected
 
-let submit t ~now ~trade ~work ~priority =
+let submit ?(reserved = false) t ~now ~trade ~work ~priority =
   let h =
-    { h_trade = trade; h_work = work; h_priority = priority; h_seq = t.seq;
-      h_submitted = now; h_started = now }
+    { h_trade = trade; h_work = work; h_priority = priority;
+      h_reserved = reserved; h_seq = t.seq; h_submitted = now;
+      h_started = now }
   in
   t.seq <- t.seq + 1;
   if in_service t < t.cfg.slots then (

@@ -60,6 +60,9 @@ val offered_load : t -> float
 val work : handle -> float
 val trade_of : handle -> int
 
+val reserved : handle -> bool
+(** Whether the contract bought a reserved slot (see {!submit}). *)
+
 val started_at : handle -> float
 (** Virtual time the contract last entered service (its submission time
     until then) — the start of its contract span in traces. *)
@@ -74,8 +77,14 @@ type decision =
   | Enqueued of handle  (** Waiting for a slot. *)
   | Rejected  (** Slots and queue both full. *)
 
-val submit : t -> now:float -> trade:int -> work:float -> priority:int -> decision
-(** Offer a contract of [work] virtual seconds on behalf of [trade]. *)
+val submit :
+  ?reserved:bool -> t -> now:float -> trade:int -> work:float -> priority:int -> decision
+(** Offer a contract of [work] virtual seconds on behalf of [trade].
+    [?reserved] (default [false]) marks a capacity reservation sold by
+    the pricing layer at a premium: while any reserved contract waits,
+    promotion arbitrates over the reserved set only, so reservations are
+    honored ahead of the general queue.  Cancellation refunds flow
+    through {!cancel} exactly as for ordinary contracts. *)
 
 val finish : t -> now:float -> handle -> handle list
 (** Complete a running contract, freeing its slot.  Returns the waiting

@@ -26,6 +26,7 @@ module Tier = Qt_cache.Tier
 module Statement_cache = Qt_cache.Statement_cache
 module Result_cache = Qt_cache.Result_cache
 module Analysis = Qt_sql.Analysis
+module Pricing = Qt_pricing.Pricing
 
 (* The market scheduler's own trace track: buyers occupy -(i+1), sellers
    the non-negative node ids, so a far-negative reserved id never
@@ -65,6 +66,11 @@ type config = {
          byte-identical at any pool size).  Serving stays serial when
          observability is enabled (span ids are emission-ordered) or
          subcontracting is on (sellers then share bid caches). *)
+  pricing : Pricing.config option;
+      (* Seller pricing layer (lib/pricing): strategy mix, surge
+         multipliers and capacity reservations.  [None] (the default)
+         keeps cost-plus pricing everywhere with byte-identical
+         output. *)
 }
 
 let default_config params =
@@ -81,6 +87,7 @@ let default_config params =
     execute = None;
     qcache = None;
     pool = None;
+    pricing = None;
   }
 
 type status =
@@ -157,6 +164,7 @@ type stats = {
   queue_wait : latency_summary;
   exec : exec_stats option;
   qcache : Tier.stats option;
+  pricing : Pricing.stats option;
   results : (int * Plan.t * Table.t) list;
 }
 
@@ -222,6 +230,11 @@ type trade = {
   t_klass : Qt_stream.Sla.klass option;  (* [None] in batch runs *)
   mutable t_pending : int;  (* admitted contracts not yet completed *)
   mutable t_completed_at : float;  (* last contract completion time *)
+  (* Pricing bookkeeping; inert when the pricing layer is off. *)
+  mutable t_prices : (int * float) list;
+      (* Quoted (not true-cost) price per seller — what the buyer pays. *)
+  mutable t_reserved : bool;  (* admitted on reserved slots at a premium *)
+  mutable t_done : int list;  (* sellers whose contracts completed *)
 }
 
 let make_trade ?(arrival = 0.) ?(deadline = infinity) ?klass ~index ~priority
@@ -249,6 +262,9 @@ let make_trade ?(arrival = 0.) ?(deadline = infinity) ?klass ~index ~priority
     t_klass = klass;
     t_pending = 0;
     t_completed_at = 0.;
+    t_prices = [];
+    t_reserved = false;
+    t_done = [];
   }
 
 (* The cache tier plus the validity tokens of the federation this market
@@ -271,15 +287,18 @@ type market = {
   completions : (int * Admission.handle) Event_queue.t;
   sched : Execsched.t option;  (* plan execution, when [cfg.execute] is set *)
   qcache : qcache_state option;
+  pstate : Pricing.t option;  (* pricing layer state, when [cfg.pricing] is set *)
   mutable mclock : float;  (* monotone market time: last window close *)
   mutable retries : int;
   obs : Obs.t;
   metrics : Metrics.t;
   rtt : Metrics.histo;  (* offer round trips, RFB window close -> reply *)
   waits : Metrics.histo;  (* admission queue waits, all sellers *)
-  mutable on_complete : int -> float -> unit;
-      (* Called as [(trade, time)] when one of the trade's contracts
-         finishes; the stream runner hooks end-to-end accounting here. *)
+  mutable on_complete : int -> seller:int -> float -> unit;
+      (* Called as [(trade, ~seller, time)] when one of the trade's
+         contracts finishes; the stream runner hooks end-to-end
+         accounting here and the pricing layer its revenue
+         bookkeeping. *)
   mutable on_reject : int -> int -> float -> unit;
       (* Called as [(trade, seller, time)] when a seller rejects a
          contract submission; the stream telemetry's flight recorder
@@ -319,7 +338,7 @@ let fire_completion st t seller h =
           ~time:(t +. Admission.work p)
           (seller, p))
       promoted;
-    st.on_complete (Admission.trade_of h) t
+    st.on_complete (Admission.trade_of h) ~seller t
   end
 
 (* Fire every contract completion up to [upto]. *)
@@ -370,6 +389,14 @@ let trader_config st tr =
         +. Admission.offered_load (admission_of st node)
         +. exec_load node
         +. Option.value (List.assoc_opt node tr.t_penalized) ~default:0.);
+    pricing_of =
+      (* The coordinator freezes each seller's pricing quote (strategy +
+         surge multiplier) into the trader config; fibers priced in
+         parallel read the same frozen view, and a multiplier change
+         invalidates cached bids through [Seller.entry_valid]. *)
+      (match st.pstate with
+      | None -> st.cfg.trader.Trader.pricing_of
+      | Some p -> fun node -> Some (Pricing.quote_for p ~seller:node));
   }
 
 let make_transport st tr : Seller.response Transport.t =
@@ -418,6 +445,18 @@ let contracts_of (outcome : Trader.outcome) =
     outcome.Trader.purchased;
   Hashtbl.fold (fun s w acc -> (s, w) :: acc) tbl [] |> List.sort compare
 
+(* What the buyer pays each seller: the plan's purchased offers rolled
+   up by seller at their {e quoted} prices (surge and markup included),
+   the revenue the pricing layer accounts. *)
+let prices_of (outcome : Trader.outcome) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (o : Offer.t) ->
+      let prev = Option.value (Hashtbl.find_opt tbl o.Offer.seller) ~default:0. in
+      Hashtbl.replace tbl o.Offer.seller (prev +. o.Offer.quoted))
+    outcome.Trader.purchased;
+  Hashtbl.fold (fun s w acc -> (s, w) :: acc) tbl [] |> List.sort compare
+
 (* Order-sensitive structural digest of a result table (header included).
    Scheduled execution is deterministic, so equal digests across runs mean
    equal tables; [Hashtbl.hash] is applied per value because its traversal
@@ -448,12 +487,21 @@ let try_admit st tr ~now works =
            ~at:now ()
           : int)
   in
+  (* Whether this trade buys reserved slots (a pricing-layer premium
+     product).  Constant per trade, so all-or-nothing rollback and the
+     deadline-cancellation refund path treat reserved contracts exactly
+     like ordinary ones. *)
+  let reserved =
+    match st.pstate with
+    | None -> false
+    | Some p -> Pricing.reserves (Pricing.config p) ~priority:tr.t_priority
+  in
   let rec go placed = function
     | [] -> Ok ()
     | (seller, work) :: rest -> (
       let adm = admission_of st seller in
       match
-        Admission.submit adm ~now ~trade:tr.t_index ~work
+        Admission.submit ~reserved adm ~now ~trade:tr.t_index ~work
           ~priority:tr.t_priority
       with
       | Admission.Rejected ->
@@ -474,7 +522,24 @@ let try_admit st tr ~now works =
         decision_instant "enqueue" seller work;
         go (seller :: placed) rest)
   in
-  go [] works
+  match go [] works with
+  | Error _ as e -> e
+  | Ok () ->
+    (* The whole plan was admitted: the buyer pays each seller's quoted
+       price now, plus the reservation premium when a slot was reserved.
+       Failed admissions paid nothing — rollback needs no refund. *)
+    (match st.pstate with
+    | None -> ()
+    | Some p ->
+      tr.t_reserved <- reserved;
+      let premium_rate = (Pricing.config p).Pricing.reserve_premium in
+      List.iter
+        (fun (seller, price) ->
+          Pricing.credit p ~seller price;
+          if reserved then
+            Pricing.reserve_sold p ~seller ~premium:(premium_rate *. price))
+        tr.t_prices);
+    Ok ()
 
 (* (Re)start a trade's optimization fiber and hand its first step to
    [drive].  The buyer's clock is floored at market time and at the
@@ -603,11 +668,34 @@ let wave_close st trades waiting =
   st.mclock <- t_close;
   t_close
 
+(* Refresh every seller's surge state from its admission occupancy:
+   (in service + queued) / (slots + queue limit).  Runs on the
+   coordinator at each wave close, before any envelope is priced, so
+   the multiplier a wave sees is frozen — phase A's parallel pricing
+   only reads it and results stay byte-identical at any domain count. *)
+let update_surge st =
+  match st.pstate with
+  | None -> ()
+  | Some p ->
+    List.iter
+      (fun id ->
+        let adm = admission_of st id in
+        let cap =
+          Admission.slots adm + max 0 st.cfg.admission.Admission.queue_limit
+        in
+        let occ =
+          float_of_int (Admission.in_service adm + Admission.queue_depth adm)
+          /. float_of_int (max 1 cap)
+        in
+        Pricing.observe_occupancy p ~seller:id ~occupancy:occ)
+      (List.sort compare (Federation.node_ids st.federation))
+
 (* Serve one closed wave: coalesce the suspended broadcasts into
    per-seller envelopes, serve each envelope's trades back-to-back on
    the seller's clock (real contention), then resume every fiber in
    trade order via [drive]. *)
 let serve_wave st trades waiting ~t_close ~drive =
+  update_surge st;
   let reqs =
     List.map
       (fun (i, (r : round_request), _) ->
@@ -810,6 +898,7 @@ let make_market ~obs cfg federation =
           q_epoch = Tier.epoch_of federation;
         }
   in
+  let pstate = Option.map Pricing.create cfg.pricing in
   let st =
     {
       cfg;
@@ -821,13 +910,14 @@ let make_market ~obs cfg federation =
       completions = Event_queue.create ();
       sched;
       qcache;
+      pstate;
       mclock = 0.;
       retries = 0;
       obs;
       metrics;
       rtt = Metrics.histogram metrics "market.offer_rtt";
       waits = Metrics.histogram metrics "market.queue_wait";
-      on_complete = (fun _ _ -> ());
+      on_complete = (fun _ ~seller:_ _ -> ());
       on_reject = (fun _ _ _ -> ());
     }
   in
@@ -837,9 +927,13 @@ let make_market ~obs cfg federation =
       Obs.track_name obs id (Printf.sprintf "node %d" id);
       Runtime.register st.rt id;
       ignore (admission_of st id : Admission.t);
-      (* Pre-create the per-node bid cache: parallel envelope serving
-         must never race two sellers through the lazy constructor. *)
-      ignore (Seller.pool_cache st.caches id : Seller.cache))
+      (* Pre-create the per-node bid cache and pricing state: parallel
+         envelope serving must never race two sellers through a lazy
+         constructor. *)
+      ignore (Seller.pool_cache st.caches id : Seller.cache);
+      match pstate with
+      | Some p -> Pricing.observe_occupancy p ~seller:id ~occupancy:0.
+      | None -> ())
     (Federation.node_ids federation);
   st
 
@@ -907,6 +1001,20 @@ let run ?(obs = Obs.disabled) cfg federation queries =
   let ready = Queue.create () in
   Array.iter (fun tr -> Queue.add tr.t_index ready) trades;
   qcache_install_exec_hook st trades;
+  (* Pricing bookkeeping at contract completion: first completion per
+     seller marks the seller done for the trade, and a reserved trade's
+     completed contracts count toward the reservation fill rate.  (Batch
+     runs have no deadlines, so credited revenue is never clawed back.) *)
+  (match st.pstate with
+  | None -> ()
+  | Some p ->
+    st.on_complete <-
+      (fun i ~seller _t ->
+        let tr = trades.(i) in
+        if not (List.mem seller tr.t_done) then begin
+          tr.t_done <- seller :: tr.t_done;
+          if tr.t_reserved then Pricing.reserve_completed p ~seller
+        end));
   let parked = ref [] in
   let running = ref 0 in
   let complete_admitted tr ~now ~plan ~plan_cost works =
@@ -925,6 +1033,7 @@ let run ?(obs = Obs.disabled) cfg federation queries =
     drain_all st ~upto:now;
     st.mclock <- Float.max st.mclock now;
     let works = contracts_of outcome in
+    if st.pstate <> None then tr.t_prices <- prices_of outcome;
     match try_admit st tr ~now works with
     | Ok () ->
       qcache_note_traded st tr ~plan:outcome.Trader.plan
@@ -969,6 +1078,9 @@ let run ?(obs = Obs.disabled) cfg federation queries =
       drain_all st ~upto:now;
       st.mclock <- Float.max st.mclock now;
       let works = e.Statement_cache.contracts in
+      (* A statement hit skips negotiation, so the contracts' work is the
+         only price signal available: the cached plan is bought at cost. *)
+      if st.pstate <> None then tr.t_prices <- works;
       match try_admit st tr ~now works with
       | Ok () ->
         tr.t_attempts <- tr.t_attempts + 1;
@@ -1112,6 +1224,7 @@ let run ?(obs = Obs.disabled) cfg federation queries =
     queue_wait = summarize st.waits;
     exec;
     qcache = Option.map (fun q -> Tier.stats q.q_tier) st.qcache;
+    pricing = Option.map Pricing.stats st.pstate;
     results;
   }
 
@@ -1182,8 +1295,11 @@ let qcache_json (q : Tier.stats) =
   Printf.sprintf
     "{\"placement\":%S,\"stmt\":%s,\"result\":%s,\"trades_avoided\":%d,\"executions_avoided\":%d,\"hit_revenue\":%s,\"revenue_by_seller\":[%s],\"result_bytes\":%d}"
     q.Tier.placement
-    (counts_json s.Statement_cache.hits s.Statement_cache.misses
-       s.Statement_cache.invalidations s.Statement_cache.evictions)
+    (Printf.sprintf
+       "{\"hits\":%d,\"misses\":%d,\"invalidations\":%d,\"evictions\":%d,\"suppressed\":%d}"
+       s.Statement_cache.hits s.Statement_cache.misses
+       s.Statement_cache.invalidations s.Statement_cache.evictions
+       s.Statement_cache.suppressed)
     (counts_json r.Result_cache.hits r.Result_cache.misses
        r.Result_cache.invalidations r.Result_cache.evictions)
     q.Tier.trades_avoided q.Tier.executions_avoided (jf q.Tier.hit_revenue)
@@ -1193,6 +1309,30 @@ let qcache_json (q : Tier.stats) =
             Printf.sprintf "{\"seller\":%d,\"revenue\":%s}" seller (jf rev))
           q.Tier.hit_revenue_by_seller))
     q.Tier.result_bytes_held
+
+(* Rendered only when the pricing layer is configured, so pricing-off
+   output stays byte-identical to a build without lib/pricing. *)
+let pricing_json (p : Pricing.stats) =
+  Printf.sprintf
+    "{\"revenue\":%s,\"reservation_revenue\":%s,\"surge_activations\":%d,\"forced_flips\":%d,\"reserved_sold\":%d,\"reserved_completed\":%d,\"reserved_refunded\":%d,\"reservation_fill\":%s,\"sellers\":[%s]}"
+    (jf p.Pricing.p_revenue)
+    (jf p.Pricing.p_reservation_revenue)
+    p.Pricing.p_surge_activations p.Pricing.p_forced_flips
+    p.Pricing.p_reserved_sold p.Pricing.p_reserved_completed
+    p.Pricing.p_reserved_refunded
+    (jf p.Pricing.p_reservation_fill)
+    (String.concat ","
+       (List.map
+          (fun (x : Pricing.seller_stats) ->
+            Printf.sprintf
+              "{\"seller\":%d,\"strategy\":\"%s\",\"surging\":%b,\"surge_activations\":%d,\"revenue\":%s,\"reserved_sold\":%d,\"reserved_completed\":%d,\"reserved_refunded\":%d,\"reservation_revenue\":%s}"
+              x.Pricing.ps_seller
+              (Pricing.strategy_to_string x.Pricing.ps_strategy)
+              x.Pricing.ps_surging x.Pricing.ps_surge_activations
+              (jf x.Pricing.ps_revenue) x.Pricing.ps_reserved_sold
+              x.Pricing.ps_reserved_completed x.Pricing.ps_reserved_refunded
+              (jf x.Pricing.ps_reservation_revenue))
+          p.Pricing.p_sellers))
 
 let exec_node_json (n : exec_node) =
   Printf.sprintf "{\"node\":%d,\"tasks\":%d,\"busy\":%s,\"utilization\":%s}"
@@ -1247,6 +1387,9 @@ let to_json (s : stats) =
   (match s.qcache with
   | None -> ()
   | Some q -> add (",\"qcache\":" ^ qcache_json q));
+  (match s.pricing with
+  | None -> ()
+  | Some p -> add (",\"pricing\":" ^ pricing_json p));
   add "}";
   Buffer.contents b
 
@@ -1285,6 +1428,7 @@ let metrics_qcache m = function
     metrics_c m "qcache.stmt.invalidations"
       q.Tier.stmt.Statement_cache.invalidations;
     metrics_c m "qcache.stmt.evictions" q.Tier.stmt.Statement_cache.evictions;
+    metrics_c m "qcache.stmt.suppressed" q.Tier.stmt.Statement_cache.suppressed;
     metrics_c m "qcache.result.hits" q.Tier.result.Result_cache.hits;
     metrics_c m "qcache.result.misses" q.Tier.result.Result_cache.misses;
     metrics_c m "qcache.result.invalidations"
@@ -1294,6 +1438,26 @@ let metrics_qcache m = function
     metrics_c m "qcache.executions_avoided" q.Tier.executions_avoided;
     metrics_c m "qcache.result_bytes" q.Tier.result_bytes_held;
     metrics_g m "qcache.hit_revenue" q.Tier.hit_revenue
+
+(* pricing.* metrics appear only when the layer was configured, keeping
+   pricing-off metrics output identical to a pricing-less build. *)
+let metrics_pricing m = function
+  | None -> ()
+  | Some (p : Pricing.stats) ->
+    metrics_g m "pricing.revenue" p.Pricing.p_revenue;
+    metrics_g m "pricing.reservation_revenue" p.Pricing.p_reservation_revenue;
+    metrics_c m "pricing.surge_activations" p.Pricing.p_surge_activations;
+    metrics_c m "pricing.forced_flips" p.Pricing.p_forced_flips;
+    metrics_c m "pricing.reserved_sold" p.Pricing.p_reserved_sold;
+    metrics_c m "pricing.reserved_completed" p.Pricing.p_reserved_completed;
+    metrics_c m "pricing.reserved_refunded" p.Pricing.p_reserved_refunded;
+    metrics_g m "pricing.reservation_fill" p.Pricing.p_reservation_fill;
+    List.iter
+      (fun (x : Pricing.seller_stats) ->
+        let pre = Printf.sprintf "pricing.seller.%d." x.Pricing.ps_seller in
+        metrics_g m (pre ^ "revenue") x.Pricing.ps_revenue;
+        metrics_c m (pre ^ "surge_activations") x.Pricing.ps_surge_activations)
+      p.Pricing.p_sellers
 
 let metrics_shared m ~sellers ~(batcher : Batcher.stats) ~(cache : Seller.cache_stats) =
   metrics_c m "batcher.waves" batcher.Batcher.waves;
@@ -1331,6 +1495,7 @@ let metrics_json (s : stats) =
   g "market.makespan" s.makespan;
   metrics_exec m s.exec;
   metrics_qcache m s.qcache;
+  metrics_pricing m s.pricing;
   metrics_shared m ~sellers:s.sellers ~batcher:s.batcher ~cache:s.cache;
   metrics_lat m "market.offer_rtt" s.offer_rtt;
   metrics_lat m "market.queue_wait" s.queue_wait;
@@ -1444,6 +1609,7 @@ type stream_stats = {
   str_queue_wait : latency_summary;
   str_exec : exec_stats option;
   str_qcache : Tier.stats option;
+  str_pricing : Pricing.stats option;
   str_telemetry : telemetry_stats option;
 }
 
@@ -1629,8 +1795,19 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
   (* End-to-end accounting at contract completion; hooked into
      [fire_completion], so it also runs for promotions and late drains. *)
   st.on_complete <-
-    (fun ti t ->
+    (fun ti ~seller t ->
       let tr = trades.(ti) in
+      (* Pricing bookkeeping: the seller's contract for this trade
+         completed, so its credited revenue is final and a reserved
+         trade's fill rate advances.  Runs before the pending-count step
+         so deadline refunds (below) can tell completed sellers apart. *)
+      (match st.pstate with
+      | None -> ()
+      | Some p ->
+        if not (List.mem seller tr.t_done) then begin
+          tr.t_done <- seller :: tr.t_done;
+          if tr.t_reserved then Pricing.reserve_completed p ~seller
+        end);
       if tr.t_status = Some Completed && tr.t_pending > 0 then begin
         tr.t_pending <- tr.t_pending - 1;
         if tr.t_pending = 0 then begin
@@ -1677,6 +1854,22 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
           in
           schedule_promoted st seller ~now:d promoted)
         tr.t_contracts;
+      (* Cancellation refunds: sellers whose contracts were withdrawn
+         give the price back, and a reserved trade's premium is returned
+         with them — the buyer only pays for reservations that deliver. *)
+      (match st.pstate with
+      | None -> ()
+      | Some p ->
+        let premium_rate = (Pricing.config p).Pricing.reserve_premium in
+        List.iter
+          (fun (seller, price) ->
+            if not (List.mem seller tr.t_done) then begin
+              Pricing.debit p ~seller price;
+              if tr.t_reserved then
+                Pricing.reserve_refund p ~seller
+                  ~premium:(premium_rate *. price)
+            end)
+          tr.t_prices);
       tr.t_pending <- 0;
       expire ()
     | None -> expire ()
@@ -1787,7 +1980,25 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
             ~metrics:(Metrics.to_json st.metrics)
         in
         t.tel_alerts <- (al, b) :: t.tel_alerts)
-      (Slo.observe t.tel_slo ~now ~error_rate)
+      (Slo.observe t.tel_slo ~now ~error_rate);
+    (* Telemetry loop closure (--slo-surge): while any burn-rate rule is
+       firing, every seller is forced into surge pricing; the force
+       clears when the alerts re-arm.  Transitions happen only here — a
+       scrape tick on the coordinator — so they are deterministic on the
+       shared timeline, and each edge is recorded in the flight
+       recorder. *)
+    (match st.pstate with
+    | Some p when (Pricing.config p).Pricing.slo_surge ->
+      let firing = Slo.firing t.tel_slo in
+      if firing <> Pricing.forced p then begin
+        Pricing.set_forced p firing;
+        fr_record ~time:now ~node:market_track
+          ~kind:(if firing then "surge_forced" else "surge_cleared")
+          ~detail:
+            (if firing then "slo alert firing: sellers forced into surge"
+             else "slo alerts re-armed: forced surge cleared")
+      end
+    | Some _ | None -> ())
   in
   let tel_next () =
     match tel with Some t -> Timeseries.next_tick t.tel_ts | None -> infinity
@@ -1868,6 +2079,7 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
     end
     else begin
       let works = contracts_of outcome in
+      if st.pstate <> None then tr.t_prices <- prices_of outcome;
       match try_admit st tr ~now works with
       | Ok () ->
         qcache_note_traded st tr ~plan:outcome.Trader.plan
@@ -1957,7 +2169,10 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
         Option.iter (class_incr cc_expired) tr.t_klass;
         true
       end
-      else
+      else begin
+        (* A statement hit skips negotiation: the cached plan is bought
+           at its contracts' cost. *)
+        if st.pstate <> None then tr.t_prices <- e.Statement_cache.contracts;
         match try_admit st tr ~now e.Statement_cache.contracts with
         | Ok () ->
           tr.t_attempts <- tr.t_attempts + 1;
@@ -1967,7 +2182,8 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
           complete_admitted tr ~now ~plan:e.Statement_cache.plan
             ~plan_cost:e.Statement_cache.plan_cost e.Statement_cache.contracts;
           true
-        | Error _ -> false)
+        | Error _ -> false
+      end)
   in
   (* Release every arrival up to market time: shed it outright if the
      marketplace is saturated, otherwise queue it for a fiber and arm
@@ -2151,6 +2367,7 @@ let run_stream ?(obs = Obs.disabled) scfg federation ~templates arrivals =
     str_queue_wait = summarize st.waits;
     str_exec = exec;
     str_qcache = Option.map (fun q -> Tier.stats q.q_tier) st.qcache;
+    str_pricing = Option.map Pricing.stats st.pstate;
     str_telemetry =
       Option.map
         (fun t ->
@@ -2218,6 +2435,9 @@ let stream_to_json (s : stream_stats) =
   (match s.str_qcache with
   | None -> ()
   | Some q -> add (",\"qcache\":" ^ qcache_json q));
+  (match s.str_pricing with
+  | None -> ()
+  | Some p -> add (",\"pricing\":" ^ pricing_json p));
   (* Rendered only when telemetry was on, keeping telemetry-off stream
      JSON byte-identical to a telemetry-less build.  The full point
      series goes to the JSONL dump ([telemetry_jsonl]); this carries the
@@ -2304,6 +2524,7 @@ let stream_metrics_registry (s : stream_stats) =
     s.str_classes;
   metrics_exec m s.str_exec;
   metrics_qcache m s.str_qcache;
+  metrics_pricing m s.str_pricing;
   metrics_shared m ~sellers:s.str_sellers ~batcher:s.str_batcher
     ~cache:s.str_cache;
   metrics_lat m "market.offer_rtt" s.str_offer_rtt;

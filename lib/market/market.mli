@@ -95,6 +95,16 @@ type config = {
           are emission-ordered).  Seller-side and buyer-side DP
           parallelism are configured on the trader config; [qtsim]'s
           [--domains N] sets all three from one pool.  Default [None]. *)
+  pricing : Qt_pricing.Pricing.config option;
+      (** Seller pricing layer ({!Qt_pricing.Pricing}): per-node strategy
+          mix (cost-plus / surge / revenue-max), load-indexed surge
+          multipliers with hysteresis, and capacity reservations sold at
+          a premium.  Strategy multipliers are applied by each seller and
+          repaired to an arbitrage-free assignment per offer batch; all
+          surge transitions and revenue accounting run on the market
+          coordinator, so [--domains N] output stays byte-identical.
+          Default [None] — cost-plus everywhere, output byte-identical to
+          a pricing-less build. *)
 }
 
 val default_config : Qt_cost.Params.t -> config
@@ -199,6 +209,9 @@ type stats = {
   qcache : Qt_cache.Tier.stats option;
       (** Cache-tier counters and hit revenue; present iff
           [config.qcache] was set. *)
+  pricing : Qt_pricing.Pricing.stats option;
+      (** Per-seller revenue, surge activations and reservation fill;
+          present iff [config.pricing] was set. *)
   results : (int * Qt_optimizer.Plan.t * Qt_exec.Table.t) list;
       (** Each executed trade's [(index, admitted plan, answer table)] —
           the parity tests' raw material.  Result-cache hits appear here
@@ -354,6 +367,9 @@ type stream_stats = {
   str_qcache : Qt_cache.Tier.stats option;
       (** Cache-tier counters and hit revenue; present iff
           [base.qcache] was set. *)
+  str_pricing : Qt_pricing.Pricing.stats option;
+      (** Per-seller revenue, surge activations and reservation fill;
+          present iff [base.pricing] was set. *)
   str_telemetry : telemetry_stats option;
       (** Present iff [telemetry] was set; scraped entirely on the
           coordinator, so it is byte-identical at any [--domains]. *)

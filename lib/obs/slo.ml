@@ -13,6 +13,9 @@ type rule = {
   r_fast_windows : int;
   r_slow_windows : int;
   r_factor : float;
+  r_dedup : int;
+      (* Suppress re-fires of this rule within this many ticks of the
+         last emitted alert; 0 (the default) emits every fire. *)
 }
 
 let default_fast = 5
@@ -79,6 +82,7 @@ let parse spec =
         and fast = ref default_fast
         and slow = ref default_slow
         and factor = ref default_factor
+        and dedup = ref 0
         and err = ref None in
         List.iter
           (fun opt ->
@@ -97,6 +101,7 @@ let parse spec =
                 | "fast", Some f when f >= 1. -> fast := int_of_float f
                 | "slow", Some s when s >= 1. -> slow := int_of_float s
                 | "factor", Some f when f > 0. -> factor := f
+                | "dedup", Some d when d >= 0. -> dedup := int_of_float d
                 | k, Some _ ->
                   err := Some (Printf.sprintf "unknown option '%s'" k)))
           opts;
@@ -117,6 +122,7 @@ let parse spec =
                 r_fast_windows = !fast;
                 r_slow_windows = !slow;
                 r_factor = !factor;
+                r_dedup = !dedup;
               })))
   | _ -> fail "expected <subject>:<metric><cmp><threshold>:budget=<b>"
 
@@ -124,12 +130,21 @@ let parse spec =
 (* Burn-rate engine                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Severity is derived, not configured: a fast window burning at twice
+   the firing factor is already consuming budget 12x (default) faster
+   than sustainable — the page-now tier. *)
+type severity = Warn | Critical
+
+let severity_to_string = function Warn -> "warn" | Critical -> "critical"
+
 type alert = {
   al_rule : rule;
   al_time : float;
   al_burn_fast : float;
   al_burn_slow : float;
   al_window_error : float;
+  al_severity : severity;
+  al_suppressed : int;
 }
 
 type rule_state = {
@@ -138,20 +153,38 @@ type rule_state = {
   mutable rs_errors : float list;
   mutable rs_seen : int;
   mutable rs_firing : bool;
+  mutable rs_last_emitted : int;  (* rs_seen at the last emitted alert *)
+  mutable rs_pending_suppressed : int;  (* suppressed fires since then *)
 }
 
-type t = { st_rules : rule_state list; mutable st_alerts : alert list }
+type t = {
+  st_rules : rule_state list;
+  mutable st_alerts : alert list;
+  mutable st_suppressed : int;  (* total fires folded away by dedup *)
+}
 
 let create rules =
   {
     st_rules =
       List.map
-        (fun r -> { rs_rule = r; rs_errors = []; rs_seen = 0; rs_firing = false })
+        (fun r ->
+          {
+            rs_rule = r;
+            rs_errors = [];
+            rs_seen = 0;
+            rs_firing = false;
+            rs_last_emitted = min_int / 2;
+            rs_pending_suppressed = 0;
+          })
         rules;
     st_alerts = [];
+    st_suppressed = 0;
   }
 
 let rules t = List.map (fun rs -> rs.rs_rule) t.st_rules
+
+let firing t = List.exists (fun rs -> rs.rs_firing) t.st_rules
+let suppressed t = t.st_suppressed
 
 let avg_of n errors =
   let rec go i acc = function
@@ -188,17 +221,33 @@ let observe t ~now ~error_rate =
         && burn_slow >= r.r_factor
       then begin
         rs.rs_firing <- true;
-        let al =
-          {
-            al_rule = r;
-            al_time = now;
-            al_burn_fast = burn_fast;
-            al_burn_slow = burn_slow;
-            al_window_error = e;
-          }
-        in
-        t.st_alerts <- al :: t.st_alerts;
-        Some al
+        (* Dedup: a re-fire within [dedup] ticks of the last emitted
+           alert is folded into the next one instead of paging again.
+           The firing flag still flips, so SLO-coupled consumers (surge
+           pricing) see the episode either way. *)
+        if r.r_dedup > 0 && rs.rs_seen - rs.rs_last_emitted <= r.r_dedup then begin
+          rs.rs_pending_suppressed <- rs.rs_pending_suppressed + 1;
+          t.st_suppressed <- t.st_suppressed + 1;
+          None
+        end
+        else begin
+          let al =
+            {
+              al_rule = r;
+              al_time = now;
+              al_burn_fast = burn_fast;
+              al_burn_slow = burn_slow;
+              al_window_error = e;
+              al_severity =
+                (if burn_fast >= 2. *. r.r_factor then Critical else Warn);
+              al_suppressed = rs.rs_pending_suppressed;
+            }
+          in
+          rs.rs_last_emitted <- rs.rs_seen;
+          rs.rs_pending_suppressed <- 0;
+          t.st_alerts <- al :: t.st_alerts;
+          Some al
+        end
       end
       else begin
         if rs.rs_firing && burn_fast < r.r_factor then rs.rs_firing <- false;
@@ -225,7 +274,9 @@ let escape s =
 
 let alert_to_json al =
   Printf.sprintf
-    "{\"rule\":\"%s\",\"t\":%s,\"burn_fast\":%s,\"burn_slow\":%s,\"window_error\":%s}"
-    (escape al.al_rule.r_name) (jf al.al_time) (jf al.al_burn_fast)
+    "{\"rule\":\"%s\",\"t\":%s,\"severity\":\"%s\",\"burn_fast\":%s,\"burn_slow\":%s,\"window_error\":%s,\"suppressed\":%d}"
+    (escape al.al_rule.r_name) (jf al.al_time)
+    (severity_to_string al.al_severity)
+    (jf al.al_burn_fast)
     (jf al.al_burn_slow)
-    (jf al.al_window_error)
+    (jf al.al_window_error) al.al_suppressed

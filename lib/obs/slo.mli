@@ -30,15 +30,28 @@ type rule = {
   r_fast_windows : int;
   r_slow_windows : int;
   r_factor : float;
+  r_dedup : int;
+      (** Suppress re-fires within this many ticks of the last emitted
+          alert (folded into the next alert's [al_suppressed]); 0 — the
+          default — emits every fire. *)
 }
 
 val parse : string -> (rule, string) result
 (** Grammar:
-    [<subject>:<metric><cmp><threshold>:budget=<b>[:fast=N][:slow=N][:factor=F]]
+    [<subject>:<metric><cmp><threshold>:budget=<b>[:fast=N][:slow=N][:factor=F][:dedup=N]]
     — e.g. [interactive:p95<5:budget=0.01]. *)
 
 val rule_to_string : rule -> string
 val metric_to_string : metric -> string
+
+type severity =
+  | Warn
+  | Critical
+      (** The fast window burns at >= twice the firing factor: the
+          budget is being consumed an order of magnitude faster than
+          sustainable. *)
+
+val severity_to_string : severity -> string
 
 type alert = {
   al_rule : rule;
@@ -46,6 +59,10 @@ type alert = {
   al_burn_fast : float;
   al_burn_slow : float;
   al_window_error : float;  (** the firing tick's window error rate *)
+  al_severity : severity;
+  al_suppressed : int;
+      (** fires of this rule folded away by [dedup] since the previous
+          emitted alert *)
 }
 
 type t
@@ -61,5 +78,12 @@ val observe : t -> now:float -> error_rate:(rule -> float) -> alert list
 
 val alerts : t -> alert list
 (** Every alert fired so far, in firing order. *)
+
+val firing : t -> bool
+(** Whether any rule is currently in a firing episode (fired and not yet
+    re-armed) — what SLO-coupled surge pricing polls each scrape tick. *)
+
+val suppressed : t -> int
+(** Total fires folded away by [dedup] across all rules. *)
 
 val alert_to_json : alert -> string

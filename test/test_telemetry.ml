@@ -142,6 +142,63 @@ let test_slo_alert_timing () =
   in
   Alcotest.(check int) "re-armed rule fires again" 1 (List.length second)
 
+let test_slo_severity_and_dedup () =
+  let rule spec =
+    match Slo.parse spec with Ok r -> r | Error msg -> failwith msg
+  in
+  (* Severity is derived from the fast burn: >= 2x the firing factor
+     pages critical, anything between factor and 2x stays warn. *)
+  let severity_of err =
+    let eng = Slo.create [ rule "all:goodput>0.5:budget=0.1:fast=2:slow=2:factor=2" ] in
+    let fired = ref [] in
+    for i = 1 to 2 do
+      fired :=
+        !fired
+        @ Slo.observe eng ~now:(float_of_int i) ~error_rate:(fun _ -> err)
+    done;
+    match !fired with
+    | [ al ] -> al.Slo.al_severity
+    | alerts ->
+      failwith (Printf.sprintf "expected one alert, got %d" (List.length alerts))
+  in
+  Alcotest.(check bool) "burn 3x factor is warn" true
+    (severity_of 0.3 = Slo.Warn);
+  Alcotest.(check bool) "burn >= 2x factor is critical" true
+    (severity_of 0.5 = Slo.Critical);
+  (* Dedup: a re-fire within the window is folded into the next emitted
+     alert; the firing episode still happens (surge coupling sees it). *)
+  let eng =
+    Slo.create
+      [ rule "all:goodput>0.5:budget=0.1:fast=2:slow=2:factor=2:dedup=10" ]
+  in
+  let tick = ref 0 in
+  let feed errs =
+    List.concat_map
+      (fun e ->
+        incr tick;
+        Slo.observe eng ~now:(float_of_int !tick) ~error_rate:(fun _ -> e))
+      errs
+  in
+  let burst = [ 1.0; 1.0 ] and calm = [ 0.0; 0.0 ] in
+  Alcotest.(check int) "first burst pages" 1 (List.length (feed burst));
+  ignore (feed calm);
+  let refire = feed burst in
+  Alcotest.(check int) "re-fire inside the window is folded" 0
+    (List.length refire);
+  Alcotest.(check bool) "the folded episode still sets firing" true
+    (Slo.firing eng);
+  Alcotest.(check int) "suppression counted" 1 (Slo.suppressed eng);
+  ignore (feed (List.concat [ calm; calm; calm ]));
+  (match feed burst with
+  | [ al ] ->
+    Alcotest.(check int) "late alert carries the folded count" 1
+      al.Slo.al_suppressed
+  | alerts ->
+    Alcotest.failf "expected one alert past the window, got %d"
+      (List.length alerts));
+  Alcotest.(check int) "emitted alerts exclude the folded fire" 2
+    (List.length (Slo.alerts eng))
+
 (* ------------------------------------------------------------------ *)
 (* Flight recorder                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -447,6 +504,7 @@ let suite =
         test_timeseries_scrape;
       quick "slo: rule grammar" test_slo_parse;
       quick "slo: burn-rate alert timing and re-arm" test_slo_alert_timing;
+      quick "slo: severity tiers and dedup folding" test_slo_severity_and_dedup;
       quick "flight recorder: ring eviction and bundles"
         test_flight_recorder_ring;
       quick "openmetrics: render validates, corruptions rejected"
